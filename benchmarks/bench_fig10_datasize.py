@@ -1,0 +1,104 @@
+"""Figure 10: cost of transformation vs data size (XMark, MUTATE site).
+
+Paper setup: XMark factors 0.1–0.5, the full-shape transformation
+``MUTATE site``, against eXist dumping the entire document with
+``for $b in doc(...)/site return <data>{$b}</data>``.
+
+Expected shape (paper): XMorph render grows linearly with document
+size; XMorph compile is flat and a vanishing fraction of the total;
+the eXist dump is the baseline's best case and stays below the full
+471-type mutation.
+"""
+
+import pytest
+
+from repro.bench import measured_compile, measured_dump, measured_transform
+from repro.bench.plots import AsciiChart
+from repro.bench.reporting import SeriesTable
+
+from benchmarks.conftest import XMARK_FACTORS, register_chart, register_table
+
+GUARD = "MUTATE site"
+
+_table = lambda: register_table(  # noqa: E731
+    "fig10_datasize",
+    SeriesTable(
+        "Figure 10: transformation cost vs data size (XMark, MUTATE site)",
+        "factor",
+        [
+            "nodes",
+            "xmorph compile (sim s)",
+            "xmorph render (sim s)",
+            "exist dump (sim s)",
+            "compile wall",
+            "render wall",
+            "compile %",
+        ],
+    ),
+)
+
+
+@pytest.mark.parametrize("factor", XMARK_FACTORS)
+def test_fig10_point(benchmark, factor, xmark_dbs, xmark_exist):
+    db = xmark_dbs[factor]
+    exist = xmark_exist[factor]
+
+    compile_m = measured_compile(db, "xmark", GUARD)
+    transform_m = benchmark.pedantic(
+        lambda: measured_transform(db, "xmark", GUARD), rounds=1, iterations=1
+    )
+    dump_m = measured_dump(exist, "xmark")
+
+    render_sim = transform_m.simulated_seconds - compile_m.simulated_seconds
+    render_wall = transform_m.result.render_seconds
+    total = max(transform_m.simulated_seconds, 1e-12)
+    _table().add_row(
+        factor,
+        db.describe("xmark")["nodes"],
+        compile_m.simulated_seconds,
+        max(render_sim, 0.0),
+        dump_m.simulated_seconds,
+        transform_m.result.compile_seconds,
+        render_wall,
+        f"{100 * compile_m.simulated_seconds / total:.1f}%",
+    )
+
+    # The paper's qualitative claims, asserted:
+    # the eXist dump (sequential read of the stored document) costs less
+    # than the full mutation (which must also build and write output).
+    assert dump_m.simulated_seconds < transform_m.simulated_seconds
+
+    table = _table()
+    if len(table.rows) == len(XMARK_FACTORS):
+        chart = AsciiChart(
+            "Figure 10 (ASCII): simulated seconds vs XMark factor", height=10, width=56
+        )
+        chart.add_series("render", [(row[0], row[3]) for row in table.rows])
+        chart.add_series("compile", [(row[0], row[2]) for row in table.rows])
+        chart.add_series("exist dump", [(row[0], row[4]) for row in table.rows])
+        register_chart("fig10_datasize", chart)
+
+
+def test_fig10_shape(xmark_dbs, xmark_exist, benchmark):
+    """Linearity and the vanishing compile fraction, across factors."""
+    points = []
+    for factor in (XMARK_FACTORS[0], XMARK_FACTORS[-1]):
+        db = xmark_dbs[factor]
+        compile_m = measured_compile(db, "xmark", GUARD)
+        transform_m = measured_transform(db, "xmark", GUARD)
+        points.append((factor, compile_m, transform_m, db.describe("xmark")["nodes"]))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    (f0, c0, t0, n0), (f1, c1, t1, n1) = points
+    size_ratio = n1 / n0
+    cost_ratio = t1.simulated_seconds / t0.simulated_seconds
+    # Render cost is linear in document size: the cost ratio tracks the
+    # size ratio (generously bracketed: pure-Python noise and constant
+    # offsets are real).
+    assert 0.4 * size_ratio <= cost_ratio <= 2.5 * size_ratio
+    # Compile cost is roughly flat in the data size...
+    assert c1.simulated_seconds < 3 * max(c0.simulated_seconds, 1e-9)
+    # ... so its share of the total shrinks as documents grow.
+    share0 = c0.simulated_seconds / t0.simulated_seconds
+    share1 = c1.simulated_seconds / t1.simulated_seconds
+    assert share1 < share0

@@ -1,0 +1,69 @@
+"""Table I: path cardinality for every pair of types (bibliography shape).
+
+Regenerates the paper's Table I matrix over the normalized bibliography
+instance (Figure 1(c)) and benchmarks the all-pairs computation on a
+realistic shape size (XMark's hundreds of types).
+"""
+
+import pytest
+
+from repro.bench.reporting import SeriesTable
+from repro.shape import extract_shape, path_cardinality_table
+from repro.shape.pathcard import path_card_pairs
+from repro.workloads import generate_xmark
+from repro.xmltree import parse_document
+
+from benchmarks.conftest import register_table
+
+BIBLIO = """
+<data>
+  <author>
+    <name>A</name>
+    <book><title>X</title><publisher><name>W</name></publisher></book>
+    <book><title>Y</title><publisher><name>V</name></publisher></book>
+  </author>
+</data>
+"""
+
+
+def short(shape_type) -> str:
+    return shape_type.source.dotted.replace("data.", "") or "data"
+
+
+def test_table1_matrix(benchmark):
+    shape = extract_shape(parse_document(BIBLIO))
+    table = benchmark.pedantic(
+        lambda: path_cardinality_table(shape), rounds=5, iterations=1
+    )
+
+    types = shape.types()
+    report = register_table(
+        "table1_pathcard",
+        SeriesTable(
+            "Table I: path cardinality, shape of Fig. 1(c)",
+            "from \\ to",
+            [short(t) for t in types],
+        ),
+    )
+    if not report.rows:
+        for source in types:
+            report.add_row(
+                short(source),
+                *[str(table.get((source, target), "-")) for target in types],
+            )
+        report.note("author groups two books: every path through author.book is 2..2")
+
+    # Ground truth spot-checks straight from the paper's discussion.
+    by_name = {short(t): t for t in types}
+    assert str(table[(by_name["author"], by_name["author.book"])]) == "2..2"
+    assert str(table[(by_name["author.book.title"], by_name["author.book.publisher"])]) == "1..1"
+    assert str(table[(by_name["author.book.title"], by_name["data"])]) == "1..1"
+
+
+def test_allpairs_cost_on_xmark_shape(benchmark):
+    """The loss analysis' all-pairs pass must stay sub-second at XMark scale."""
+    from repro.closeness import DocumentIndex
+
+    shape = DocumentIndex(generate_xmark(0.003)).shape
+    pairs = benchmark.pedantic(lambda: path_card_pairs(shape), rounds=3, iterations=1)
+    assert len(pairs) == len(shape.types()) ** 2

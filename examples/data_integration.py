@@ -1,0 +1,91 @@
+"""Light-weight data integration with guards (vs schema mediation).
+
+The paper's related-work section contrasts guards with data
+integration: a mediator maps every source into one fixed target schema,
+and queries still break when they need a different shape.  A guard
+inverts the flow — each *query* declares its shape, and any number of
+differently-arranged sources satisfy it, without writing a mapping per
+source.
+
+Two bookstores publish their catalogs in incompatible arrangements; one
+guarded query produces a unified price report over both.
+
+Run:  python examples/data_integration.py
+"""
+
+import repro
+
+# Store 1: genre-centric.
+STORE_NORTH = """
+<catalog>
+  <genre label="databases">
+    <book><title>Transaction Processing</title><price>55</price>
+          <author><name>Gray</name></author></book>
+    <book><title>Readings in Databases</title><price>40</price>
+          <author><name>Stonebraker</name></author></book>
+  </genre>
+  <genre label="languages">
+    <book><title>SICP</title><price>35</price>
+          <author><name>Abelson</name></author></book>
+  </genre>
+</catalog>
+"""
+
+# Store 2: author-centric, prices nested differently.
+STORE_SOUTH = """
+<inventory>
+  <writer>
+    <name>Gray</name>
+    <work><title>Transaction Processing</title>
+          <offer><price>49</price></offer></work>
+  </writer>
+  <writer>
+    <name>Date</name>
+    <work><title>An Introduction to Database Systems</title>
+          <offer><price>60</price></offer></work>
+  </writer>
+</inventory>
+"""
+
+
+def main() -> None:
+    # One shape declaration per *store vocabulary* (a TRANSLATE aligns
+    # names) — but a single query, reused verbatim on both.
+    query = (
+        "for $b in /book order by $b/title return "
+        "<row>{$b/title/text()}: {$b/price/text()}</row>"
+    )
+
+    north = repro.GuardedQuery("CAST MORPH book [ title price ]", query)
+    south = repro.GuardedQuery(
+        "CAST (MORPH work [ title price ] | TRANSLATE work -> book)", query
+    )
+
+    print("== unified price report ==")
+    for store, guarded, text in [
+        ("north", north, STORE_NORTH),
+        ("south", south, STORE_SOUTH),
+    ]:
+        outcome = guarded.run(repro.parse_document(text))
+        print(f"-- {store} [guard: {outcome.guard_type}] --")
+        print(outcome.xml())
+
+    # Cross-store analytics: transform both into the shared shape, then
+    # query the union.
+    print("\n== cross-store: cheapest offer per title ==")
+    rows: dict[str, float] = {}
+    for guard, text in [
+        ("CAST MORPH book [ title price ]", STORE_NORTH),
+        ("CAST (MORPH work [ title price ] | TRANSLATE work -> book)", STORE_SOUTH),
+    ]:
+        result = repro.transform(repro.parse_document(text), guard)
+        for book in result.forest.roots:
+            title = book.find("title").text
+            price = float(book.find("price").text)
+            rows[title] = min(price, rows.get(title, float("inf")))
+    for title in sorted(rows):
+        print(f"  {title}: {rows[title]:.0f}")
+
+
+if __name__ == "__main__":
+    main()

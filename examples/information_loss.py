@@ -1,0 +1,77 @@
+"""Information loss: how a guard protects a query (Section V).
+
+Shows the four guard typings — strongly-typed, widening, narrowing,
+weakly-typed — on concrete data, how enforcement blocks lossy guards,
+and the three escape hatches: ``CAST`` wrappers, ``!`` annotations and
+``TYPE-FILL``.
+
+Run:  python examples/information_loss.py
+"""
+
+import repro
+from repro.errors import GuardTypeError
+
+# Authors group books (like the paper's normalized instance); the
+# second author has no name (the optional-name scenario of Section V).
+LIBRARY = """
+<library>
+  <author>
+    <name>Codd</name>
+    <book><title>X</title><publisher><name>W</name></publisher></book>
+    <book><title>Y</title><publisher><name>V</name></publisher></book>
+  </author>
+  <author>
+    <book><title>Z</title><publisher><name>U</name></publisher></book>
+  </author>
+</library>
+"""
+
+
+def show(title: str, guard: str) -> None:
+    print(f"\n== {title} ==")
+    print(f"guard: {guard}")
+    report = repro.check(LIBRARY, guard)
+    print(report.pretty())
+    try:
+        repro.transform(LIBRARY, guard)
+        print("enforcement: ALLOWED")
+    except GuardTypeError as error:
+        print(f"enforcement: BLOCKED — {str(error)[:110]}...")
+
+
+def main() -> None:
+    show(
+        "strongly-typed: a faithful rearrangement",
+        "MUTATE book [ publisher [ name ] ]",
+    )
+    show(
+        "widening: titles become closest to every publisher",
+        "MORPH author [ title publisher [ name ] ]",
+    )
+    show(
+        "narrowing: the name-less author would be dropped",
+        "MUTATE author.name [ author ]",
+    )
+
+    print("\n== escape hatch 1: CAST wrappers ==")
+    result = repro.transform(
+        LIBRARY, "CAST-WIDENING MORPH author [ title publisher [ name ] ]"
+    )
+    print(result.xml(indent=2))
+
+    print("== escape hatch 2: accept a specific loss with ! ==")
+    result = repro.transform(LIBRARY, "MORPH author [ !title publisher [ name ] ]")
+    print("allowed; findings marked accepted:")
+    for finding in result.loss.findings:
+        print(f"  - {finding}")
+
+    print("\n== escape hatch 3: TYPE-FILL for labels missing from the source ==")
+    result = repro.transform(
+        LIBRARY, "CAST (TYPE-FILL MORPH author [ name isbn ])"
+    )
+    print(result.xml(indent=2))
+    print(f"synthesized types: {result.loss.synthesized_types}")
+
+
+if __name__ == "__main__":
+    main()

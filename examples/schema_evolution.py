@@ -1,0 +1,81 @@
+"""Schema evolution: the paper's practical motivation (Section I).
+
+A database administrator revises a document's design over time —
+normalizing redundant author records out of the book subtrees.  Every
+query written against the old shape breaks; queries written behind a
+guard keep working, and MUTATE migrates stored data between designs.
+
+Run:  python examples/schema_evolution.py
+"""
+
+import repro
+
+# Version 1 (denormalized): author details repeated under every book.
+CATALOG_V1 = """
+<catalog>
+  <book>
+    <isbn>1-11</isbn><title>A Relational Model</title>
+    <author><name>Codd</name><affiliation>IBM</affiliation></author>
+    <price>30</price>
+  </book>
+  <book>
+    <isbn>2-22</isbn><title>Further Normalization</title>
+    <author><name>Codd</name><affiliation>IBM</affiliation></author>
+    <price>35</price>
+  </book>
+  <book>
+    <isbn>3-33</isbn><title>Turing Lecture</title>
+    <author><name>Backus</name><affiliation>IBM</affiliation></author>
+    <price>25</price>
+  </book>
+</catalog>
+"""
+
+# Version 2 (normalized by the DBA): books grouped under one author
+# element per author; the redundancy is gone.
+CATALOG_V2 = """
+<catalog>
+  <author><name>Codd</name><affiliation>IBM</affiliation>
+    <book><isbn>1-11</isbn><title>A Relational Model</title><price>30</price></book>
+    <book><isbn>2-22</isbn><title>Further Normalization</title><price>35</price></book>
+  </author>
+  <author><name>Backus</name><affiliation>IBM</affiliation>
+    <book><isbn>3-33</isbn><title>Turing Lecture</title><price>25</price></book>
+  </author>
+</catalog>
+"""
+
+
+def main() -> None:
+    report_query = repro.GuardedQuery(
+        guard="MORPH author [ name book [ title price ] ]",
+        query=(
+            "for $a in /author return "
+            "<line>{$a/name/text()}: "
+            "{count($a/book)} book(s), total "
+            "{for $b in $a/book return $b/price/text()}</line>"
+        ),
+    )
+
+    print("== the same reporting query across both schema versions ==")
+    for version, text in [("v1 (denormalized)", CATALOG_V1), ("v2 (normalized)", CATALOG_V2)]:
+        outcome = report_query.run(repro.parse_document(text))
+        print(f"-- {version} [guard: {outcome.guard_type}] --")
+        print(outcome.xml())
+
+    # The DBA's actual migration is itself a guard: rearrange v1's shape
+    # into the normalized design.  The loss report certifies it.
+    print("\n== migrating v1 to the normalized design with MUTATE ==")
+    migration = "MUTATE author [ name affiliation book [ isbn title price ] ]"
+    report = repro.check(CATALOG_V1, migration)
+    print(report.pretty())
+    migrated = repro.transform(CATALOG_V1, f"CAST-WIDENING ({migration})")
+    print(migrated.xml(indent=2))
+
+    print("== shapes before and after ==")
+    print("v1 shape:\n" + repro.extract_shape(repro.parse_document(CATALOG_V1)).pretty())
+    print("migrated shape:\n" + migrated.target_shape.pretty())
+
+
+if __name__ == "__main__":
+    main()

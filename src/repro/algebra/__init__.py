@@ -1,0 +1,54 @@
+"""The XMorph algebra (Section VIII) and shape semantics ξ (Section VI).
+
+Guards are parsed to an AST, translated to an algebra tree
+(:mod:`repro.algebra.build`), and evaluated by the executable
+denotational semantics (:mod:`repro.algebra.semantics`) against a
+*shape context* (:mod:`repro.algebra.context`): the document's DataGuide
+plus exact type distances for the first stage of a composition, or the
+previous stage's output shape for later stages.
+"""
+
+from repro.algebra.operators import (
+    ChildrenOp,
+    CloneOp,
+    ClosestOp,
+    ComposeOp,
+    DescendantsOp,
+    DropOp,
+    MorphOp,
+    MutateOp,
+    NewOp,
+    Operator,
+    RestrictOp,
+    TranslateOp,
+    TypeOp,
+    WrapperOp,
+)
+from repro.algebra.build import build_operator, Enforcement
+from repro.algebra.context import DocumentShapeContext, DerivedShapeContext, ShapeContext
+from repro.algebra.semantics import Evaluator, EvaluationResult, LabelResolution
+
+__all__ = [
+    "ChildrenOp",
+    "CloneOp",
+    "ClosestOp",
+    "ComposeOp",
+    "DescendantsOp",
+    "DropOp",
+    "MorphOp",
+    "MutateOp",
+    "NewOp",
+    "Operator",
+    "RestrictOp",
+    "TranslateOp",
+    "TypeOp",
+    "WrapperOp",
+    "build_operator",
+    "Enforcement",
+    "DocumentShapeContext",
+    "DerivedShapeContext",
+    "ShapeContext",
+    "Evaluator",
+    "EvaluationResult",
+    "LabelResolution",
+]

@@ -1,0 +1,133 @@
+"""AST → algebra translation (the paper's attribute-grammar step).
+
+"Translating an XMORPH query to the algebra is straightforward ...
+each keyword maps to an algebraic operator" (Section VIII).  The one
+structural rule worth spelling out: juxtaposition ``p0 p1 ... pn`` (and
+its bracketed form ``p0 [ p1 ... pn ]``) becomes
+``closest(p0, p1, ..., pn)`` — one closest operation connecting the
+parent's roots to each child's closest roots, exactly as in Figure 9.
+
+The translation also extracts the *enforcement* requested by the guard's
+wrappers (CAST variants / TYPE-FILL), which the interpreter applies
+after loss analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast
+from repro.algebra.operators import (
+    ChildrenOp,
+    CloneOp,
+    ClosestOp,
+    ComposeOp,
+    DescendantsOp,
+    DropOp,
+    MorphOp,
+    MutateOp,
+    NewOp,
+    Operator,
+    RestrictOp,
+    TranslateOp,
+    TypeOp,
+    WrapperOp,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Enforcement:
+    """What the guard's wrappers permit (Section III's type checking).
+
+    By default only strongly-typed guards are allowed; each flag relaxes
+    one direction.  ``type_fill`` additionally makes unmatched labels
+    synthesize new types instead of raising.
+    """
+
+    allow_narrowing: bool = False
+    allow_widening: bool = False
+    type_fill: bool = False
+
+    @property
+    def allow_weak(self) -> bool:
+        return self.allow_narrowing and self.allow_widening
+
+
+def build_operator(guard: ast.Guard) -> tuple[Operator, Enforcement]:
+    """Translate a guard AST into (algebra tree, enforcement flags)."""
+    enforcement = _collect_enforcement(guard)
+    return _build_guard(guard), enforcement
+
+
+def _collect_enforcement(guard: ast.Guard) -> Enforcement:
+    allow_narrowing = False
+    allow_widening = False
+    type_fill = False
+    node = guard
+    while True:
+        if isinstance(node, ast.Cast):
+            if node.mode is ast.CastMode.NARROWING:
+                allow_narrowing = True
+            elif node.mode is ast.CastMode.WIDENING:
+                allow_widening = True
+            else:
+                allow_narrowing = allow_widening = True
+            node = node.guard
+        elif isinstance(node, ast.TypeFill):
+            type_fill = True
+            node = node.guard
+        else:
+            break
+    return Enforcement(allow_narrowing, allow_widening, type_fill)
+
+
+def _build_guard(guard: ast.Guard) -> Operator:
+    if isinstance(guard, ast.Cast):
+        kind = guard.mode.value.lower()
+        return WrapperOp(kind, _build_guard(guard.guard))
+    if isinstance(guard, ast.TypeFill):
+        return WrapperOp("type-fill", _build_guard(guard.guard))
+    if isinstance(guard, ast.Morph):
+        return MorphOp(_build_pattern(guard.pattern))
+    if isinstance(guard, ast.Mutate):
+        return MutateOp(_build_pattern(guard.pattern))
+    if isinstance(guard, ast.Translate):
+        return TranslateOp(guard.mapping)
+    if isinstance(guard, ast.Compose):
+        return ComposeOp(tuple(_build_guard(part) for part in guard.parts))
+    raise TypeError(f"unknown guard node {guard!r}")
+
+
+def _build_pattern(pattern: ast.Pattern) -> Operator:
+    head = _build_term(pattern.terms[0])
+    rest = tuple(_build_term(term) for term in pattern.terms[1:])
+    if rest:
+        return ClosestOp(head, rest)
+    return head
+
+
+def _build_term(term: ast.Term) -> Operator:
+    op = _build_head(term.head)
+    if term.children:
+        op = ClosestOp(op, tuple(_build_term(child) for child in term.children))
+    if term.star_children:
+        op = ChildrenOp(op)
+    if term.star_descendants:
+        op = DescendantsOp(op)
+    return op
+
+
+def _build_head(head: ast.Head) -> Operator:
+    if isinstance(head, ast.Label):
+        return TypeOp(head.name, accept_loss=head.bang)
+    if isinstance(head, ast.New):
+        return NewOp(head.label)
+    if isinstance(head, ast.Drop):
+        return DropOp(_build_term(head.term))
+    if isinstance(head, ast.Clone):
+        return CloneOp(_build_term(head.term))
+    if isinstance(head, ast.Restrict):
+        return RestrictOp(_build_term(head.term))
+    if isinstance(head, ast.Group):
+        return _build_term(head.term)
+    raise TypeError(f"unknown head node {head!r}")

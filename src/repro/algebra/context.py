@@ -1,0 +1,129 @@
+"""Shape contexts: what a guard stage evaluates *against*.
+
+The denotational semantics maps a shape to a shape, so every construct
+needs to ask three questions of its current source: which vertices match
+a label, how far apart two vertices are (``typeDistance``), and what the
+full shape looks like (for ``MUTATE`` / ``TRANSLATE`` / ``*`` / ``**``).
+
+Stage 1 of a guard evaluates against the *document*:
+:class:`DocumentShapeContext` answers from the DataGuide and the exact
+data type distances of :class:`~repro.closeness.DocumentIndex`.  Later
+stages of a composition evaluate against the previous stage's output
+shape: :class:`DerivedShapeContext` answers from that shape's tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.closeness.index import DocumentIndex
+from repro.shape.shape import Shape
+from repro.shape.types import ShapeType
+
+
+class ShapeContext(Protocol):
+    """What the evaluator needs from a guard stage's source."""
+
+    @property
+    def source_shape(self) -> Shape: ...
+
+    def match_label(self, label: str) -> list[ShapeType]:
+        """Vertices of the source shape matching a (dotted) label."""
+        ...
+
+    def type_distance(self, first: ShapeType, second: ShapeType) -> Optional[int]:
+        """``typeDistance`` between two source vertices."""
+        ...
+
+    def copy_shape(self) -> Shape:
+        """A fresh-typed copy of the full source shape.
+
+        Every copied type's ``origin`` points at the source vertex it
+        was copied from (the evaluator relies on this for ``*``/``**``
+        expansion and for later composition stages).
+        """
+        ...
+
+
+def fresh_from(vertex: ShapeType, accept_loss: bool = False) -> ShapeType:
+    """A fresh target type created from a source vertex."""
+    return ShapeType(
+        source=vertex.source,
+        out_name=vertex.out_name,
+        restrict_filter=vertex.restrict_filter,
+        accept_loss=accept_loss or vertex.accept_loss,
+        synthesized=vertex.synthesized,
+        origin=vertex,
+    )
+
+
+def _copy_shape(shape: Shape) -> Shape:
+    """Fresh-typed copy of a shape with origins pointing at the original."""
+    mapping = {vertex: fresh_from(vertex) for vertex in shape.types()}
+    result = Shape()
+    for vertex in shape.types():
+        result.add_type(mapping[vertex])
+    for edge in shape.edges():
+        result.add_edge(mapping[edge.parent], mapping[edge.child], edge.card)
+    return result
+
+
+class DocumentShapeContext:
+    """Stage-1 context: the document's DataGuide + exact type distances."""
+
+    def __init__(self, index: DocumentIndex):
+        self.index = index
+
+    @property
+    def source_shape(self) -> Shape:
+        return self.index.shape
+
+    def match_label(self, label: str) -> list[ShapeType]:
+        matches = self.index.type_table.match_label(label)
+        vertices = [self.index.shape_vertex(data_type) for data_type in matches]
+        return [vertex for vertex in vertices if vertex is not None]
+
+    def type_distance(self, first: ShapeType, second: ShapeType) -> Optional[int]:
+        if first.source is None or second.source is None:
+            return None
+        return self.index.type_distance(first.source, second.source)
+
+    def copy_shape(self) -> Shape:
+        return _copy_shape(self.index.shape)
+
+
+class DerivedShapeContext:
+    """Stage-N context: the previous guard stage's output shape.
+
+    Labels match against the *output names* along each vertex's root
+    path (a ``TRANSLATE``d or ``NEW`` name is addressable downstream),
+    and type distance is tree distance within the shape.
+    """
+
+    def __init__(self, shape: Shape):
+        self.shape = shape
+        self._paths: dict[ShapeType, tuple[str, ...]] = {}
+        for vertex, _depth in shape.walk():
+            parent = shape.parent(vertex)
+            base = self._paths.get(parent, ()) if parent is not None else ()
+            self._paths[vertex] = base + (vertex.out_name.lower(),)
+
+    @property
+    def source_shape(self) -> Shape:
+        return self.shape
+
+    def match_label(self, label: str) -> list[ShapeType]:
+        want = tuple(part.lower() for part in label.split("."))
+        width = len(want)
+        return [
+            vertex
+            for vertex in self.shape.types()
+            if len(self._paths[vertex]) >= width
+            and self._paths[vertex][-width:] == want
+        ]
+
+    def type_distance(self, first: ShapeType, second: ShapeType) -> Optional[int]:
+        return self.shape.tree_distance(first, second)
+
+    def copy_shape(self) -> Shape:
+        return _copy_shape(self.shape)

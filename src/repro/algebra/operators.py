@@ -1,0 +1,199 @@
+"""Algebra operators (Section VIII, Figure 9).
+
+Guards are compiled to a tree of these operators.  The set matches the
+paper's list — ``compose``, ``morph``, ``mutate``, ``translate``,
+``type``, ``drop``, ``closest``, ``clone``, ``new``, ``restrict`` — plus
+the ``children`` / ``descendants`` expansions (the ``*`` / ``**``
+abbreviations) which the paper folds into its patterns.
+
+Operators are pure data: evaluation lives in
+:mod:`repro.algebra.semantics`, type enforcement in
+:mod:`repro.typing`.  Each operator renders to a readable one-line form
+(used by the reports and the Figure 9 test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+
+@dataclass(frozen=True, slots=True)
+class TypeOp:
+    """``type(label)`` — select the type(s) named by the label."""
+
+    label: str
+    accept_loss: bool = False
+
+    def __str__(self) -> str:
+        bang = "!" if self.accept_loss else ""
+        return f"type({bang}{self.label})"
+
+
+@dataclass(frozen=True, slots=True)
+class NewOp:
+    """``new(label)`` — construct a brand new type."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"new({self.label})"
+
+
+@dataclass(frozen=True, slots=True)
+class ClosestOp:
+    """``closest(parent, child...)`` — connect parent roots to closest child roots."""
+
+    parent: "Operator"
+    children: tuple["Operator", ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(child) for child in self.children)
+        return f"closest({self.parent}, {inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class ChildrenOp:
+    """``children(op)`` — add the source children of the roots (``*``)."""
+
+    child: "Operator"
+
+    def __str__(self) -> str:
+        return f"children({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class DescendantsOp:
+    """``descendants(op)`` — add the source subtrees of the roots (``**``)."""
+
+    child: "Operator"
+
+    def __str__(self) -> str:
+        return f"descendants({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class DropOp:
+    """``drop(op)`` — remove the matched types (within MUTATE)."""
+
+    child: "Operator"
+
+    def __str__(self) -> str:
+        return f"drop({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class CloneOp:
+    """``clone(op)`` — a distinct copy of the matched shape."""
+
+    child: "Operator"
+
+    def __str__(self) -> str:
+        return f"clone({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class RestrictOp:
+    """``restrict(op)`` — keep only the roots; the rest filters instances."""
+
+    child: "Operator"
+
+    def __str__(self) -> str:
+        return f"restrict({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class MorphOp:
+    """``morph(pattern)`` — the output shape is exactly the pattern."""
+
+    pattern: "Operator"
+
+    def __str__(self) -> str:
+        return f"morph({self.pattern})"
+
+
+@dataclass(frozen=True, slots=True)
+class MutateOp:
+    """``mutate(pattern)`` — rearrange the full source shape."""
+
+    pattern: "Operator"
+
+    def __str__(self) -> str:
+        return f"mutate({self.pattern})"
+
+
+@dataclass(frozen=True, slots=True)
+class TranslateOp:
+    """``translate(dictionary)`` — rename types by base label."""
+
+    mapping: tuple[tuple[str, str], ...]
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{old}->{new}" for old, new in self.mapping)
+        return f"translate({pairs})"
+
+
+@dataclass(frozen=True, slots=True)
+class ComposeOp:
+    """``compose(q, r)`` — pipe the output shape of each part into the next."""
+
+    parts: tuple["Operator", ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(part) for part in self.parts)
+        return f"compose({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class WrapperOp:
+    """A type-enforcement wrapper: CAST[-NARROWING/-WIDENING] or TYPE-FILL.
+
+    ``kind`` is one of ``"cast"``, ``"cast-narrowing"``, ``"cast-widening"``,
+    ``"type-fill"``.  Wrappers do not change the constructed shape; they
+    instruct the interpreter's enforcement stage (and, for ``type-fill``,
+    the label-resolution behaviour).
+    """
+
+    kind: str
+    child: "Operator"
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.child})"
+
+
+Operator = Union[
+    TypeOp,
+    NewOp,
+    ClosestOp,
+    ChildrenOp,
+    DescendantsOp,
+    DropOp,
+    CloneOp,
+    RestrictOp,
+    MorphOp,
+    MutateOp,
+    TranslateOp,
+    ComposeOp,
+    WrapperOp,
+]
+
+
+def iter_operators(op: Operator) -> Iterator[Operator]:
+    """Pre-order traversal of an algebra tree."""
+    yield op
+    if isinstance(op, ClosestOp):
+        yield from iter_operators(op.parent)
+        for child in op.children:
+            yield from iter_operators(child)
+    elif isinstance(op, (ChildrenOp, DescendantsOp, DropOp, CloneOp, RestrictOp, WrapperOp)):
+        yield from iter_operators(op.child)
+    elif isinstance(op, (MorphOp, MutateOp)):
+        yield from iter_operators(op.pattern)
+    elif isinstance(op, ComposeOp):
+        for part in op.parts:
+            yield from iter_operators(part)
+
+
+def labels_used(op: Operator) -> list[str]:
+    """Every label mentioned by ``type`` operators, in tree order."""
+    return [node.label for node in iter_operators(op) if isinstance(node, TypeOp)]

@@ -1,0 +1,424 @@
+"""Executable denotational semantics ξ (Section VI).
+
+Every algebra operator is a function from a shape to a shape; the
+evaluator below implements each equation of the paper's semantics,
+recording the label-to-type resolutions and closest-pair selections that
+make up the paper's *label to type report*.
+
+Deviations from the paper's notation, each deliberate and documented:
+
+* **Juxtaposition / `extend`.** The paper's ``extend(X, R)`` computes one
+  global minimum distance over all (parent root, child root) pairs; read
+  literally that would connect only the nearest of several child terms
+  (``author [name book]`` would keep ``name`` and orphan ``book``).
+  Section VIII's algebra shows the actual behaviour — one ``closest``
+  operation per parent/child pattern pair, each choosing the closest
+  *type pairing for that child* (this is also how ambiguous labels are
+  resolved).  We implement the per-child minimum.
+
+* **DROP.** The formula removes every type in ``ξ[P]``, but the paper's
+  example ``MUTATE (DROP title [ book ])`` "removes titles from book" —
+  so we drop the *roots* of ``ξ[P]``; nested terms serve to disambiguate
+  which root type is meant.  A dropped type's children hoist to its
+  parent, leaving "the rest of the shape unchanged".
+
+* **MUTATE rewiring.** Re-parenting ``b`` under ``a`` when ``b`` is an
+  ancestor of ``a`` would create a cycle; the paper's examples ("swap
+  their position", "moved to being a parent") imply the position swap we
+  implement: ``a`` takes ``b``'s place, then ``b`` hangs below ``a``.
+
+* **NEW multiplicity.** ``MUTATE (NEW scribe) [ author ]`` "wraps each
+  author": a new type inserted above an existing type takes the old
+  parent's place; at render time one new element is created per
+  instance of its leading child.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import LabelMismatchError, TypeAnalysisError
+from repro.algebra.context import DerivedShapeContext, ShapeContext, fresh_from
+from repro.algebra.operators import (
+    ChildrenOp,
+    CloneOp,
+    ClosestOp,
+    ComposeOp,
+    DescendantsOp,
+    DropOp,
+    MorphOp,
+    MutateOp,
+    NewOp,
+    Operator,
+    RestrictOp,
+    TranslateOp,
+    TypeOp,
+    WrapperOp,
+)
+from repro.shape.shape import Shape, map_types
+from repro.shape.types import ShapeType
+
+
+@dataclass(frozen=True, slots=True)
+class LabelResolution:
+    """One line of the label-to-type report."""
+
+    label: str
+    resolved: tuple[str, ...]  # dotted source paths (or synthesized name)
+    stage: int
+    ambiguous: bool
+    synthesized: bool = False
+
+    def __str__(self) -> str:
+        kind = "synthesized" if self.synthesized else (
+            "ambiguous" if self.ambiguous else "unique"
+        )
+        return f"[stage {self.stage}] {self.label} -> {{{', '.join(self.resolved)}}} ({kind})"
+
+
+@dataclass(frozen=True, slots=True)
+class ClosestSelection:
+    """One closest-operation type pairing decision (Section VIII)."""
+
+    parent_candidates: tuple[str, ...]
+    child_candidates: tuple[str, ...]
+    chosen: tuple[tuple[str, str], ...]
+    distance: Optional[int]
+    stage: int
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{p}~{c}" for p, c in self.chosen)
+        return f"[stage {self.stage}] closest d={self.distance}: {pairs}"
+
+
+@dataclass
+class EvaluationResult:
+    """The outcome of evaluating a guard's algebra tree."""
+
+    shape: Shape
+    stage_shapes: list[Shape]
+    resolutions: list[LabelResolution] = field(default_factory=list)
+    selections: list[ClosestSelection] = field(default_factory=list)
+    is_morph: bool = False  # outermost data-bearing op was a MORPH
+
+    def label_report(self) -> str:
+        lines = [str(entry) for entry in self.resolutions]
+        lines.extend(str(entry) for entry in self.selections)
+        return "\n".join(lines)
+
+
+class Evaluator:
+    """Evaluates an algebra tree against a shape context."""
+
+    def __init__(self, type_fill: bool = False):
+        self.type_fill = type_fill
+        self._resolutions: list[LabelResolution] = []
+        self._selections: list[ClosestSelection] = []
+        self._dropped: list[ShapeType] = []
+        self._stage = 0
+
+    # -- public ----------------------------------------------------------
+
+    def run(self, op: Operator, context: ShapeContext) -> EvaluationResult:
+        op = _unwrap(op)
+        stage_shapes: list[Shape] = []
+        is_morph = False
+        parts = op.parts if isinstance(op, ComposeOp) else (op,)
+        shape: Shape | None = None
+        for index, part in enumerate(parts):
+            part = _unwrap(part)
+            self._stage = index
+            shape = self._eval_stage(part, context)
+            stage_shapes.append(shape)
+            context = DerivedShapeContext(shape)
+            is_morph = isinstance(part, MorphOp)
+        assert shape is not None
+        return EvaluationResult(
+            shape=shape,
+            stage_shapes=stage_shapes,
+            resolutions=self._resolutions,
+            selections=self._selections,
+            is_morph=is_morph,
+        )
+
+    # -- stage dispatch -----------------------------------------------------
+
+    def _eval_stage(self, op: Operator, ctx: ShapeContext) -> Shape:
+        if isinstance(op, MorphOp):
+            return self._eval(op.pattern, ctx)
+        if isinstance(op, MutateOp):
+            return self._eval_mutate(op, ctx)
+        if isinstance(op, TranslateOp):
+            return self._eval_translate(op, ctx.copy_shape())
+        if isinstance(op, ComposeOp):  # nested compose: flatten by chaining
+            shape = ctx.copy_shape()
+            for part in op.parts:
+                shape = self._eval_stage(_unwrap(part), ctx)
+                ctx = DerivedShapeContext(shape)
+            return shape
+        raise TypeAnalysisError(
+            f"a guard stage must be MORPH, MUTATE or TRANSLATE, got {op}"
+        )
+
+    # -- ξ for patterns ---------------------------------------------------------
+
+    def _eval(self, op: Operator, ctx: ShapeContext) -> Shape:
+        if isinstance(op, TypeOp):
+            return self._eval_type(op, ctx)
+        if isinstance(op, NewOp):
+            return Shape.single(ShapeType.new(op.label))
+        if isinstance(op, ClosestOp):
+            return self._eval_closest(op, ctx)
+        if isinstance(op, ChildrenOp):
+            return self._eval_children(op, ctx)
+        if isinstance(op, DescendantsOp):
+            return self._eval_descendants(op, ctx)
+        if isinstance(op, CloneOp):
+            return map_types(self._eval(op.child, ctx), lambda t: t.clone())
+        if isinstance(op, RestrictOp):
+            return self._eval_restrict(op, ctx)
+        if isinstance(op, DropOp):
+            return self._eval_drop(op, ctx)
+        if isinstance(op, WrapperOp):
+            return self._eval(op.child, ctx)
+        raise TypeAnalysisError(f"operator {op} cannot appear inside a pattern")
+
+    def _eval_type(self, op: TypeOp, ctx: ShapeContext) -> Shape:
+        """ξ[label](S) = L x {circ}, with the three outcomes of Section VI."""
+        vertices = ctx.match_label(op.label)
+        if not vertices:
+            if self.type_fill:
+                fresh = ShapeType(
+                    source=None,
+                    out_name=op.label.split(".")[-1],
+                    synthesized=True,
+                    accept_loss=op.accept_loss,
+                )
+                self._resolutions.append(
+                    LabelResolution(op.label, (fresh.out_name,), self._stage, False, True)
+                )
+                return Shape.single(fresh)
+            raise LabelMismatchError(op.label)
+        self._resolutions.append(
+            LabelResolution(
+                op.label,
+                tuple(_vertex_name(v) for v in vertices),
+                self._stage,
+                ambiguous=len(vertices) > 1,
+            )
+        )
+        return Shape.of_leaves(
+            fresh_from(vertex, accept_loss=op.accept_loss) for vertex in vertices
+        )
+
+    def _eval_closest(self, op: ClosestOp, ctx: ShapeContext) -> Shape:
+        """ξ[p0 p1 ... pn]: connect p0's roots to each pi's closest roots.
+
+        Ambiguity resolution happens here (Section VIII): among all
+        (parent root, child root) type pairs, only the pairs at the
+        minimal type distance are used; child subtrees not chosen are
+        pruned, and with several parent candidates the parents chosen by
+        no child are pruned too.
+        """
+        result = self._eval(op.parent, ctx)
+        parent_roots = result.roots()
+        used_parents: set[ShapeType] = set()
+        had_backed_pairs = False
+        for child_op in op.children:
+            child_shape = self._eval(child_op, ctx)
+            child_roots = child_shape.roots()
+            if not parent_roots or not child_roots:
+                continue
+            pairs: list[tuple[int, ShapeType, ShapeType]] = []
+            for parent in parent_roots:
+                for child in child_roots:
+                    if parent.origin is None or child.origin is None:
+                        continue
+                    distance = ctx.type_distance(parent.origin, child.origin)
+                    if distance is not None:
+                        pairs.append((distance, parent, child))
+            if pairs:
+                had_backed_pairs = True
+                minimum = min(distance for distance, _, _ in pairs)
+                chosen = [(p, c) for d, p, c in pairs if d == minimum]
+            else:
+                # A NEW/synthesized parent or child: attach everything.
+                minimum = None
+                chosen = [(p, c) for p in parent_roots for c in child_roots]
+            attached: set[ShapeType] = set()
+            for parent, child in chosen:
+                subtree = child_shape.subtree(child)
+                if child in attached:
+                    # The same child type pairs with several parents:
+                    # a forest admits one parent, so clone the subtree.
+                    subtree = map_types(subtree, lambda t: t.clone())
+                    child = subtree.roots()[0]
+                else:
+                    attached.add(child)
+                result.union(subtree)
+                result.add_edge(parent, child)
+                used_parents.add(parent)
+            self._selections.append(
+                ClosestSelection(
+                    tuple(_vertex_name(p) for p in parent_roots),
+                    tuple(_vertex_name(c) for c in child_roots),
+                    tuple((_vertex_name(p), _vertex_name(c)) for p, c in chosen),
+                    minimum,
+                    self._stage,
+                )
+            )
+        # Prune ambiguous parent candidates chosen by no child.
+        if had_backed_pairs and len(parent_roots) > 1:
+            for parent in parent_roots:
+                if parent not in used_parents:
+                    for vertex in result.subtree_types(parent):
+                        result.remove_type(vertex, hoist=False)
+        return result
+
+    def _eval_children(self, op: ChildrenOp, ctx: ShapeContext) -> Shape:
+        """ξ[CHILDREN P] = ξ[P] ∪ source children of the roots."""
+        result = self._eval(op.child, ctx)
+        for root in result.roots():
+            origin = root.origin
+            if origin is None:
+                continue
+            existing = {c.source for c in result.children(root) if c.source}
+            for child_vertex in ctx.source_shape.children(origin):
+                if child_vertex.source in existing:
+                    continue
+                card = ctx.source_shape.card(origin, child_vertex)
+                result.add_edge(root, fresh_from(child_vertex), card)
+        return result
+
+    def _eval_descendants(self, op: DescendantsOp, ctx: ShapeContext) -> Shape:
+        """ξ[DESCENDANTS P] = ξ[P] ∪ source subtrees of the roots."""
+        result = self._eval(op.child, ctx)
+
+        def copy_below(target: ShapeType, origin: ShapeType, skip: set) -> None:
+            for child_vertex in ctx.source_shape.children(origin):
+                if child_vertex.source in skip:
+                    continue
+                card = ctx.source_shape.card(origin, child_vertex)
+                fresh = fresh_from(child_vertex)
+                result.add_edge(target, fresh, card)
+                copy_below(fresh, child_vertex, set())
+
+        for root in result.roots():
+            if root.origin is None:
+                continue
+            existing = {c.source for c in result.children(root) if c.source}
+            copy_below(root, root.origin, existing)
+        return result
+
+    def _eval_restrict(self, op: RestrictOp, ctx: ShapeContext) -> Shape:
+        """ξ[RESTRICT P] = roots(ξ[P]) x {circ}; the body becomes a filter."""
+        inner = self._eval(op.child, ctx)
+        result = Shape()
+        for root in inner.roots():
+            root.restrict_filter = inner.subtree(root)
+            result.add_type(root)
+        return result
+
+    def _eval_drop(self, op: DropOp, ctx: ShapeContext) -> Shape:
+        """ξ[DROP P]: record the roots of ξ[P] for the enclosing MUTATE."""
+        inner = self._eval(op.child, ctx)
+        self._dropped.extend(inner.roots())
+        return Shape()
+
+    # -- MUTATE ------------------------------------------------------------------
+
+    def _eval_mutate(self, op: MutateOp, ctx: ShapeContext) -> Shape:
+        drops_mark = len(self._dropped)
+        pattern_shape = self._eval(op.pattern, ctx)
+        dropped = self._dropped[drops_mark:]
+        del self._dropped[drops_mark:]
+
+        mutated = ctx.copy_shape()
+        by_origin: dict[ShapeType, ShapeType] = {
+            vertex.origin: vertex for vertex in mutated.types() if vertex.origin
+        }
+
+        def resolve(target: ShapeType) -> ShapeType:
+            """The vertex of the mutated shape that a pattern type denotes."""
+            if target.cloned_from is not None or target.origin is None:
+                # Clones and NEW/synthesized types are *inserted*.
+                mutated.add_type(target)
+                return target
+            return by_origin[target.origin]
+
+        # Walk pattern edges top-down so parents are placed before children.
+        for root in pattern_shape.roots():
+            stack = [root]
+            while stack:
+                parent = stack.pop()
+                resolved_parent = resolve(parent)
+                if parent.is_new and mutated.parent(resolved_parent) is None:
+                    # A NEW node inserted above its first child adopts the
+                    # child's old parent ("wraps each author in a scribe").
+                    first = next(
+                        (c for c in pattern_shape.children(parent) if c.origin), None
+                    )
+                    if first is not None:
+                        old_parent = mutated.parent(by_origin[first.origin])
+                        if old_parent is not None:
+                            mutated.add_edge(old_parent, resolved_parent)
+                for child in pattern_shape.children(parent):
+                    resolved_child = resolve(child)
+                    self._rewire(mutated, resolved_parent, resolved_child)
+                    stack.append(child)
+
+        for drop in dropped:
+            if drop.origin is not None and drop.origin in by_origin:
+                mutated.remove_type(by_origin[drop.origin], hoist=True)
+        return mutated
+
+    @staticmethod
+    def _rewire(shape: Shape, parent: ShapeType, child: ShapeType) -> None:
+        """Re-parent ``child`` under ``parent``, swapping positions when
+        ``child`` is currently an ancestor of ``parent`` (see module doc)."""
+        if child is parent:
+            return
+        if shape.is_ancestor(child, parent):
+            grandparent = shape.parent(child)
+            shape.detach(parent)
+            if grandparent is not None:
+                shape.add_edge(grandparent, parent)
+        shape.add_edge(parent, child)
+
+    # -- TRANSLATE ------------------------------------------------------------------
+
+    def _eval_translate(self, op: TranslateOp, shape: Shape) -> Shape:
+        """ξ[TRANSLATE D]: rename every type whose base matches an entry.
+
+        Matching is by base label (the source type's name, or the output
+        name for NEW types), case-insensitively; dotted keys match a
+        suffix of the source path.  All clones/restrictions sharing the
+        base type are renamed together, as the paper specifies.
+        """
+        for vertex in shape.types():
+            for old, new in op.mapping:
+                if _base_matches(vertex, old):
+                    vertex.out_name = new
+                    break
+        return shape
+
+
+def _unwrap(op: Operator) -> Operator:
+    while isinstance(op, WrapperOp):
+        op = op.child
+    return op
+
+
+def _vertex_name(vertex: ShapeType) -> str:
+    if vertex.source is not None:
+        return vertex.source.dotted
+    return f"~{vertex.out_name}"
+
+
+def _base_matches(vertex: ShapeType, label: str) -> bool:
+    want = tuple(part.lower() for part in label.split("."))
+    if vertex.source is None:
+        return len(want) == 1 and vertex.out_name.lower() == want[0]
+    path = tuple(part.lower() for part in vertex.source.path)
+    return len(path) >= len(want) and path[-len(want):] == want

@@ -1,0 +1,33 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` suite.
+
+Every experiment reports two kinds of numbers:
+
+* **wall-clock seconds** measured on whatever machine runs the bench
+  (via pytest-benchmark), and
+* **deterministic simulated costs** from the storage engine's cost
+  model — blocks, simulated seconds, wait percentage — which reproduce
+  the paper's *shapes* machine-independently.
+
+:mod:`repro.bench.reporting` prints paper-style series tables and
+writes them under ``bench_results/`` so EXPERIMENTS.md can quote them.
+"""
+
+from repro.bench.reporting import SeriesTable, format_seconds, write_report
+from repro.bench.harness import (
+    measured_transform,
+    measured_compile,
+    measured_dump,
+    measured_query,
+    Measurement,
+)
+
+__all__ = [
+    "SeriesTable",
+    "format_seconds",
+    "write_report",
+    "measured_transform",
+    "measured_compile",
+    "measured_dump",
+    "measured_query",
+    "Measurement",
+]

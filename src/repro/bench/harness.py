@@ -1,0 +1,65 @@
+"""Measured operations: run a system step and capture wall + model costs."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.baseline.existdb import ExistStore
+from repro.storage.database import Database
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """Wall-clock and simulated costs of one operation."""
+
+    wall_seconds: float
+    simulated_seconds: float
+    blocks: int
+    result: object = None
+
+    def throughput(self, units: int) -> float:
+        """Units per simulated second (Figure 15's y-axis)."""
+        if self.simulated_seconds == 0:
+            return float("inf")
+        return units / self.simulated_seconds
+
+
+def _measure(stats, operation) -> Measurement:
+    wall_start = time.perf_counter()
+    sim_start = stats.simulated_seconds
+    blocks_start = stats.cumulative_blocks
+    result = operation()
+    return Measurement(
+        wall_seconds=time.perf_counter() - wall_start,
+        simulated_seconds=stats.simulated_seconds - sim_start,
+        blocks=stats.cumulative_blocks - blocks_start,
+        result=result,
+    )
+
+
+def measured_transform(db: Database, name: str, guard: str, cold: bool = True) -> Measurement:
+    """An XMorph transformation over the store (cold cache by default,
+    matching the paper's methodology)."""
+    if cold:
+        db.drop_cache()
+    return _measure(db.stats, lambda: db.transform(name, guard))
+
+
+def measured_compile(db: Database, name: str, guard: str, cold: bool = True) -> Measurement:
+    if cold:
+        db.drop_cache()
+        db.index(name)  # shape load is part of a cold compile
+    return _measure(db.stats, lambda: db.compile(name, guard))
+
+
+def measured_dump(store: ExistStore, name: str, cold: bool = True) -> Measurement:
+    if cold:
+        store.drop_cache()
+    return _measure(store.stats, lambda: store.dump(name))
+
+
+def measured_query(store: ExistStore, name: str, query: str, cold: bool = True) -> Measurement:
+    if cold:
+        store.drop_cache()
+    return _measure(store.stats, lambda: store.query(name, query))

@@ -1,0 +1,100 @@
+"""ASCII plots for benchmark series — terminal renditions of the figures.
+
+The paper's evaluation is all line plots; the bench suite prints its
+numbers as tables (exact) and, via this module, as quick ASCII charts
+(shape at a glance).  Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """One-line sparkline: ``[3, 5, 9] -> ▁▄█``."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return _BARS[0] * len(values)
+    span = high - low
+    return "".join(
+        _BARS[min(len(_BARS) - 1, int((value - low) / span * len(_BARS)))]
+        for value in values
+    )
+
+
+@dataclass
+class AsciiChart:
+    """A multi-series line chart drawn with text cells."""
+
+    title: str
+    height: int = 10
+    width: int = 60
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    _MARKS = "*o+x#@"
+
+    def add_series(self, name: str, points: list[tuple[float, float]]) -> None:
+        self.series[name] = sorted(points)
+
+    def render(self) -> str:
+        if not self.series or all(not pts for pts in self.series.values()):
+            return f"{self.title}\n(no data)"
+        xs = [x for pts in self.series.values() for x, _y in pts]
+        ys = [y for pts in self.series.values() for _x, y in pts]
+        x_low, x_high = min(xs), max(xs)
+        y_low, y_high = min(ys), max(ys)
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def place(x: float, y: float) -> tuple[int, int]:
+            col = 0 if x_high == x_low else int(
+                (x - x_low) / (x_high - x_low) * (self.width - 1)
+            )
+            row = 0 if y_high == y_low else int(
+                (y - y_low) / (y_high - y_low) * (self.height - 1)
+            )
+            return self.height - 1 - row, col
+
+        legend = []
+        for position, (name, points) in enumerate(self.series.items()):
+            mark = self._MARKS[position % len(self._MARKS)]
+            legend.append(f"{mark} {name}")
+            for x, y in points:
+                row, col = place(x, y)
+                grid[row][col] = mark
+
+        lines = [self.title]
+        top_label = _fmt(y_high)
+        bottom_label = _fmt(y_low)
+        label_width = max(len(top_label), len(bottom_label))
+        for row_number, row in enumerate(grid):
+            if row_number == 0:
+                label = top_label.rjust(label_width)
+            elif row_number == self.height - 1:
+                label = bottom_label.rjust(label_width)
+            else:
+                label = " " * label_width
+            lines.append(f"{label} |{''.join(row)}")
+        lines.append(
+            " " * label_width + " +" + "-" * self.width
+        )
+        lines.append(
+            " " * label_width
+            + f"  {_fmt(x_low)}{' ' * max(1, self.width - len(_fmt(x_low)) - len(_fmt(x_high)))}{_fmt(x_high)}"
+        )
+        lines.append("   " + "   ".join(legend))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) < 0.01 or abs(value) >= 1e5:
+        return f"{value:.2g}"
+    return f"{value:.3g}"

@@ -1,0 +1,76 @@
+"""Paper-style series tables for benchmark output."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+@dataclass
+class SeriesTable:
+    """A table with one row per x-value and one column per series."""
+
+    title: str
+    x_label: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, x, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append((x, *values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        headers = [self.x_label, *self.columns]
+        body = [
+            [_cell(value) for value in row]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(headers[i]), *(len(line[i]) for line in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * width for width in widths))
+        for line in body:
+            lines.append("  ".join(line[i].rjust(widths[i]) for i in range(len(line))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.01 or abs(value) >= 100000:
+            return f"{value:.3g}"
+        return f"{value:,.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def write_report(name: str, content: str, directory: str = "bench_results") -> str:
+    """Persist a rendered table for EXPERIMENTS.md."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(content + "\n")
+    return path

@@ -1,0 +1,272 @@
+"""The ``xmorph`` command-line tool.
+
+Mirrors the stand-alone tool of the paper's Section VIII: shred
+documents into a store, type-check and evaluate guards, run guarded
+queries, inspect shapes and reports.
+
+Examples::
+
+    xmorph shape books.xml
+    xmorph check books.xml "MORPH author [ name book [ title ] ]"
+    xmorph transform books.xml "MORPH author [ name ]" --indent 2
+    xmorph query books.xml --guard "MORPH author [ name ]" \
+        --query "for $a in /author return $a/name/text()"
+    xmorph shred --db bib.db dblp dblp.xml
+    xmorph db-transform --db bib.db dblp "MORPH author"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro
+from repro.errors import XMorphError
+from repro.storage import Database
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except XMorphError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xmorph",
+        description="XMorph 2.0: shape-polymorphic XML transformations with query guards",
+    )
+    commands = parser.add_subparsers(required=True, metavar="command")
+
+    shape = commands.add_parser("shape", help="print a document's adorned shape")
+    shape.add_argument("document", help="path to an XML file")
+    shape.add_argument("--stats", action="store_true", help="also print statistics")
+    shape.set_defaults(handler=_cmd_shape)
+
+    check = commands.add_parser("check", help="type-check a guard (loss report)")
+    check.add_argument("document")
+    check.add_argument("guard")
+    check.set_defaults(handler=_cmd_check)
+
+    transform = commands.add_parser("transform", help="transform a document with a guard")
+    transform.add_argument("document")
+    transform.add_argument("guard")
+    transform.add_argument("--indent", type=int, default=None, help="pretty-print width")
+    transform.add_argument("--reports", action="store_true", help="also print the reports")
+    transform.set_defaults(handler=_cmd_transform)
+
+    query = commands.add_parser("query", help="run a guarded XQuery-lite query")
+    query.add_argument("document")
+    query.add_argument("--guard", required=True)
+    query.add_argument("--query", required=True)
+    query.set_defaults(handler=_cmd_query)
+
+    shred = commands.add_parser("shred", help="shred a document into a database")
+    shred.add_argument("--db", required=True, help="database file")
+    shred.add_argument("name", help="document name inside the database")
+    shred.add_argument("document", help="path to an XML file")
+    shred.set_defaults(handler=_cmd_shred)
+
+    listing = commands.add_parser("ls", help="list documents in a database")
+    listing.add_argument("--db", required=True)
+    listing.set_defaults(handler=_cmd_ls)
+
+    db_transform = commands.add_parser(
+        "db-transform", help="transform a stored document with a guard"
+    )
+    db_transform.add_argument("--db", required=True)
+    db_transform.add_argument("name")
+    db_transform.add_argument("guard")
+    db_transform.add_argument("--indent", type=int, default=None)
+    db_transform.add_argument("--stats", action="store_true", help="print I/O statistics")
+    db_transform.add_argument(
+        "--output", "-o", default=None, help="stream the result into a file"
+    )
+    db_transform.set_defaults(handler=_cmd_db_transform)
+
+    dtd = commands.add_parser("dtd", help="print a document's shape as a DTD")
+    dtd.add_argument("document")
+    dtd.add_argument("--guard", default=None, help="describe the guard's output instead")
+    dtd.set_defaults(handler=_cmd_dtd)
+
+    infer = commands.add_parser("infer", help="infer a guard from an XQuery query")
+    infer.add_argument("query", help="the XQuery-lite query text")
+    infer.set_defaults(handler=_cmd_infer)
+
+    quantify = commands.add_parser(
+        "quantify", help="measure a transformation's actual information loss"
+    )
+    quantify.add_argument("document")
+    quantify.add_argument("guard")
+    quantify.set_defaults(handler=_cmd_quantify)
+
+    diff = commands.add_parser("diff", help="diff the shapes of two documents")
+    diff.add_argument("before")
+    diff.add_argument("after")
+    diff.set_defaults(handler=_cmd_diff)
+
+    view = commands.add_parser(
+        "view", help="render a guard as its equivalent XQuery view"
+    )
+    view.add_argument("document")
+    view.add_argument("guard")
+    view.set_defaults(handler=_cmd_view)
+
+    explain = commands.add_parser("explain", help="explain a guard in English")
+    explain.add_argument("guard")
+    explain.set_defaults(handler=_cmd_explain)
+
+    return parser
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_shape(arguments) -> int:
+    forest = repro.parse_forest(_read(arguments.document))
+    print(repro.extract_shape(forest).pretty())
+    if arguments.stats:
+        from repro.shape.statistics import collection_statistics
+
+        print()
+        print(collection_statistics(forest).pretty())
+    return 0
+
+
+def _cmd_check(arguments) -> int:
+    report = repro.check(_read(arguments.document), arguments.guard)
+    print(report.pretty())
+    return 0
+
+
+def _cmd_transform(arguments) -> int:
+    forest = repro.parse_forest(_read(arguments.document))
+    interpreter = repro.Interpreter(forest)
+    result = interpreter.transform(arguments.guard)
+    print(result.xml(indent=arguments.indent))
+    if arguments.reports:
+        from repro.engine.report import full_report
+
+        print("\n" + full_report(result, interpreter.index), file=sys.stderr)
+    return 0
+
+
+def _cmd_query(arguments) -> int:
+    guarded = repro.GuardedQuery(arguments.guard, arguments.query)
+    outcome = guarded.run(repro.parse_forest(_read(arguments.document)))
+    print(outcome.xml())
+    return 0
+
+
+def _cmd_shred(arguments) -> int:
+    with Database(arguments.db) as db:
+        descriptor = db.store_document(arguments.name, _read(arguments.document))
+    print(
+        f"shredded {descriptor['nodes']} nodes as {arguments.name!r} "
+        f"in {descriptor['shred_seconds']:.2f}s"
+    )
+    return 0
+
+
+def _cmd_ls(arguments) -> int:
+    with Database(arguments.db) as db:
+        for name in db.document_names():
+            info = db.describe(name)
+            print(f"{name}: {info['nodes']} nodes, {info['text_bytes']} text bytes")
+    return 0
+
+
+def _cmd_db_transform(arguments) -> int:
+    with Database(arguments.db) as db:
+        if arguments.output is not None:
+            with open(arguments.output, "w", encoding="utf-8") as sink:
+                stream_stats = db.stream_transform(arguments.name, arguments.guard, sink)
+            print(
+                f"streamed {stream_stats.nodes_written} nodes "
+                f"({stream_stats.characters} chars) to {arguments.output}"
+            )
+        else:
+            result = db.transform(arguments.name, arguments.guard)
+            print(result.xml(indent=arguments.indent))
+        if arguments.stats:
+            stats = db.stats
+            print(
+                f"blocks: {stats.cumulative_blocks}, simulated "
+                f"{stats.simulated_seconds:.3f}s, wait {stats.wait_percent:.0f}%",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _cmd_dtd(arguments) -> int:
+    from repro.shape.dtdgen import forest_to_dtd, shape_to_dtd
+
+    forest = repro.parse_forest(_read(arguments.document))
+    if arguments.guard is None:
+        print(forest_to_dtd(forest))
+    else:
+        result = repro.Interpreter(forest).compile(arguments.guard)
+        print(shape_to_dtd(result.target_shape))
+    return 0
+
+
+def _cmd_infer(arguments) -> int:
+    from repro.engine.inference import infer_guard
+
+    inferred = infer_guard(arguments.query)
+    if not inferred.guards:
+        print("(the query navigates no paths; nothing to infer)", file=sys.stderr)
+        return 1
+    for guard in inferred.guards:
+        print(guard)
+    return 0
+
+
+def _cmd_quantify(arguments) -> int:
+    from repro.typing.quantify import quantify_loss
+
+    forest = repro.parse_forest(_read(arguments.document))
+    result = repro.transform(forest, f"CAST ({arguments.guard})")
+    quantity = quantify_loss(forest, result)
+    print(quantity.summary())
+    print(
+        f"details: {quantity.preserved_edges}/{quantity.source_edges} closest "
+        f"edges preserved, {quantity.added_edges} added"
+    )
+    return 0
+
+
+def _cmd_diff(arguments) -> int:
+    from repro.shape.diff import diff_shapes
+
+    before = repro.extract_shape(repro.parse_forest(_read(arguments.before)))
+    after = repro.extract_shape(repro.parse_forest(_read(arguments.after)))
+    print(diff_shapes(before, after).pretty())
+    return 0
+
+
+def _cmd_view(arguments) -> int:
+    from repro.engine.view import shape_to_xquery
+
+    forest = repro.parse_forest(_read(arguments.document))
+    interpreter = repro.Interpreter(forest)
+    compiled = interpreter.compile(arguments.guard)
+    print(shape_to_xquery(compiled.target_shape, interpreter.index.is_attribute.get))
+    return 0
+
+
+def _cmd_explain(arguments) -> int:
+    from repro.engine.explain import explain_guard
+
+    print(explain_guard(arguments.guard))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Closeness: type distances, the closest relation and closest graphs.
+
+Definitions 1–2 of the paper: the *type distance* between two types is
+the minimum tree distance over all vertex pairs with those types; two
+vertices are *closest* when their distance equals the type distance of
+their types.  The closest graph has a closest edge for every such pair.
+
+:class:`DocumentIndex` computes exact type distances and closest pairs
+from Dewey numbers without materializing the O(n²) closest graph;
+:class:`ClosestGraph` materializes it brute-force for validation and for
+the end-to-end reversibility checks in tests.
+"""
+
+from repro.closeness.index import BaseIndex, DocumentIndex
+from repro.closeness.graph import ClosestGraph, closest_graph
+
+__all__ = ["BaseIndex", "DocumentIndex", "ClosestGraph", "closest_graph"]

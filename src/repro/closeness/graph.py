@@ -1,0 +1,118 @@
+"""Brute-force closest graphs (Definitions 1, 2 and 5).
+
+The closest graph of a collection has an (undirected) edge for every
+pair of vertices whose distance equals the type distance of their types.
+Materializing it costs O(n²), which is exactly why the engine never does
+so — but tests and the quantified-loss report do, to validate the
+information-loss theorems against ground truth: a transformation is
+*inclusive* iff the source graph is a subset of the result's graph,
+*non-additive* iff the converse, *reversible* iff both.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional
+
+from repro.xmltree.node import XmlForest, XmlNode
+
+NodeKey = Hashable
+
+
+class ClosestGraph:
+    """An explicit closest graph over hashable vertex keys."""
+
+    def __init__(self, vertices: set[NodeKey], edges: set[frozenset]):
+        self.vertices = vertices
+        self.edges = edges
+
+    def is_subset_of(self, other: "ClosestGraph") -> bool:
+        """Definition 5: ``H subseteq G`` iff vertices and edges are subsets."""
+        return self.vertices <= other.vertices and self.edges <= other.edges
+
+    def __le__(self, other: "ClosestGraph") -> bool:
+        return self.is_subset_of(other)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ClosestGraph)
+            and self.vertices == other.vertices
+            and self.edges == other.edges
+        )
+
+    def __hash__(self):  # pragma: no cover - graphs are not dict keys
+        return NotImplemented
+
+    # -- diagnostics -------------------------------------------------------
+
+    def lost_vertices(self, result: "ClosestGraph") -> set[NodeKey]:
+        """Vertices of self that are absent from ``result``."""
+        return self.vertices - result.vertices
+
+    def lost_edges(self, result: "ClosestGraph") -> set[frozenset]:
+        """Closest edges of self that ``result`` does not preserve."""
+        return self.edges - result.edges
+
+    def added_edges(self, result: "ClosestGraph") -> set[frozenset]:
+        """Closest edges of ``result`` that self never had."""
+        return result.edges - self.edges
+
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:
+        return f"<ClosestGraph |V|={len(self.vertices)} |E|={len(self.edges)}>"
+
+
+def closest_graph(
+    forest: XmlForest,
+    key: Optional[Callable[[XmlNode], NodeKey]] = None,
+) -> ClosestGraph:
+    """Materialize the closest graph of a forest, brute force.
+
+    ``key`` maps each vertex to the identity used in the graph; by
+    default the vertex's Dewey id.  Passing a provenance key (output
+    vertex -> source vertex) lets callers compare the closest graph of a
+    transformation's output against the source's graph, as Section V-A
+    prescribes.  When several output vertices map to one key (duplicated
+    data) their edges are merged.
+    """
+    if key is None:
+        key = lambda node: node.dewey  # noqa: E731 - tiny local default
+
+    nodes = list(forest.iter_nodes())
+    type_of = {id(node): node.type_path() for node in nodes}
+
+    # Pass 1: exact type distances (minimum pairwise distance per type pair).
+    type_distance: dict[frozenset, int] = {}
+    for i, first in enumerate(nodes):
+        first_type = type_of[id(first)]
+        for second in nodes[i + 1 :]:
+            distance = first.dewey.distance(second.dewey)
+            if distance is None:
+                continue
+            pair = frozenset((first_type, type_of[id(second)]))
+            if len(pair) == 1:
+                # Same-type pairs: typeDistance(t, t) = 0 (attained by
+                # v = w), so distinct same-type vertices are never closest.
+                continue
+            best = type_distance.get(pair)
+            if best is None or distance < best:
+                type_distance[pair] = distance
+
+    # Pass 2: closest edges = pairs at exactly the type distance.
+    edges: set[frozenset] = set()
+    for i, first in enumerate(nodes):
+        first_type = type_of[id(first)]
+        for second in nodes[i + 1 :]:
+            second_type = type_of[id(second)]
+            if first_type == second_type:
+                continue
+            distance = first.dewey.distance(second.dewey)
+            if distance is None:
+                continue
+            if distance == type_distance[frozenset((first_type, second_type))]:
+                first_key, second_key = key(first), key(second)
+                if first_key != second_key:
+                    edges.add(frozenset((first_key, second_key)))
+
+    return ClosestGraph({key(node) for node in nodes}, edges)

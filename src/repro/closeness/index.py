@@ -1,0 +1,229 @@
+"""The document index: type sequences, type distances, closest pairs.
+
+This is the in-memory form of what the shredder stores (Figure 8's
+``TypeToSequence`` table plus the adorned shape): for every data type, a
+document-ordered sequence of its nodes.  Everything the render algorithm
+needs — type distances and closest joins — is computed from the Dewey
+numbers in these sequences:
+
+* ``typeDistance(t, s)`` is ``level(t) + level(s) - 2 * L`` where ``L``
+  is the deepest level at which a ``t`` node and an ``s`` node share an
+  ancestor.  The deepest shared-ancestor level between two sorted node
+  lists is found with a single merge pass (the longest common prefix of
+  any cross pair is achieved by some pair adjacent in merged document
+  order).
+
+* the *closest pairs* of ``t`` and ``s`` are the cross pairs whose least
+  common ancestor sits exactly at the level implied by the type
+  distance, found by grouping both sequences on that Dewey prefix
+  (Section VII's closest join).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.shape.dataguide import DataGuideBuilder
+from repro.shape.shape import Shape
+from repro.shape.types import DataType, ShapeType, TypeTable
+from repro.xmltree.node import XmlForest, XmlNode
+
+
+class BaseIndex:
+    """Shared closest-join machinery over abstract type sequences.
+
+    Subclasses provide ``type_distance``, ``nodes_of``, ``type_of`` and
+    the shape/type-table attributes; this base derives the closest-pair
+    operations from them.  :class:`DocumentIndex` is the in-memory
+    implementation with *exact* data type distances; the storage-backed
+    :class:`~repro.storage.database.StoredDocumentIndex` reuses the same
+    joins with shape-derived distances.
+    """
+
+    shape: Shape
+    type_table: TypeTable
+
+    # Subclass responsibilities ------------------------------------------------
+
+    def type_distance(self, first: DataType, second: DataType) -> Optional[int]:
+        raise NotImplementedError
+
+    def nodes_of(self, data_type: DataType) -> list[XmlNode]:
+        raise NotImplementedError
+
+    def type_of(self, node: XmlNode) -> DataType:
+        raise NotImplementedError
+
+    def shape_vertex(self, data_type: DataType) -> Optional[ShapeType]:
+        raise NotImplementedError
+
+    # Derived operations ----------------------------------------------------------
+
+    def closest_lca_level(self, first: DataType, second: DataType) -> Optional[int]:
+        """The level at which closest pairs of the two types meet.
+
+        Derived from the join predicate
+        ``distance(n, LCA) + distance(u, LCA) = typeDistance(n, u)``:
+        since type levels are fixed, the LCA level is
+        ``(level(t) + level(s) - typeDistance(t, s)) / 2``.
+        """
+        distance = self.type_distance(first, second)
+        if distance is None:
+            return None
+        return (first.level + second.level - distance) // 2
+
+    def closest_pairs(
+        self, first: DataType, second: DataType
+    ) -> Iterator[tuple[XmlNode, XmlNode]]:
+        """All closest pairs ``(v: first, w: second)`` in document order.
+
+        Implemented as the paper's sort-merge closest join: both type
+        sequences are already in document order, so grouping each on the
+        Dewey prefix of the required LCA level and pairing within equal
+        groups costs a single merge pass plus the output size.
+        """
+        if first is second:
+            return
+        level = self.closest_lca_level(first, second)
+        if level is None:
+            return
+        yield from closest_join(
+            self.nodes_of(first), self.nodes_of(second), level
+        )
+
+    def closest_partners(self, anchor: XmlNode, target: DataType) -> list[XmlNode]:
+        """The ``target``-typed nodes closest to one ``anchor`` node."""
+        anchor_type = self.type_of(anchor)
+        level = self.closest_lca_level(anchor_type, target)
+        if level is None:
+            return []
+        prefix = anchor.dewey.prefix(level + 1)
+        if len(prefix) < level + 1:
+            return []
+        return [
+            node
+            for node in self.nodes_of(target)
+            if node.dewey.prefix(level + 1) == prefix and node is not anchor
+        ]
+
+
+class DocumentIndex(BaseIndex):
+    """In-memory index of one XML forest, with exact type distances."""
+
+    def __init__(self, forest: XmlForest):
+        self.forest = forest
+        builder = DataGuideBuilder().build(forest)
+        self.shape: Shape = builder.shape
+        self.type_table: TypeTable = builder.type_table
+        self.is_attribute: dict[DataType, bool] = builder.is_attribute
+        self.has_text: dict[DataType, bool] = builder.has_text
+        self._shape_of: dict[DataType, ShapeType] = builder.shape_of
+        self._type_of: dict[int, DataType] = builder.type_of
+        self._sequences: dict[DataType, list[XmlNode]] = {}
+        for node in forest.iter_nodes():
+            self._sequences.setdefault(self._type_of[id(node)], []).append(node)
+        self._distance_cache: dict[tuple[DataType, DataType], Optional[int]] = {}
+
+    # -- basic lookups ---------------------------------------------------
+
+    def types(self) -> list[DataType]:
+        return list(self.type_table)
+
+    def type_of(self, node: XmlNode) -> DataType:
+        """The paper's ``typeOf(v)`` for a node of the indexed forest."""
+        return self._type_of[id(node)]
+
+    def nodes_of(self, data_type: DataType) -> list[XmlNode]:
+        """Document-ordered sequence of the nodes of a type."""
+        return self._sequences.get(data_type, [])
+
+    def shape_vertex(self, data_type: DataType) -> Optional[ShapeType]:
+        """The vertex of ``data_type`` in the source shape."""
+        return self._shape_of.get(data_type)
+
+    def node_count(self) -> int:
+        return sum(len(nodes) for nodes in self._sequences.values())
+
+    # -- type distance (Definition 1's typeDistance) -----------------------
+
+    def type_distance(self, first: DataType, second: DataType) -> Optional[int]:
+        """Exact minimal distance between instances of two types.
+
+        ``None`` when no pair of instances shares a root (possible in a
+        multi-rooted forest).  ``type_distance(t, t)`` is 0.
+        """
+        if first is second:
+            return 0
+        key = (first, second) if first.type_id <= second.type_id else (second, first)
+        if key in self._distance_cache:
+            return self._distance_cache[key]
+        distance = self._compute_distance(key[0], key[1])
+        self._distance_cache[key] = distance
+        return distance
+
+    def _compute_distance(self, first: DataType, second: DataType) -> Optional[int]:
+        left = self._sequences.get(first, [])
+        right = self._sequences.get(second, [])
+        if not left or not right:
+            return None
+        deepest = _deepest_shared_level(left, right)
+        if deepest is None:
+            return None
+        return (first.level - deepest) + (second.level - deepest)
+
+
+def closest_join(
+    parents: list[XmlNode], children: list[XmlNode], lca_level: int
+) -> Iterator[tuple[XmlNode, XmlNode]]:
+    """Pair up nodes whose LCA sits exactly at ``lca_level``.
+
+    Both inputs must be in document order (sorted by Dewey id).  Output
+    pairs are grouped by parent, parents in document order, children of
+    each parent in document order.  Cost is linear in the inputs plus
+    the output size.
+    """
+    width = lca_level + 1
+    child_groups: dict[tuple[int, ...], list[XmlNode]] = {}
+    for child in children:
+        if len(child.dewey) < width:
+            continue
+        child_groups.setdefault(child.dewey.prefix(width), []).append(child)
+    for parent in parents:
+        if len(parent.dewey) < width:
+            continue
+        for child in child_groups.get(parent.dewey.prefix(width), ()):  # doc order
+            if child is not parent:
+                yield parent, child
+
+
+def _deepest_shared_level(left: list[XmlNode], right: list[XmlNode]) -> Optional[int]:
+    """Deepest ancestor level shared by any cross pair of the two lists.
+
+    Merge both document-ordered lists; the maximal common Dewey prefix of
+    any cross pair is attained by a pair that is adjacent in the merged
+    order, so one pass suffices.
+    """
+    best = -1
+    i = j = 0
+    previous: tuple[XmlNode, int] | None = None  # (node, source list id)
+    while i < len(left) or j < len(right):
+        if j >= len(right) or (i < len(left) and left[i].dewey <= right[j].dewey):
+            current, source = left[i], 0
+            i += 1
+        else:
+            current, source = right[j], 1
+            j += 1
+        if previous is not None and previous[1] != source:
+            shared = previous[0].dewey.common_prefix_length(current.dewey)
+            best = max(best, shared - 1)
+        # Keep the latest node of each source; comparing against the
+        # immediately preceding opposite-source node is sufficient, but
+        # when several same-source nodes intervene the best partner for
+        # the next opposite node is the nearest one, i.e. `current`.
+        previous = (current, source)
+    if best < 0:
+        # No adjacent cross pair shared a root. Fall back to comparing
+        # first elements (handles single-element corner cases).
+        shared = left[0].dewey.common_prefix_length(right[0].dewey)
+        best = shared - 1
+    return best if best >= 0 else None

@@ -1,0 +1,23 @@
+"""The XMorph engine: rendering, the interpreter pipeline, query guards.
+
+* :mod:`repro.engine.render` — the Render algorithm (Section VII):
+  recursive descent over the target shape, pairing parents with their
+  closest children via Dewey-number sort-merge joins.
+* :mod:`repro.engine.interpreter` — the full pipeline of Figure 8:
+  parse → algebra → type analysis → loss check → shape → render.
+* :mod:`repro.engine.guard` — query guards: couple a guard with an
+  XQuery-lite query, transforming the data before evaluation.
+"""
+
+from repro.engine.render import render, RenderResult
+from repro.engine.interpreter import Interpreter, TransformResult
+from repro.engine.guard import GuardedQuery, GuardOutcome
+
+__all__ = [
+    "render",
+    "RenderResult",
+    "Interpreter",
+    "TransformResult",
+    "GuardedQuery",
+    "GuardOutcome",
+]

@@ -1,0 +1,107 @@
+"""Explain a guard in plain English.
+
+Guards are terse; the explainer unfolds one into prose, construct by
+construct — what the shape will look like, what each operator
+contributes, and where the type system will pay attention.  Used by
+``xmorph explain`` and handy in error messages and teaching material.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast, parse_guard
+
+
+def explain_guard(guard: str | ast.Guard) -> str:
+    """A multi-line English description of a guard."""
+    node = parse_guard(guard) if isinstance(guard, str) else guard
+    lines: list[str] = []
+    _explain(node, lines)
+    return "\n".join(lines)
+
+
+def _explain(node: ast.Guard, lines: list[str], depth: int = 0) -> None:
+    pad = "  " * depth
+    if isinstance(node, ast.Compose):
+        lines.append(f"{pad}a pipeline of {len(node.parts)} stages:")
+        for position, part in enumerate(node.parts, start=1):
+            lines.append(f"{pad}stage {position}:")
+            _explain(part, lines, depth + 1)
+        return
+    if isinstance(node, ast.Cast):
+        permission = {
+            ast.CastMode.NARROWING: "allowing transformations that may LOSE data",
+            ast.CastMode.WIDENING: "allowing transformations that may MANUFACTURE data",
+            ast.CastMode.ANY: "allowing any information loss (weakly-typed)",
+        }[node.mode]
+        lines.append(f"{pad}{permission}:")
+        _explain(node.guard, lines, depth + 1)
+        return
+    if isinstance(node, ast.TypeFill):
+        lines.append(
+            f"{pad}synthesizing placeholder types for labels missing from the source:"
+        )
+        _explain(node.guard, lines, depth + 1)
+        return
+    if isinstance(node, ast.Morph):
+        lines.append(f"{pad}build a shape containing ONLY these types:")
+        _explain_pattern(node.pattern, lines, depth + 1)
+        return
+    if isinstance(node, ast.Mutate):
+        lines.append(f"{pad}rearrange the FULL source shape so that:")
+        _explain_pattern(node.pattern, lines, depth + 1)
+        lines.append(f"{pad}  (everything not mentioned stays where it was)")
+        return
+    if isinstance(node, ast.Translate):
+        for old, new in node.mapping:
+            lines.append(f"{pad}rename every '{old}' type to '{new}'")
+        return
+    lines.append(f"{pad}{node}")
+
+
+def _explain_pattern(pattern: ast.Pattern, lines: list[str], depth: int) -> None:
+    head, *rest = pattern.terms
+    _explain_term(head, lines, depth, role="root")
+    for term in rest:
+        _explain_term(term, lines, depth, role="child")
+
+
+def _explain_term(term: ast.Term, lines: list[str], depth: int, role: str) -> None:
+    pad = "  " * depth
+    head = term.head
+    if isinstance(head, ast.Label):
+        what = f"'{head.name}'"
+        if head.bang:
+            what += " (accepting any information loss it causes)"
+    elif isinstance(head, ast.New):
+        what = f"a brand-new element <{head.label}> wrapping each instance below"
+    elif isinstance(head, ast.Drop):
+        lines.append(f"{pad}- remove the type matched by:")
+        _explain_term(head.term, lines, depth + 1, role="target")
+        return
+    elif isinstance(head, ast.Clone):
+        lines.append(f"{pad}- a COPY (the original stays in place) of:")
+        _explain_term(head.term, lines, depth + 1, role="target")
+        return
+    elif isinstance(head, ast.Restrict):
+        lines.append(
+            f"{pad}- only instances that have the following closest partners "
+            "(the partners stay hidden):"
+        )
+        _explain_term(head.term, lines, depth + 1, role="target")
+        return
+    elif isinstance(head, ast.Group):
+        _explain_term(head.term, lines, depth, role)
+        return
+    else:  # pragma: no cover - exhaustive over Head
+        what = str(head)
+
+    if role == "root":
+        lines.append(f"{pad}- {what} at the top")
+    else:
+        lines.append(f"{pad}- {what}, placed under its closest parent above")
+    if term.star_children:
+        lines.append(f"{pad}  plus its children from the source (*)")
+    if term.star_descendants:
+        lines.append(f"{pad}  plus its whole source subtree (**)")
+    for child in term.children:
+        _explain_term(child, lines, depth + 1, role="child")

@@ -1,0 +1,171 @@
+"""Guard inference: derive a query guard from an XQuery query.
+
+The paper lists this as open ("whether a guard can be automatically
+generated from a query", Section X, citing [24]).  The idea: the path
+expressions a query uses *are* a declaration of the shape it expects —
+``for $a in /data/author return $a/book/title`` expects ``author``
+under ``data`` with ``book/title`` below.  We walk the query AST,
+thread variable bindings through FLWOR clauses, collect every
+navigation into a path trie, and print the trie as a ``MORPH`` guard.
+
+Inference is necessarily approximate: predicates contribute their paths
+(the query navigates them), wildcard steps become ``*`` (children
+included), and descendant steps start a fresh subtree (the query does
+not pin down what lies between).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xquery import ast
+from repro.xquery.parser import parse_query
+
+
+@dataclass
+class _Trie:
+    """One inferred shape vertex."""
+
+    children: dict[str, "_Trie"] = field(default_factory=dict)
+    star_children: bool = False
+
+    def child(self, name: str) -> "_Trie":
+        return self.children.setdefault(name, _Trie())
+
+    def is_empty(self) -> bool:
+        return not self.children and not self.star_children
+
+
+@dataclass
+class InferredGuard:
+    """The result of guard inference."""
+
+    #: One guard per independent path root found in the query.
+    guards: list[str]
+
+    @property
+    def guard(self) -> str:
+        """The primary (first-rooted) guard, or an empty string."""
+        return self.guards[0] if self.guards else ""
+
+    def __str__(self) -> str:
+        return " | ".join(self.guards)
+
+
+def infer_guard(query: str | ast.Expr) -> InferredGuard:
+    """Infer ``MORPH`` guard(s) from a query's path expressions."""
+    expr = parse_query(query) if isinstance(query, str) else query
+    root = _Trie()
+    _collect(expr, {}, root, root)
+    guards = [
+        f"MORPH {_print_trie(name, node)}"
+        for name, node in root.children.items()
+    ]
+    return InferredGuard(guards)
+
+
+# ---------------------------------------------------------------------------
+# Collection
+# ---------------------------------------------------------------------------
+
+
+def _collect(expr, env: dict[str, _Trie], context: _Trie, root: _Trie) -> _Trie | None:
+    """Walk an expression, recording navigations; returns the trie node
+    the expression's value 'sits at', when that is a single node."""
+    if isinstance(expr, ast.Path):
+        if expr.start is None:
+            current: _Trie | None = root
+        else:
+            current = _collect(expr.start, env, context, root)
+        for step in expr.steps:
+            if current is None:
+                return None
+            current = _apply_step(step, current, env, root)
+            for predicate in step.predicates if current is not None else ():
+                _collect(predicate, env, current, root)
+        return current
+    if isinstance(expr, ast.Flwor):
+        scope = dict(env)
+        for clause in expr.clauses:
+            if isinstance(clause, ast.ForClause):
+                bound = _collect(clause.source, scope, context, root)
+            else:
+                bound = _collect(clause.value, scope, context, root)
+            if bound is not None:
+                scope[clause.variable] = bound
+        if expr.where is not None:
+            _collect(expr.where, scope, context, root)
+        return _collect(expr.body, scope, context, root)
+    if isinstance(expr, ast.VarRef):
+        return env.get(expr.name)
+    if isinstance(expr, ast.ContextItem):
+        return context
+    if isinstance(expr, ast.Sequence):
+        for item in expr.items:
+            _collect(item, env, context, root)
+        return None
+    if isinstance(expr, ast.Binary):
+        _collect(expr.left, env, context, root)
+        _collect(expr.right, env, context, root)
+        return None
+    if isinstance(expr, ast.IfExpr):
+        _collect(expr.condition, env, context, root)
+        _collect(expr.then, env, context, root)
+        _collect(expr.otherwise, env, context, root)
+        return None
+    if isinstance(expr, ast.FunctionCall):
+        result = None
+        for argument in expr.args:
+            result = _collect(argument, env, context, root)
+        # doc(...) positions the caller at the document root.
+        if expr.name == "doc":
+            return root
+        return result
+    if isinstance(expr, ast.Constructor):
+        for attr in expr.attributes:
+            for part in attr.parts:
+                if not isinstance(part, str):
+                    _collect(part, env, context, root)
+        for part in expr.content:
+            if not isinstance(part, str):
+                _collect(part, env, context, root)
+        return None
+    return None
+
+
+def _apply_step(step: ast.Step, current: _Trie, env, root: _Trie) -> _Trie | None:
+    if step.axis == "self":
+        return current
+    if step.test == "text()":
+        return current
+    if step.axis == "attribute":
+        return current.child(step.test) if step.test != "*" else current
+    if step.axis == "child":
+        if step.test == "*":
+            current.star_children = True
+            return None  # we cannot navigate further below a wildcard
+        return current.child(step.test)
+    if step.axis == "descendant-or-self":
+        if step.test == "*":
+            current.star_children = True
+            return None
+        # `//x`: the query says nothing about what lies between, so the
+        # inferred shape starts a fresh subtree at x (closeness will
+        # place it when the guard runs).
+        return current.child(step.test)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Printing
+# ---------------------------------------------------------------------------
+
+
+def _print_trie(name: str, node: _Trie) -> str:
+    inner: list[str] = []
+    if node.star_children:
+        inner.append("*")
+    inner.extend(_print_trie(child, sub) for child, sub in node.children.items())
+    if not inner:
+        return name
+    return f"{name} [ {' '.join(inner)} ]"

@@ -1,0 +1,115 @@
+"""The XMorph interpreter: the full pipeline of Figure 8.
+
+``parse → algebra → type analysis → information-loss check → shape
+generation → render``.  Everything before rendering is "compilation" —
+the paper measures it separately (Figure 10's compile series) and finds
+it a vanishing fraction of the total cost, because it only touches the
+adorned shape, never the data.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algebra.build import Enforcement, build_operator
+from repro.algebra.context import DocumentShapeContext
+from repro.algebra.operators import Operator
+from repro.algebra.semantics import EvaluationResult, Evaluator
+from repro.closeness.index import BaseIndex, DocumentIndex
+from repro.engine.render import RenderResult, render
+from repro.lang.parser import parse_guard
+from repro.shape.shape import Shape
+from repro.typing.enforce import enforce
+from repro.typing.loss import LossReport, analyze_loss
+from repro.xmltree.node import XmlForest
+from repro.xmltree.serializer import serialize
+
+
+@dataclass
+class TransformResult:
+    """Everything produced by one guard evaluation."""
+
+    guard: str
+    target_shape: Shape
+    loss: LossReport
+    evaluation: EvaluationResult
+    rendered: Optional[RenderResult] = None
+    compile_seconds: float = 0.0
+    render_seconds: float = 0.0
+
+    @property
+    def forest(self) -> XmlForest:
+        if self.rendered is None:
+            raise ValueError("guard was checked, not rendered")
+        return self.rendered.forest
+
+    def xml(self, indent: int | None = None) -> str:
+        return serialize(self.forest, indent=indent)
+
+    def label_report(self) -> str:
+        """The paper's label-to-type report."""
+        return self.evaluation.label_report()
+
+    def loss_report(self) -> str:
+        """The paper's information-loss report."""
+        return self.loss.pretty()
+
+
+class Interpreter:
+    """Evaluates XMorph guards against one XML document/forest.
+
+    Parameters
+    ----------
+    source:
+        A parsed :class:`~repro.xmltree.XmlForest` or a prebuilt
+        :class:`~repro.closeness.DocumentIndex`.
+    """
+
+    def __init__(self, source: XmlForest | BaseIndex):
+        self.index = source if isinstance(source, BaseIndex) else DocumentIndex(source)
+
+    # -- the pipeline ------------------------------------------------------
+
+    def compile(self, guard: str) -> TransformResult:
+        """Run every stage *except* rendering (the paper's 'compile')."""
+        started = time.perf_counter()
+        operator, enforcement = self._parse(guard)
+        evaluation, loss = self._analyze(operator, enforcement)
+        enforce(loss, enforcement)
+        elapsed = time.perf_counter() - started
+        return TransformResult(
+            guard=guard,
+            target_shape=evaluation.shape,
+            loss=loss,
+            evaluation=evaluation,
+            compile_seconds=elapsed,
+        )
+
+    def check(self, guard: str) -> LossReport:
+        """Type-check a guard: loss report only, no enforcement, no render."""
+        operator, enforcement = self._parse(guard)
+        _evaluation, loss = self._analyze(operator, enforcement)
+        return loss
+
+    def transform(self, guard: str) -> TransformResult:
+        """Compile, enforce, and render a guard (Ψ⟦P⟧ = render(G, ξ⟦P⟧(S)))."""
+        result = self.compile(guard)
+        started = time.perf_counter()
+        result.rendered = render(result.target_shape, self.index)
+        result.render_seconds = time.perf_counter() - started
+        return result
+
+    # -- stages ---------------------------------------------------------------
+
+    def _parse(self, guard: str) -> tuple[Operator, Enforcement]:
+        return build_operator(parse_guard(guard))
+
+    def _analyze(
+        self, operator: Operator, enforcement: Enforcement
+    ) -> tuple[EvaluationResult, LossReport]:
+        context = DocumentShapeContext(self.index)
+        evaluation = Evaluator(type_fill=enforcement.type_fill).run(operator, context)
+        loss = analyze_loss(self.index.shape, evaluation.shape, self.index.shape_vertex)
+        return evaluation, loss

@@ -1,0 +1,99 @@
+"""Materialized transformations with update propagation.
+
+Section VIII's first architecture physically transforms the data, which
+is expensive to repeat.  The paper's proposed mitigation: "materializing
+the transformation and mapping XUpdate operations to updates of the
+transformation".  This module implements that mapping for value
+updates: the render's provenance (output node → source node) is
+inverted, so changing a source node's text updates every output copy in
+place — no re-render.  Structural updates (inserting/removing nodes)
+change closest relationships and the shape itself, so they trigger a
+:meth:`MaterializedTransform.refresh`, which re-runs the pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.engine.interpreter import Interpreter, TransformResult
+from repro.xmltree.node import XmlForest, XmlNode
+
+
+class MaterializedTransform:
+    """A kept-up-to-date transformation of one source forest."""
+
+    def __init__(self, source: XmlForest, guard: str):
+        self.source = source
+        self.guard = guard
+        self.result: TransformResult = Interpreter(source).transform(guard)
+        self._stale = False
+        self._invert()
+
+    def _invert(self) -> None:
+        self._copies: dict[int, list[XmlNode]] = {}
+        rendered = self.result.rendered
+        assert rendered is not None
+        for output in self.result.forest.iter_nodes():
+            origin = rendered.source_of(output)
+            if origin is not None:
+                self._copies.setdefault(id(origin), []).append(output)
+
+    # -- reads -------------------------------------------------------------
+
+    @property
+    def forest(self) -> XmlForest:
+        if self._stale:
+            self.refresh()
+        return self.result.forest
+
+    def xml(self, indent: int | None = None) -> str:
+        if self._stale:
+            self.refresh()
+        return self.result.xml(indent=indent)
+
+    def copies_of(self, source_node: XmlNode) -> list[XmlNode]:
+        """Every output node rendered from ``source_node``."""
+        return list(self._copies.get(id(source_node), []))
+
+    @property
+    def stale(self) -> bool:
+        return self._stale
+
+    # -- value updates (propagated in place) ----------------------------------
+
+    def update_text(self, source_node: XmlNode, new_text: str) -> list[XmlNode]:
+        """Change a source node's value; returns the updated output copies.
+
+        This is the XUpdate ``update`` operation on text content: it
+        cannot change any closest relationship, so propagating to the
+        materialized copies is exact.
+        """
+        source_node.text = new_text
+        copies = self.copies_of(source_node)
+        for copy in copies:
+            copy.text = new_text
+        return copies
+
+    # -- structural updates (invalidate, then re-render) ------------------------
+
+    def insert_child(self, parent: XmlNode, child: XmlNode) -> None:
+        """XUpdate ``append``: structural, so the materialization goes stale."""
+        parent.append(child)
+        self.source.renumber()
+        self._stale = True
+
+    def remove_node(self, node: XmlNode) -> None:
+        """XUpdate ``remove``: structural, so the materialization goes stale."""
+        parent = node.parent
+        if parent is None:
+            self.source.roots.remove(node)
+        else:
+            parent.children.remove(node)
+            node.parent = None
+        self.source.renumber()
+        self._stale = True
+
+    def refresh(self) -> TransformResult:
+        """Re-run the pipeline against the (possibly edited) source."""
+        self.result = Interpreter(self.source).transform(self.guard)
+        self._invert()
+        self._stale = False
+        return self.result

@@ -1,0 +1,266 @@
+"""The Render algorithm (Section VII, Figure 7).
+
+Rendering recursively descends the target shape; for each shape edge
+``(t, u)`` it pairs the already-rendered parent instances with their
+*closest* source nodes of ``u``'s source type, and appends a copy of
+each matched node under each matched parent.  The pairing is the CLOSE
+join of the paper: both type sequences are in document order, the
+closest pairs must meet at a least common ancestor whose level is fixed
+by the type distance, so a single merge pass (grouping on the Dewey
+prefix at that level) finds all pairs — the "read" cost is linear.
+
+The "write" cost can be quadratic, exactly as the paper says: a source
+node closest to several parents is *copied* under each of them.
+
+Special shape types:
+
+* A **NEW** type has no source nodes.  An instance is created per
+  closest instance of its first source-backed child (wrapping
+  semantics); a childless NEW type renders a single empty element.
+* A **RESTRICT**-ed type's instances are filtered by a closest
+  semi-join against the hidden filter shape.
+* A **synthesized** (TYPE-FILLed) type renders one empty placeholder
+  element per parent instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.closeness.index import DocumentIndex, closest_join
+from repro.shape.shape import Shape
+from repro.shape.types import ShapeType
+from repro.xmltree.node import NodeKind, XmlForest, XmlNode
+
+
+@dataclass
+class RenderResult:
+    """The output forest plus bookkeeping the tests and benches use."""
+
+    forest: XmlForest
+    #: id(output node) -> source node (absent for NEW/synthesized nodes).
+    provenance: dict[int, XmlNode] = field(default_factory=dict)
+    nodes_written: int = 0
+    nodes_read: int = 0
+    joins: int = 0
+
+    def source_of(self, node: XmlNode) -> Optional[XmlNode]:
+        return self.provenance.get(id(node))
+
+
+@dataclass
+class _Instance:
+    """A rendered output node plus the source node anchoring its joins."""
+
+    out: XmlNode
+    anchor: Optional[XmlNode]
+
+
+def render(shape: Shape, index: DocumentIndex) -> RenderResult:
+    """Render the data of ``index`` in the target ``shape`` as a forest."""
+    return _Renderer(shape, index).run()
+
+
+class _Renderer:
+    def __init__(self, shape: Shape, index: DocumentIndex):
+        self.shape = shape
+        self.index = index
+        self.result = RenderResult(XmlForest())
+
+    def run(self) -> RenderResult:
+        for root in self.shape.roots():
+            instances = self._root_instances(root)
+            for instance in instances:
+                self.result.forest.append(instance.out)
+            if instances:
+                self._attach_children(root, instances)
+        self.result.forest.renumber()
+        return self.result
+
+    # -- instance construction ------------------------------------------------
+
+    def _make(self, shape_type: ShapeType, source: XmlNode) -> _Instance:
+        out = XmlNode(shape_type.out_name, source.kind, source.text)
+        self.result.provenance[id(out)] = source
+        self.result.nodes_written += 1
+        return _Instance(out, source)
+
+    def _make_new(self, shape_type: ShapeType, anchor: Optional[XmlNode]) -> _Instance:
+        out = XmlNode(shape_type.out_name, NodeKind.ELEMENT)
+        self.result.nodes_written += 1
+        return _Instance(out, anchor)
+
+    def _source_nodes(self, shape_type: ShapeType) -> list[XmlNode]:
+        nodes = self.index.nodes_of(shape_type.source)
+        self.result.nodes_read += len(nodes)
+        if shape_type.restrict_filter is not None:
+            nodes = self._apply_filter(nodes, shape_type.restrict_filter)
+        return nodes
+
+    def _root_instances(self, root: ShapeType) -> list[_Instance]:
+        if root.source is not None:
+            return [self._make(root, node) for node in self._source_nodes(root)]
+        leading = self._leading_backed_child(root)
+        if leading is None:
+            return [self._make_new(root, None)]
+        anchors = self._source_nodes(leading)
+        return [self._make_new(root, anchor) for anchor in anchors]
+
+    def _leading_backed_child(self, shape_type: ShapeType) -> Optional[ShapeType]:
+        """First source-backed type under a NEW type (depth-first)."""
+        for child in self.shape.children(shape_type):
+            if child.source is not None:
+                return child
+            deeper = self._leading_backed_child(child)
+            if deeper is not None:
+                return deeper
+        return None
+
+    # -- recursive descent over shape edges -----------------------------------
+
+    def _attach_children(self, shape_type: ShapeType, instances: list[_Instance]) -> None:
+        for child_type in self.shape.children(shape_type):
+            if child_type.source is not None:
+                if child_type.synthesized and not self.index.nodes_of(child_type.source):
+                    self._attach_placeholder(child_type, instances)
+                else:
+                    self._attach_backed(child_type, instances)
+            elif child_type.synthesized:
+                self._attach_placeholder(child_type, instances)
+            else:
+                self._attach_new(child_type, instances)
+
+    def _attach_backed(self, child_type: ShapeType, parents: list[_Instance]) -> None:
+        """The closest join: pair parent anchors with child source nodes.
+
+        All matched child instances across every parent are collected
+        and the descent recurses *once* per shape edge — the joins are
+        per-edge, not per-parent-instance, keeping the read side linear
+        (the pipelined sort-merge behaviour of Section VII).
+        """
+        candidates = self._source_nodes(child_type)
+        pair_map = self._join(parents, child_type, candidates)
+        produced: list[_Instance] = []
+        for parent in parents:
+            if parent.anchor is not None:
+                matched = pair_map.get(id(parent.anchor), ())
+            else:
+                matched = candidates
+            for node in matched:
+                instance = self._make(child_type, node)
+                parent.out.append(instance.out)
+                produced.append(instance)
+        if produced:
+            self._attach_children(child_type, produced)
+
+    def _join(
+        self,
+        parents: list[_Instance],
+        child_type: ShapeType,
+        candidates: list[XmlNode],
+    ) -> dict[int, list[XmlNode]]:
+        """Group closest pairs by parent anchor (sort-merge, Section VII)."""
+        anchors = sorted(
+            {id(p.anchor): p.anchor for p in parents if p.anchor is not None}.values(),
+            key=lambda node: node.dewey,
+        )
+        if not anchors or not candidates:
+            return {}
+        self.result.joins += 1
+        # If every anchor has the same type (the normal case) one join
+        # level serves all; otherwise group anchors per type.
+        pair_map: dict[int, list[XmlNode]] = {}
+        by_type: dict[int, list[XmlNode]] = {}
+        for anchor in anchors:
+            by_type.setdefault(self.index.type_of(anchor).type_id, []).append(anchor)
+        for type_id, typed_anchors in by_type.items():
+            anchor_type = self.index.type_table.by_id(type_id)
+            if anchor_type is child_type.source:
+                # Wrapping a node of the same type: the anchor is its own
+                # closest partner.
+                for anchor in typed_anchors:
+                    pair_map.setdefault(id(anchor), []).append(anchor)
+                continue
+            level = self.index.closest_lca_level(anchor_type, child_type.source)
+            if level is None:
+                continue
+            for anchor, node in closest_join(typed_anchors, candidates, level):
+                pair_map.setdefault(id(anchor), []).append(node)
+        return pair_map
+
+    def _attach_new(self, child_type: ShapeType, parents: list[_Instance]) -> None:
+        """NEW mid-shape: one wrapper per closest leading-child instance."""
+        leading = self._leading_backed_child(child_type)
+        if leading is None:
+            wrappers = []
+            for parent in parents:
+                instance = self._make_new(child_type, parent.anchor)
+                parent.out.append(instance.out)
+                wrappers.append(instance)
+            if wrappers:
+                self._attach_children(child_type, wrappers)
+            return
+        candidates = self._source_nodes(leading)
+        pair_map = self._join(parents, leading, candidates)
+        wrappers: list[_Instance] = []
+        for parent in parents:
+            if parent.anchor is not None:
+                anchors = pair_map.get(id(parent.anchor), ())
+            else:
+                anchors = candidates
+            for anchor in anchors:
+                instance = self._make_new(child_type, anchor)
+                parent.out.append(instance.out)
+                wrappers.append(instance)
+        if wrappers:
+            self._attach_new_children(child_type, leading, wrappers)
+
+    def _attach_new_children(
+        self, new_type: ShapeType, leading: ShapeType, wrappers: list[_Instance]
+    ) -> None:
+        """Attach a NEW type's children; its leading child maps 1:1."""
+        for child_type in self.shape.children(new_type):
+            if child_type is leading:
+                produced = []
+                for wrapper in wrappers:
+                    instance = self._make(child_type, wrapper.anchor)
+                    wrapper.out.append(instance.out)
+                    produced.append(instance)
+                if produced:
+                    self._attach_children(child_type, produced)
+            elif child_type.source is not None:
+                self._attach_backed(child_type, wrappers)
+            else:
+                self._attach_new(child_type, wrappers)
+
+    def _attach_placeholder(self, child_type: ShapeType, parents: list[_Instance]) -> None:
+        """TYPE-FILLed types render one empty element per parent."""
+        produced = []
+        for parent in parents:
+            instance = _Instance(XmlNode(child_type.out_name, NodeKind.ELEMENT), parent.anchor)
+            self.result.nodes_written += 1
+            parent.out.append(instance.out)
+            produced.append(instance)
+        if produced:
+            self._attach_children(child_type, produced)
+
+    # -- RESTRICT semi-join ------------------------------------------------------
+
+    def _apply_filter(self, nodes: list[XmlNode], filter_shape: Shape) -> list[XmlNode]:
+        """Keep nodes that have a closest partner for every filter child."""
+        root = filter_shape.roots()[0]
+        return [node for node in nodes if self._passes(node, filter_shape, root)]
+
+    def _passes(self, node: XmlNode, filter_shape: Shape, vertex: ShapeType) -> bool:
+        for child in filter_shape.children(vertex):
+            if child.source is None:
+                continue
+            partners = [
+                partner
+                for partner in self.index.closest_partners(node, child.source)
+                if self._passes(partner, filter_shape, child)
+            ]
+            if not partners:
+                return False
+        return True

@@ -1,0 +1,213 @@
+"""Streaming render: produce output XML without building the output tree.
+
+Section VII observes that the closest joins can be pipelined: "a
+transformation can immediately produce output, and stream the output
+node by node (in document order)", and Section VIII proposes streaming
+the transformed data into a streaming XQuery engine as the mitigation
+for the physical-transformation architecture.
+
+This renderer does exactly that: every shape edge's closest join is
+computed once over the full type sequences (linear, as in the batch
+renderer), producing per-anchor partner maps; the output is then walked
+root instance by root instance and *serialized directly* into a text
+sink — no output forest is ever materialized, so memory stays bounded
+by the input sequences plus the join maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from io import StringIO
+from typing import Optional, TextIO
+
+from repro.closeness.index import BaseIndex, closest_join
+from repro.shape.shape import Shape
+from repro.shape.types import ShapeType
+from repro.xmltree.node import XmlNode
+from repro.xmltree.serializer import escape_attr, escape_text
+
+
+@dataclass
+class StreamStats:
+    """What a streaming render produced."""
+
+    nodes_written: int = 0
+    characters: int = 0
+    joins: int = 0
+
+
+def render_stream(
+    shape: Shape, index: BaseIndex, out: TextIO, indent: int | None = None
+) -> StreamStats:
+    """Render ``shape`` over ``index`` straight into ``out``."""
+    return _StreamRenderer(shape, index, out, indent).run()
+
+
+def render_to_string(shape: Shape, index: BaseIndex, indent: int | None = None) -> str:
+    sink = StringIO()
+    render_stream(shape, index, sink, indent)
+    return sink.getvalue()
+
+
+class _StreamRenderer:
+    def __init__(self, shape: Shape, index: BaseIndex, out: TextIO, indent: int | None):
+        self.shape = shape
+        self.index = index
+        self.out = out
+        self.indent = indent
+        self.stats = StreamStats()
+        #: child ShapeType uid -> {id(anchor node): [partner nodes]}
+        self._partners: dict[int, dict[int, list[XmlNode]]] = {}
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self) -> StreamStats:
+        for root in self.shape.roots():
+            self._prepare_edges(root)
+        first = True
+        for root in self.shape.roots():
+            for anchor in self._root_anchors(root):
+                if not first and self.indent is None:
+                    self._write("\n")
+                first = False
+                self._emit(root, anchor, 0)
+                if self.indent is not None:
+                    self._write("\n")
+        return self.stats
+
+    # -- join precomputation (one linear join per shape edge) -----------------
+
+    def _anchor_type(self, shape_type: ShapeType) -> Optional[ShapeType]:
+        """The source-backed type anchoring instances of ``shape_type``."""
+        if shape_type.source is not None:
+            return shape_type
+        for child in self.shape.children(shape_type):
+            found = self._anchor_type(child)
+            if found is not None:
+                return found
+        return None
+
+    def _prepare_edges(self, parent: ShapeType) -> None:
+        parent_anchor = self._anchor_type(parent)
+        for child in self.shape.children(parent):
+            child_anchor = self._anchor_type(child)
+            if parent_anchor is not None and child_anchor is not None:
+                self._join_edge(parent_anchor, child, child_anchor)
+            self._prepare_edges(child)
+
+    def _join_edge(
+        self, parent_anchor: ShapeType, child: ShapeType, child_anchor: ShapeType
+    ) -> None:
+        parents = self._filtered_nodes(parent_anchor)
+        candidates = self._filtered_nodes(child_anchor)
+        mapping: dict[int, list[XmlNode]] = {}
+        if parent_anchor.source is child_anchor.source:
+            # Wrapping/self case: each anchor partners itself.
+            for node in parents:
+                mapping[id(node)] = [node]
+        else:
+            level = self.index.closest_lca_level(
+                parent_anchor.source, child_anchor.source
+            )
+            if level is not None:
+                self.stats.joins += 1
+                for anchor, partner in closest_join(parents, candidates, level):
+                    mapping.setdefault(id(anchor), []).append(partner)
+        self._partners[child.uid] = mapping
+
+    def _filtered_nodes(self, shape_type: ShapeType) -> list[XmlNode]:
+        nodes = self.index.nodes_of(shape_type.source)
+        restriction = shape_type.restrict_filter
+        if restriction is None:
+            return nodes
+        root = restriction.roots()[0]
+        return [node for node in nodes if self._passes(node, restriction, root)]
+
+    def _passes(self, node: XmlNode, restriction: Shape, vertex: ShapeType) -> bool:
+        for child in restriction.children(vertex):
+            if child.source is None:
+                continue
+            partners = [
+                partner
+                for partner in self.index.closest_partners(node, child.source)
+                if self._passes(partner, restriction, child)
+            ]
+            if not partners:
+                return False
+        return True
+
+    def _root_anchors(self, root: ShapeType) -> list[XmlNode]:
+        anchor_type = self._anchor_type(root)
+        if anchor_type is None:
+            return [None]  # a lone NEW/synthesized root renders once
+        if anchor_type is root:
+            return self._filtered_nodes(root)
+        return self._filtered_nodes(anchor_type)
+
+    # -- emission ----------------------------------------------------------------
+
+    def _emit(self, shape_type: ShapeType, anchor: Optional[XmlNode], depth: int) -> None:
+        """Serialize one instance of ``shape_type`` anchored at ``anchor``."""
+        self.stats.nodes_written += 1
+        pad = "" if self.indent is None else " " * (self.indent * depth)
+        name = shape_type.out_name
+        self._write(f"{pad}<{name}")
+
+        attribute_children: list[tuple[ShapeType, list[XmlNode]]] = []
+        element_children: list[tuple[ShapeType, list[Optional[XmlNode]]]] = []
+        for child in self.shape.children(shape_type):
+            partners = self._child_partners(child, anchor)
+            if child.source is not None and partners and partners[0] is not None and partners[0].is_attribute:
+                attribute_children.append((child, partners))
+            else:
+                element_children.append((child, partners))
+
+        for child, partners in attribute_children:
+            for partner in partners:
+                self.stats.nodes_written += 1
+                self._write(f' {child.out_name}="{escape_attr(partner.text)}"')
+
+        own_text = ""
+        if anchor is not None and shape_type.source is not None:
+            own_text = anchor.text if self.indent is None else anchor.text.strip()
+
+        has_elements = any(partners for _, partners in element_children)
+        if not own_text and not has_elements:
+            self._write("/>")
+            return
+        self._write(">")
+        if own_text:
+            self._write(escape_text(own_text))
+        if has_elements:
+            for child, partners in element_children:
+                for partner in partners:
+                    if self.indent is not None:
+                        self._write("\n")
+                    self._emit(child, partner, depth + 1)
+            if self.indent is not None:
+                self._write("\n" + pad)
+        self._write(f"</{name}>")
+
+    def _child_partners(
+        self, child: ShapeType, anchor: Optional[XmlNode]
+    ) -> list[Optional[XmlNode]]:
+        if child.source is None and not child.synthesized:
+            # NEW type: one wrapper per partner of its leading child, or
+            # a single wrapper when it has no backed descendant.
+            leading = self._anchor_type(child)
+            if leading is None:
+                return [None]
+            mapping = self._partners.get(child.uid, {})
+            if anchor is None:
+                return list(self.index.nodes_of(leading.source))
+            return list(mapping.get(id(anchor), ()))
+        if child.synthesized and child.source is None:
+            return [None]
+        mapping = self._partners.get(child.uid, {})
+        if anchor is None:
+            return self._filtered_nodes(child)
+        return list(mapping.get(id(anchor), ()))
+
+    def _write(self, text: str) -> None:
+        self.out.write(text)
+        self.stats.characters += len(text)

@@ -1,0 +1,139 @@
+"""Architecture option 2: render the query guard as an XQuery view.
+
+Section VIII's second architecture: instead of physically transforming
+the data, "render the query guard as an XQuery view and use XQuery
+view rewriting to answer the query".  The paper warns this "often
+creates a long, complex XQuery program" — one variable binding per
+type — and that is exactly what this generator produces: a nested
+FLWOR with one ``for`` per shape type, where each nesting step is the
+*closest join expressed as a relative path*.
+
+The translation of a closest join to XPath: for a target edge
+``(t, u)``, the closest ``u`` partners of a ``t`` node are reached by
+walking up to the common-prefix ancestor (``..`` per level) and then
+down ``u``'s remaining path segments.  Because root-path types fix
+every node's depth, this relative path selects exactly the nodes whose
+least common ancestor sits at the common-prefix level — the closest
+join predicate of Section VII.
+
+Limits (the reasons the paper prefers architecture 1): ``NEW``,
+``CLONE`` and ``RESTRICT`` types have no direct XQuery expression in
+this scheme and raise :class:`ViewGenerationError`; and the join uses
+the path-derived type distance (exact whenever the two types co-occur
+under their common-prefix type, as DataGuide-shaped data does).
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMorphError
+from repro.shape.shape import Shape
+from repro.shape.types import DataType, ShapeType
+from typing import Callable, Optional
+
+
+class ViewGenerationError(XMorphError):
+    """The shape uses a construct the XQuery view cannot express."""
+
+
+def shape_to_xquery(
+    shape: Shape,
+    is_attribute: Optional[Callable[[DataType], bool]] = None,
+) -> str:
+    """Generate the XQuery view equivalent to rendering ``shape``.
+
+    ``is_attribute`` classifies source types whose instances are
+    attributes (their steps use ``@name`` and they land in the output
+    start tag); pass ``DocumentIndex.is_attribute.get`` for exactness.
+    """
+    generator = _ViewGenerator(is_attribute or (lambda _t: False))
+    pieces = [generator.root_expression(shape, root) for root in shape.roots()]
+    if not pieces:
+        return "()"
+    if len(pieces) == 1:
+        return pieces[0]
+    return "(" + ", ".join(pieces) + ")"
+
+
+class _ViewGenerator:
+    def __init__(self, is_attribute: Callable[[DataType], bool]):
+        self.is_attribute = is_attribute
+        self.counter = 0
+
+    def fresh(self) -> str:
+        self.counter += 1
+        return f"v{self.counter}"
+
+    def root_expression(self, shape: Shape, root: ShapeType) -> str:
+        source = self._source_of(root)
+        absolute = "/" + "/".join(source.path)
+        variable = self.fresh()
+        body = self.construct(shape, root, variable)
+        return f"for ${variable} in {absolute} return {body}"
+
+    def construct(self, shape: Shape, vertex: ShapeType, variable: str) -> str:
+        """The element constructor for one instance of ``vertex``."""
+        attributes: list[str] = []
+        content: list[str] = []
+        for child in shape.children(vertex):
+            child_source = self._source_of(child)
+            relative = self.relative_path(self._source_of(vertex), child_source)
+            if self.is_attribute(child_source):
+                attributes.append(
+                    f' {child.out_name}="{{${variable}/{relative}}}"'
+                )
+                continue
+            child_variable = self.fresh()
+            child_body = self.construct(shape, child, child_variable)
+            content.append(
+                f"{{for ${child_variable} in ${variable}/{relative} "
+                f"return {child_body}}}"
+            )
+        text_hole = f"{{${variable}/text()}}"
+        return (
+            f"<{vertex.out_name}{''.join(attributes)}>"
+            f"{text_hole}{''.join(content)}"
+            f"</{vertex.out_name}>"
+        )
+
+    def relative_path(self, parent: DataType, child: DataType) -> str:
+        shared = 0
+        for a, b in zip(parent.path, child.path):
+            if a != b:
+                break
+            shared += 1
+        if shared == 0:
+            raise ViewGenerationError(
+                f"{parent.dotted} and {child.dotted} share no root; "
+                "no relative path exists"
+            )
+        ups = [".."] * (len(parent.path) - shared)
+        downs = list(child.path[shared:])
+        if not downs:
+            # The child type is an ancestor of the parent type.
+            steps = ups
+        else:
+            if self.is_attribute(child):
+                downs[-1] = "@" + downs[-1]
+            steps = ups + downs
+        if not steps:
+            raise ViewGenerationError(
+                f"{parent.dotted} -> {child.dotted}: a type cannot join itself"
+            )
+        return "/".join(steps)
+
+    @staticmethod
+    def _source_of(vertex: ShapeType) -> DataType:
+        if vertex.source is None:
+            raise ViewGenerationError(
+                f"NEW/synthesized type {vertex.out_name!r} has no XQuery-view "
+                "equivalent (the paper's architecture 2 limitation)"
+            )
+        if vertex.cloned_from is not None:
+            raise ViewGenerationError(
+                "CLONE types are not expressible as an XQuery view"
+            )
+        if vertex.restrict_filter is not None:
+            raise ViewGenerationError(
+                "RESTRICT filters are not expressible as an XQuery view"
+            )
+        return vertex.source

@@ -1,0 +1,111 @@
+"""Exception hierarchy for the XMorph 2.0 reproduction.
+
+Every error raised by the library derives from :class:`XMorphError` so
+applications can catch a single base class.  The hierarchy mirrors the
+processing pipeline described in the paper's Section VIII: parsing the XML
+data, parsing the guard, type analysis, the guard type system (information
+loss enforcement), rendering, and the storage layer.
+"""
+
+from __future__ import annotations
+
+
+class XMorphError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XmlParseError(XMorphError):
+    """Raised when an XML document cannot be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class GuardSyntaxError(XMorphError):
+    """Raised when an XMorph guard program cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        suffix = f" (at offset {position})" if position is not None else ""
+        super().__init__(f"{message}{suffix}")
+        self.position = position
+
+
+class TypeAnalysisError(XMorphError):
+    """Raised by the type analysis stage (Section VIII).
+
+    The canonical case is the paper's *semantic type error*: a label in the
+    guard matches no type in the source shape (Section VI, outcome 1).
+    """
+
+
+class LabelMismatchError(TypeAnalysisError):
+    """A guard label matches no type in the source shape.
+
+    In the paper's type-system vocabulary this is a *type mismatch*; it is a
+    hard error unless the guard is wrapped in ``TYPE-FILL``.
+    """
+
+    def __init__(self, label: str):
+        super().__init__(
+            f"label {label!r} does not match any type in the source shape "
+            "(wrap the guard in TYPE-FILL to synthesize missing types)"
+        )
+        self.label = label
+
+
+class GuardTypeError(XMorphError):
+    """Raised when a guard fails type enforcement (Section V).
+
+    By default only strongly-typed guards (reversible transformations) are
+    permitted.  ``CAST-NARROWING`` / ``CAST-WIDENING`` / ``CAST`` wrappers
+    relax the enforcement; when they are absent this error carries the
+    offending :class:`repro.typing.LossReport` as ``report``.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class RenderError(XMorphError):
+    """Raised when a target shape cannot be rendered to XML."""
+
+
+class QueryError(XMorphError):
+    """Raised by the XQuery-lite engine for syntax or evaluation errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """Raised when an XQuery-lite query cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        suffix = f" (at offset {position})" if position is not None else ""
+        super().__init__(f"{message}{suffix}")
+        self.position = position
+
+
+class StorageError(XMorphError):
+    """Raised by the storage engine (paged file, buffer pool, KV store)."""
+
+
+class PageError(StorageError):
+    """Raised for invalid page accesses (bad page id, overflow, corruption)."""
+
+
+class DocumentNotFoundError(StorageError):
+    """Raised when a named document is absent from the database."""
+
+    def __init__(self, name: str):
+        super().__init__(f"no document named {name!r} in the database")
+        self.name = name

@@ -1,0 +1,58 @@
+"""The XMorph 2.0 language front-end: lexer, AST and parser (Section III).
+
+Guards are case- and whitespace-insensitive.  The concrete syntax:
+
+.. code-block:: text
+
+    guard  := castop guard | guard '|' guard | 'COMPOSE' guard ',' guard
+            | 'MORPH' pattern | 'MUTATE' pattern
+            | 'TRANSLATE' label '->' label (',' label '->' label)*
+            | '(' guard ')'
+    castop := 'CAST-NARROWING' | 'CAST-WIDENING' | 'CAST' | 'TYPE-FILL'
+    pattern:= term+
+    term   := ('CHILDREN'|'DESCENDANTS'|'DROP'|'CLONE'|'RESTRICT') term
+            | 'NEW' label | '!'? label bracket? | '(' term ')' bracket?
+    bracket:= '[' ('*' | '**' | term)* ']'
+
+``label [*]`` abbreviates ``CHILDREN label``; ``label [**]`` abbreviates
+``DESCENDANTS label``; ``g1 | g2`` abbreviates ``COMPOSE g1, g2``.
+``!label`` marks a point of the guard where the programmer accepts
+potential information loss (the paper's feedback-driven "cast here"
+annotation).
+"""
+
+from repro.lang.ast import (
+    CastMode,
+    Cast,
+    Compose,
+    Guard,
+    Label,
+    Morph,
+    Mutate,
+    New,
+    Pattern,
+    Term,
+    Translate,
+    TypeFill,
+)
+from repro.lang.lexer import Token, TokenType, tokenize
+from repro.lang.parser import parse_guard
+
+__all__ = [
+    "CastMode",
+    "Cast",
+    "Compose",
+    "Guard",
+    "Label",
+    "Morph",
+    "Mutate",
+    "New",
+    "Pattern",
+    "Term",
+    "Translate",
+    "TypeFill",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_guard",
+]

@@ -1,0 +1,206 @@
+"""Abstract syntax of XMorph 2.0 guards.
+
+The AST mirrors the constructs of Section III.  A *pattern* is a
+juxtaposition of *terms*; each term has a head (a label, ``NEW``,
+``DROP``, ``CLONE``, ``RESTRICT`` or a parenthesized sub-term) and an
+optional bracket group contributing child terms and the ``*`` / ``**``
+(children / descendants) inclusion flags.
+
+Every node renders back to canonical guard text via ``str()``; the
+parser/printer pair round-trips, which the tests rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class CastMode(enum.Enum):
+    """Which guard typings a ``CAST`` wrapper additionally permits."""
+
+    NARROWING = "CAST-NARROWING"
+    WIDENING = "CAST-WIDENING"
+    ANY = "CAST"
+
+
+# ---------------------------------------------------------------------------
+# Terms and patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Label:
+    """A (possibly dotted) type label; ``bang`` marks accepted loss."""
+
+    name: str
+    bang: bool = False
+
+    def __str__(self) -> str:
+        return f"!{self.name}" if self.bang else self.name
+
+
+@dataclass(frozen=True, slots=True)
+class New:
+    """``NEW label`` — introduce a brand new type."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"NEW {self.label}"
+
+
+@dataclass(frozen=True, slots=True)
+class Drop:
+    """``DROP term`` — remove the types matched by the term."""
+
+    term: "Term"
+
+    def __str__(self) -> str:
+        return f"DROP {self.term}"
+
+
+@dataclass(frozen=True, slots=True)
+class Clone:
+    """``CLONE term`` — a distinct copy of the matched shape."""
+
+    term: "Term"
+
+    def __str__(self) -> str:
+        return f"CLONE {self.term}"
+
+
+@dataclass(frozen=True, slots=True)
+class Restrict:
+    """``RESTRICT term`` — keep the term's roots, hide the filter below."""
+
+    term: "Term"
+
+    def __str__(self) -> str:
+        return f"RESTRICT {self.term}"
+
+
+@dataclass(frozen=True, slots=True)
+class Group:
+    """A parenthesized sub-term used as a head."""
+
+    term: "Term"
+
+    def __str__(self) -> str:
+        return f"({self.term})"
+
+
+Head = Union[Label, New, Drop, Clone, Restrict, Group]
+
+
+@dataclass(frozen=True, slots=True)
+class Term:
+    """``head [ * ** child-terms ]`` — a head with optional bracket group."""
+
+    head: Head
+    children: tuple["Term", ...] = ()
+    star_children: bool = False
+    star_descendants: bool = False
+
+    def __str__(self) -> str:
+        inner: list[str] = []
+        if self.star_children:
+            inner.append("*")
+        if self.star_descendants:
+            inner.append("**")
+        inner.extend(str(child) for child in self.children)
+        head = str(self.head)
+        if inner:
+            # A compound head (DROP x [y]) would swallow the term's own
+            # bracket group on re-parse; parenthesize to keep the
+            # grouping unambiguous.
+            if isinstance(self.head, (Drop, Clone, Restrict)):
+                head = f"({head})"
+            return f"{head} [ {' '.join(inner)} ]"
+        return head
+
+
+@dataclass(frozen=True, slots=True)
+class Pattern:
+    """A juxtaposition of terms (Section VI's ``p0 p1 ... pn``)."""
+
+    terms: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        return " ".join(str(term) for term in self.terms)
+
+
+# ---------------------------------------------------------------------------
+# Guards
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Morph:
+    """``MORPH pattern`` — the output uses only the specified types."""
+
+    pattern: Pattern
+
+    def __str__(self) -> str:
+        return f"MORPH {self.pattern}"
+
+
+@dataclass(frozen=True, slots=True)
+class Mutate:
+    """``MUTATE pattern`` — rearrange the full shape as specified."""
+
+    pattern: Pattern
+
+    def __str__(self) -> str:
+        return f"MUTATE {self.pattern}"
+
+
+@dataclass(frozen=True, slots=True)
+class Translate:
+    """``TRANSLATE old -> new, ...`` — rename types by base label."""
+
+    mapping: tuple[tuple[str, str], ...]
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{old} -> {new}" for old, new in self.mapping)
+        return f"TRANSLATE {pairs}"
+
+
+@dataclass(frozen=True, slots=True)
+class Compose:
+    """``g1 | g2 | ...`` — pipe each guard's output into the next."""
+
+    parts: tuple["Guard", ...]
+
+    def __str__(self) -> str:
+        return " | ".join(str(part) for part in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Cast:
+    """``CAST`` / ``CAST-NARROWING`` / ``CAST-WIDENING`` wrapper."""
+
+    mode: CastMode
+    guard: "Guard"
+
+    def __str__(self) -> str:
+        return f"{self.mode.value} ({self.guard})"
+
+
+@dataclass(frozen=True, slots=True)
+class TypeFill:
+    """``TYPE-FILL`` wrapper — synthesize labels missing from the source."""
+
+    guard: "Guard"
+
+    def __str__(self) -> str:
+        return f"TYPE-FILL ({self.guard})"
+
+
+Guard = Union[Morph, Mutate, Translate, Compose, Cast, TypeFill]
+
+
+def label(name: str, *children: Term, bang: bool = False, **flags) -> Term:
+    """Convenience constructor used by tests: ``label("author", label("name"))``."""
+    return Term(Label(name, bang=bang), tuple(children), **flags)

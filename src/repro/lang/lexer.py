@@ -1,0 +1,134 @@
+"""Tokenizer for XMorph 2.0 guards.
+
+Keywords are recognized case-insensitively; anything else word-like is a
+label.  Labels may be dotted (``book.author``) to disambiguate types and
+may contain hyphens (XML names allow them) — the lexer is careful to cut
+a ``->`` arrow out of a hyphenated word.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import GuardSyntaxError
+
+
+class TokenType(enum.Enum):
+    MORPH = "MORPH"
+    MUTATE = "MUTATE"
+    TRANSLATE = "TRANSLATE"
+    COMPOSE = "COMPOSE"
+    DROP = "DROP"
+    CLONE = "CLONE"
+    NEW = "NEW"
+    RESTRICT = "RESTRICT"
+    CHILDREN = "CHILDREN"
+    DESCENDANTS = "DESCENDANTS"
+    CAST = "CAST"
+    CAST_NARROWING = "CAST-NARROWING"
+    CAST_WIDENING = "CAST-WIDENING"
+    TYPE_FILL = "TYPE-FILL"
+    LABEL = "label"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    STAR = "*"
+    DOUBLE_STAR = "**"
+    BANG = "!"
+    PIPE = "|"
+    COMMA = ","
+    ARROW = "->"
+    END = "<end>"
+
+
+_KEYWORDS = {
+    "MORPH": TokenType.MORPH,
+    "MUTATE": TokenType.MUTATE,
+    "TRANSLATE": TokenType.TRANSLATE,
+    "COMPOSE": TokenType.COMPOSE,
+    "DROP": TokenType.DROP,
+    "CLONE": TokenType.CLONE,
+    "NEW": TokenType.NEW,
+    "RESTRICT": TokenType.RESTRICT,
+    "CHILDREN": TokenType.CHILDREN,
+    "DESCENDANTS": TokenType.DESCENDANTS,
+    "CAST": TokenType.CAST,
+    "CAST-NARROWING": TokenType.CAST_NARROWING,
+    "CAST-WIDENING": TokenType.CAST_WIDENING,
+    "TYPE-FILL": TokenType.TYPE_FILL,
+}
+
+_PUNCT = {
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "!": TokenType.BANG,
+    "|": TokenType.PIPE,
+    ",": TokenType.COMMA,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def __str__(self) -> str:
+        return f"{self.type.name}({self.text!r})"
+
+
+def _is_word_char(char: str) -> bool:
+    return char.isalnum() or char in "_.-·:"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a guard; always ends with an END token."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(source)
+    while pos < length:
+        char = source[pos]
+        if char in " \t\r\n":
+            pos += 1
+            continue
+        if char == "#":  # line comment (a convenience extension)
+            newline = source.find("\n", pos)
+            pos = length if newline == -1 else newline + 1
+            continue
+        if char == "*":
+            if source.startswith("**", pos):
+                tokens.append(Token(TokenType.DOUBLE_STAR, "**", pos))
+                pos += 2
+            else:
+                tokens.append(Token(TokenType.STAR, "*", pos))
+                pos += 1
+            continue
+        if source.startswith("->", pos):
+            tokens.append(Token(TokenType.ARROW, "->", pos))
+            pos += 2
+            continue
+        if char in _PUNCT:
+            tokens.append(Token(_PUNCT[char], char, pos))
+            pos += 1
+            continue
+        if char.isalnum() or char in "_·:":
+            start = pos
+            while pos < length and _is_word_char(source[pos]):
+                if source.startswith("->", pos):
+                    break  # an arrow glued to a word: stop the word
+                pos += 1
+            word = source[start:pos]
+            # A trailing hyphen belongs to a following arrow, never a word.
+            while word.endswith("-"):
+                word = word[:-1]
+                pos -= 1
+            token_type = _KEYWORDS.get(word.upper(), TokenType.LABEL)
+            tokens.append(Token(token_type, word, start))
+            continue
+        raise GuardSyntaxError(f"unexpected character {char!r}", position=pos)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

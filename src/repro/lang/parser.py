@@ -1,0 +1,231 @@
+"""Recursive-descent parser for XMorph 2.0 guards.
+
+The key syntactic fact (Section VI): juxtaposition *is* the shape
+constructor — ``p0 p1 ... pn`` connects the roots of ``p0`` to the
+closest roots of each ``pi``, and the bracket form ``p0 [ p1 ... pn ]``
+is the same construct with explicit grouping.  The parser therefore
+attaches bracketed items as the children of their head term, and a
+top-level juxtaposition becomes a multi-term :class:`Pattern` with the
+identical meaning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import GuardSyntaxError
+from repro.lang.ast import (
+    Cast,
+    CastMode,
+    Clone,
+    Compose,
+    Drop,
+    Guard,
+    Label,
+    Morph,
+    Mutate,
+    New,
+    Pattern,
+    Restrict,
+    Term,
+    Translate,
+    TypeFill,
+)
+from repro.lang.lexer import Token, TokenType, tokenize
+
+_CAST_MODES = {
+    TokenType.CAST: CastMode.ANY,
+    TokenType.CAST_NARROWING: CastMode.NARROWING,
+    TokenType.CAST_WIDENING: CastMode.WIDENING,
+}
+
+_TERM_START = {
+    TokenType.LABEL,
+    TokenType.BANG,
+    TokenType.LPAREN,
+    TokenType.NEW,
+    TokenType.DROP,
+    TokenType.CLONE,
+    TokenType.RESTRICT,
+    TokenType.CHILDREN,
+    TokenType.DESCENDANTS,
+}
+
+
+def parse_guard(source: str) -> Guard:
+    """Parse guard text into an AST; raises :class:`GuardSyntaxError`."""
+    parser = _Parser(tokenize(source))
+    guard = parser.parse_compose()
+    parser.expect(TokenType.END)
+    return guard
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- guard level -------------------------------------------------------
+
+    def parse_compose(self) -> Guard:
+        parts = [self.parse_unit()]
+        while self.peek().type is TokenType.PIPE:
+            self.advance()
+            parts.append(self.parse_unit())
+        if len(parts) == 1:
+            return parts[0]
+        return Compose(tuple(parts))
+
+    def parse_unit(self) -> Guard:
+        token = self.peek()
+        if token.type in _CAST_MODES:
+            self.advance()
+            return Cast(_CAST_MODES[token.type], self.parse_unit())
+        if token.type is TokenType.TYPE_FILL:
+            self.advance()
+            return TypeFill(self.parse_unit())
+        if token.type is TokenType.LPAREN:
+            self.advance()
+            inner = self.parse_compose()
+            self.expect(TokenType.RPAREN)
+            return inner
+        if token.type is TokenType.MORPH:
+            self.advance()
+            return Morph(self.parse_pattern())
+        if token.type is TokenType.MUTATE:
+            self.advance()
+            return Mutate(self.parse_pattern())
+        if token.type is TokenType.TRANSLATE:
+            self.advance()
+            return Translate(self.parse_translate_pairs())
+        if token.type is TokenType.COMPOSE:
+            self.advance()
+            parts = [self.parse_unit()]
+            while self.peek().type is TokenType.COMMA:
+                self.advance()
+                parts.append(self.parse_unit())
+            if len(parts) < 2:
+                raise GuardSyntaxError(
+                    "COMPOSE needs at least two comma-separated guards",
+                    position=token.position,
+                )
+            return Compose(tuple(parts))
+        raise GuardSyntaxError(
+            f"expected a guard, found {token}", position=token.position
+        )
+
+    def parse_translate_pairs(self) -> tuple[tuple[str, str], ...]:
+        pairs = [self.parse_translate_pair()]
+        # A following comma continues the dictionary only when the next
+        # tokens look like another `label -> label` pair; otherwise the
+        # comma belongs to an enclosing COMPOSE.
+        while (
+            self.peek().type is TokenType.COMMA
+            and self.peek(1).type is TokenType.LABEL
+            and self.peek(2).type is TokenType.ARROW
+        ):
+            self.advance()
+            pairs.append(self.parse_translate_pair())
+        return tuple(pairs)
+
+    def parse_translate_pair(self) -> tuple[str, str]:
+        old = self.expect(TokenType.LABEL).text
+        self.expect(TokenType.ARROW)
+        new = self.expect(TokenType.LABEL).text
+        return (old, new)
+
+    # -- pattern level -------------------------------------------------------
+
+    def parse_pattern(self) -> Pattern:
+        terms = [self.parse_term()]
+        while self.peek().type in _TERM_START:
+            terms.append(self.parse_term())
+        return Pattern(tuple(terms))
+
+    def parse_term(self) -> Term:
+        token = self.peek()
+        if token.type is TokenType.CHILDREN:
+            self.advance()
+            return dataclasses.replace(self.parse_term(), star_children=True)
+        if token.type is TokenType.DESCENDANTS:
+            self.advance()
+            return dataclasses.replace(self.parse_term(), star_descendants=True)
+        if token.type is TokenType.DROP:
+            self.advance()
+            return Term(Drop(self.parse_term()))
+        if token.type is TokenType.CLONE:
+            self.advance()
+            return Term(Clone(self.parse_term()))
+        if token.type is TokenType.RESTRICT:
+            self.advance()
+            return Term(Restrict(self.parse_term()))
+        if token.type is TokenType.NEW:
+            self.advance()
+            name = self.expect(TokenType.LABEL).text
+            return self.attach_bracket(Term(New(name)))
+        if token.type is TokenType.LPAREN:
+            # Parentheses are grouping only: `(DROP x) [ y ]` attaches
+            # the bracket to the parenthesized term itself.  (Closest
+            # joins are per-child, so merging bracket groups preserves
+            # semantics.)
+            self.advance()
+            inner = self.parse_term()
+            self.expect(TokenType.RPAREN)
+            return self.attach_bracket(inner)
+        if token.type is TokenType.BANG:
+            self.advance()
+            name = self.expect(TokenType.LABEL).text
+            return self.attach_bracket(Term(Label(name, bang=True)))
+        if token.type is TokenType.LABEL:
+            self.advance()
+            return self.attach_bracket(Term(Label(token.text)))
+        raise GuardSyntaxError(f"expected a term, found {token}", position=token.position)
+
+    def attach_bracket(self, term: Term) -> Term:
+        if self.peek().type is not TokenType.LBRACKET:
+            return term
+        self.advance()
+        children: list[Term] = []
+        star_children = term.star_children
+        star_descendants = term.star_descendants
+        while self.peek().type is not TokenType.RBRACKET:
+            token = self.peek()
+            if token.type is TokenType.STAR:
+                self.advance()
+                star_children = True
+            elif token.type is TokenType.DOUBLE_STAR:
+                self.advance()
+                star_descendants = True
+            elif token.type in _TERM_START:
+                children.append(self.parse_term())
+            else:
+                raise GuardSyntaxError(
+                    f"unexpected {token} inside [ ]", position=token.position
+                )
+        self.expect(TokenType.RBRACKET)
+        return dataclasses.replace(
+            term,
+            children=term.children + tuple(children),
+            star_children=star_children,
+            star_descendants=star_descendants,
+        )
+
+    # -- machinery --------------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.END:
+            self.pos += 1
+        return token
+
+    def expect(self, token_type: TokenType) -> Token:
+        token = self.peek()
+        if token.type is not token_type:
+            raise GuardSyntaxError(
+                f"expected {token_type.name}, found {token}", position=token.position
+            )
+        return self.advance()

@@ -1,0 +1,98 @@
+"""Cardinality ranges ``n..m`` adorning shape edges (Definition 3).
+
+A cardinality ``Card(n, m)`` on an edge from type ``t`` to type ``u``
+states that every node of type ``t`` has at least ``n`` and at most ``m``
+children of type ``u``.  The upper bound may be :data:`UNBOUNDED`.
+
+Path cardinalities (Definition 6) multiply edge cardinalities along a
+shape path, so the class supports multiplication; the information-loss
+theorems compare minima and maxima, so it supports those comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Sentinel for an unbounded maximum (rendered as ``*`` like a DTD).
+UNBOUNDED: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Card:
+    """An inclusive cardinality range ``lo..hi`` (``hi=None`` = unbounded)."""
+
+    lo: int
+    hi: int | None
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise ValueError(f"cardinality minimum must be >= 0, got {self.lo}")
+        if self.hi is not None and self.hi < self.lo:
+            raise ValueError(f"cardinality range is empty: {self.lo}..{self.hi}")
+
+    # -- common constants --------------------------------------------------
+
+    @classmethod
+    def exactly_one(cls) -> "Card":
+        return _ONE
+
+    @classmethod
+    def optional(cls) -> "Card":
+        return Card(0, 1)
+
+    @classmethod
+    def leaf(cls) -> "Card":
+        """The ``0..0`` adornment of a leaf edge ``(t, circ, 0..0)``."""
+        return Card(0, 0)
+
+    @classmethod
+    def any_number(cls) -> "Card":
+        return Card(0, UNBOUNDED)
+
+    # -- algebra -------------------------------------------------------------
+
+    def __mul__(self, other: "Card") -> "Card":
+        """Componentwise product, the operation of Definition 6."""
+        if self.hi is None or other.hi is None:
+            hi: int | None = UNBOUNDED
+        else:
+            hi = self.hi * other.hi
+        return Card(self.lo * other.lo, hi)
+
+    def union(self, other: "Card") -> "Card":
+        """The loosest range covering both (used when merging shapes)."""
+        if self.hi is None or other.hi is None:
+            hi: int | None = UNBOUNDED
+        else:
+            hi = max(self.hi, other.hi)
+        return Card(min(self.lo, other.lo), hi)
+
+    def observe(self, count: int) -> "Card":
+        """Widen the range to include an observed child count."""
+        hi = self.hi if self.hi is not None and count <= self.hi else count
+        if self.hi is None:
+            hi = UNBOUNDED
+        return Card(min(self.lo, count), hi)
+
+    # -- comparisons used by Theorems 1 and 2 --------------------------------
+
+    def min_becomes_nonzero(self, predicted: "Card") -> bool:
+        """Theorem 1 violation test: minimum rises from zero to non-zero."""
+        return self.lo == 0 and predicted.lo > 0
+
+    def max_increases(self, predicted: "Card") -> bool:
+        """Theorem 2 violation test: maximum increases."""
+        if self.hi is None:
+            return False
+        if predicted.hi is None:
+            return True
+        return predicted.hi > self.hi
+
+    # -- presentation ---------------------------------------------------------
+
+    def __str__(self) -> str:
+        hi = "*" if self.hi is None else str(self.hi)
+        return f"{self.lo}..{hi}"
+
+
+_ONE = Card(1, 1)

@@ -1,0 +1,97 @@
+"""Adorned-shape (DataGuide) extraction from XML data.
+
+Definition 3: the shape of a data collection is a forest of type edges
+adorned with cardinality ranges.  An edge ``(t, u, n..m)`` states that
+every node of type ``t`` has between ``n`` and ``m`` children of type
+``u``.  Because ``typeOf`` is the root path, the shape of a document is
+exactly its DataGuide tree, and extraction is a single document-order
+pass counting per-parent child occurrences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.shape.cardinality import Card
+from repro.shape.shape import Shape
+from repro.shape.types import DataType, ShapeType, TypeTable
+from repro.xmltree.node import XmlForest, XmlNode
+
+
+class DataGuideBuilder:
+    """Builds the adorned shape, type table and type map of a collection.
+
+    After :meth:`build`:
+
+    * ``shape`` is the adorned :class:`Shape` (one :class:`ShapeType`
+      per data type),
+    * ``type_table`` interns every :class:`DataType` seen,
+    * ``type_of`` maps each :class:`~repro.xmltree.XmlNode` to its
+      :class:`DataType`, and
+    * ``shape_of`` maps each :class:`DataType` to its vertex in ``shape``.
+    """
+
+    def __init__(self) -> None:
+        self.type_table = TypeTable()
+        self.shape = Shape()
+        self.shape_of: dict[DataType, ShapeType] = {}
+        self.type_of: dict[int, DataType] = {}
+        #: Whether the type's instances are attributes (first-seen kind).
+        self.is_attribute: dict[DataType, bool] = {}
+        #: Whether any instance of the type carries text content.
+        self.has_text: dict[DataType, bool] = {}
+        # (parent type, child type) -> [min seen, max seen, parents seen]
+        self._edge_counts: dict[tuple[DataType, DataType], list[int]] = {}
+        self._parent_totals: Counter[DataType] = Counter()
+
+    def build(self, forest: XmlForest) -> "DataGuideBuilder":
+        for root in forest.roots:
+            self._visit(root, ())
+        self._finish()
+        return self
+
+    # -- internals -------------------------------------------------------
+
+    def _visit(self, node: XmlNode, parent_path: tuple[str, ...]) -> DataType:
+        path = parent_path + (node.name,)
+        data_type = self.type_table.intern(path)
+        self.type_of[id(node)] = data_type
+        if data_type not in self.shape_of:
+            vertex = ShapeType.for_source(data_type)
+            self.shape_of[data_type] = vertex
+            self.shape.add_type(vertex)
+            self.is_attribute[data_type] = node.is_attribute
+            self.has_text[data_type] = False
+        if node.text.strip():
+            self.has_text[data_type] = True
+        self._parent_totals[data_type] += 1
+
+        child_counts: Counter[DataType] = Counter()
+        for child in node.children:
+            child_type = self._visit(child, path)
+            child_counts[child_type] += 1
+        for child_type, count in child_counts.items():
+            stats = self._edge_counts.get((data_type, child_type))
+            if stats is None:
+                self._edge_counts[(data_type, child_type)] = [count, count, 1]
+            else:
+                stats[0] = min(stats[0], count)
+                stats[1] = max(stats[1], count)
+                stats[2] += 1
+        return data_type
+
+    def _finish(self) -> None:
+        for (parent_type, child_type), (low, high, parents_seen) in self._edge_counts.items():
+            # Parents that had *no* child of this type drag the minimum to 0.
+            if parents_seen < self._parent_totals[parent_type]:
+                low = 0
+            self.shape.add_edge(
+                self.shape_of[parent_type],
+                self.shape_of[child_type],
+                Card(low, high),
+            )
+
+
+def extract_shape(forest: XmlForest) -> Shape:
+    """Extract just the adorned shape of a forest (Figure 5)."""
+    return DataGuideBuilder().build(forest).shape

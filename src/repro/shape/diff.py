@@ -1,0 +1,134 @@
+"""Shape diffs: what changed between two arrangements of the same data.
+
+Supports the paper's schema-evolution motivation: when a DBA revises a
+document design, the *types* largely survive but their arrangement
+changes.  ``diff_shapes`` matches types across two shapes by element
+name (path-insensitive, since paths are exactly what evolution
+changes), then classifies each as unchanged, moved (new parent),
+re-labelled, added or removed, and compares cardinalities on surviving
+edges.  The textual report is the "what did this migration do" summary
+a guard author reads before writing the MUTATE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.shape.shape import Shape
+from repro.shape.types import ShapeType
+
+
+@dataclass(frozen=True, slots=True)
+class TypeChange:
+    """One classified difference."""
+
+    kind: str  # "moved" | "added" | "removed" | "cardinality"
+    name: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.name} — {self.detail}"
+
+
+@dataclass
+class ShapeDiff:
+    unchanged: list[str] = field(default_factory=list)
+    changes: list[TypeChange] = field(default_factory=list)
+
+    @property
+    def moved(self) -> list[TypeChange]:
+        return [c for c in self.changes if c.kind == "moved"]
+
+    @property
+    def added(self) -> list[TypeChange]:
+        return [c for c in self.changes if c.kind == "added"]
+
+    @property
+    def removed(self) -> list[TypeChange]:
+        return [c for c in self.changes if c.kind == "removed"]
+
+    @property
+    def cardinality_changes(self) -> list[TypeChange]:
+        return [c for c in self.changes if c.kind == "cardinality"]
+
+    @property
+    def identical(self) -> bool:
+        return not self.changes
+
+    def pretty(self) -> str:
+        if self.identical:
+            return "shapes are identical (up to sibling order)"
+        lines = [str(change) for change in self.changes]
+        lines.append(f"unchanged types: {len(self.unchanged)}")
+        return "\n".join(lines)
+
+
+def diff_shapes(before: Shape, after: Shape) -> ShapeDiff:
+    """Classify the differences from ``before`` to ``after``."""
+    diff = ShapeDiff()
+    before_by_name = _by_name(before)
+    after_by_name = _by_name(after)
+
+    for name, before_vertices in before_by_name.items():
+        after_vertices = after_by_name.get(name, [])
+        if not after_vertices:
+            for vertex in before_vertices:
+                diff.changes.append(
+                    TypeChange("removed", name, f"was under {_parent_name(before, vertex)}")
+                )
+            continue
+        # Compare parent names (multiset) to detect moves.
+        before_parents = sorted(_parent_name(before, v) for v in before_vertices)
+        after_parents = sorted(_parent_name(after, v) for v in after_vertices)
+        if before_parents != after_parents:
+            diff.changes.append(
+                TypeChange(
+                    "moved",
+                    name,
+                    f"parent {'/'.join(before_parents)} -> {'/'.join(after_parents)}",
+                )
+            )
+        else:
+            diff.unchanged.append(name)
+            # Same placement: compare cardinalities of the incoming edge.
+            for before_vertex, after_vertex in zip(
+                sorted(before_vertices, key=lambda v: _parent_name(before, v)),
+                sorted(after_vertices, key=lambda v: _parent_name(after, v)),
+            ):
+                before_card = _incoming_card(before, before_vertex)
+                after_card = _incoming_card(after, after_vertex)
+                if before_card != after_card:
+                    diff.changes.append(
+                        TypeChange(
+                            "cardinality",
+                            name,
+                            f"{before_card} -> {after_card}",
+                        )
+                    )
+
+    for name, after_vertices in after_by_name.items():
+        if name not in before_by_name:
+            for vertex in after_vertices:
+                diff.changes.append(
+                    TypeChange("added", name, f"under {_parent_name(after, vertex)}")
+                )
+    return diff
+
+
+def _by_name(shape: Shape) -> dict[str, list[ShapeType]]:
+    buckets: dict[str, list[ShapeType]] = {}
+    for vertex in shape.types():
+        buckets.setdefault(vertex.out_name, []).append(vertex)
+    return buckets
+
+
+def _parent_name(shape: Shape, vertex: ShapeType) -> str:
+    parent = shape.parent(vertex)
+    return parent.out_name if parent is not None else "(root)"
+
+
+def _incoming_card(shape: Shape, vertex: ShapeType) -> str:
+    parent = shape.parent(vertex)
+    if parent is None:
+        return "(root)"
+    return str(shape.card(parent, vertex))

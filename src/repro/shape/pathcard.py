@@ -1,0 +1,136 @@
+"""Path cardinality (Definition 6) and the predicted adorned shape (Definition 7).
+
+``pathCard(S, t, s)`` is the cardinality of the relationship *from* a
+node of type ``t`` *to* the nodes of type ``s``: walk up from ``t`` to
+the least common ancestor (always ``1..1`` upward) and multiply the edge
+cardinalities down from the LCA to ``s``.  Table I of the paper is the
+matrix of these values for the bibliography shape; the information-loss
+theorems compare source path cardinalities against the *predicted*
+cardinalities of the target shape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.shape.cardinality import Card
+from repro.shape.shape import Shape
+from repro.shape.types import DataType, ShapeType
+
+
+def path_cardinality(shape: Shape, source: ShapeType, target: ShapeType) -> Optional[Card]:
+    """``pathCard(S, source, target)``, or ``None`` across forest trees.
+
+    ``pathCard(S, t, t)`` is ``1..1`` (the empty downward path).
+    """
+    meet = shape.lca(source, target)
+    if meet is None:
+        return None
+    card = Card.exactly_one()
+    for edge in shape.path_down(meet, target):
+        card = card * edge.card
+    return card
+
+
+def path_cardinality_table(shape: Shape) -> dict[tuple[ShapeType, ShapeType], Card]:
+    """All ordered pairs ``(t, s) -> pathCard(S, t, s)`` (Table I).
+
+    Pairs in different trees of the forest are omitted.
+    """
+    return {
+        pair: Card(lo, hi) for pair, (lo, hi) in path_card_pairs(shape).items()
+    }
+
+
+def path_card_pairs(
+    shape: Shape,
+) -> dict[tuple[ShapeType, ShapeType], tuple[int, Optional[int]]]:
+    """All-pairs path cardinalities as plain ``(lo, hi)`` tuples.
+
+    The loss analysis compares every ordered pair of a realistic shape
+    (XMark has hundreds of types, so ~10⁵ pairs); this implementation
+    precomputes, per vertex ``s``, the cumulative downward product from
+    each of its ancestors, so a pair costs one LCA walk with dict
+    lookups instead of repeated path traversals.  ``hi=None`` encodes an
+    unbounded maximum.
+    """
+    types = shape.types()
+    parent = {t: shape.parent(t) for t in types}
+    edge_card: dict[ShapeType, tuple[int, Optional[int]]] = {}
+    for t in types:
+        up = parent[t]
+        if up is not None:
+            card = shape.card(up, t)
+            edge_card[t] = (card.lo, card.hi)
+
+    # cumulative[s][a] = product of edge cards from ancestor a down to s.
+    cumulative: dict[ShapeType, dict[ShapeType, tuple[int, Optional[int]]]] = {}
+    chains: dict[ShapeType, list[ShapeType]] = {}
+    for s in types:
+        chain = [s]
+        running: tuple[int, Optional[int]] = (1, 1)
+        accumulated = {s: running}
+        node = s
+        while (up := parent[node]) is not None:
+            lo, hi = edge_card[node]
+            run_lo, run_hi = running
+            running = (
+                lo * run_lo,
+                None if hi is None or run_hi is None else hi * run_hi,
+            )
+            accumulated[up] = running
+            chain.append(up)
+            node = up
+        cumulative[s] = accumulated
+        chains[s] = chain
+
+    table: dict[tuple[ShapeType, ShapeType], tuple[int, Optional[int]]] = {}
+    for t in types:
+        chain_t = chains[t]
+        for s in types:
+            down = cumulative[s]
+            for ancestor in chain_t:
+                value = down.get(ancestor)
+                if value is not None:
+                    table[(t, s)] = value
+                    break
+    return table
+
+
+def predicted_shape(
+    source_shape: Shape,
+    target_shape: Shape,
+    source_vertex: Callable[[DataType], Optional[ShapeType]],
+) -> Shape:
+    """Annotate ``target_shape`` with predicted cardinalities (Definition 7).
+
+    Every edge ``(t, u)`` of the target gets the cardinality
+    ``pathCard(S, src(t), src(u))`` computed on the *source* shape, where
+    ``src`` resolves a target type's backing data type to its vertex in
+    the source shape via ``source_vertex``.  Edges whose parent or child
+    is a ``NEW`` type (no source backing) keep ``1..1``: a new element
+    wraps each instance of its leading child, a one-to-one relationship,
+    so it is cardinality-transparent for paths that pass through it.
+
+    The annotation is in place; the target shape is returned.
+    """
+    for edge in list(target_shape.edges()):
+        parent_source = edge.parent.source
+        child_source = edge.child.source
+        if parent_source is None or child_source is None:
+            target_shape.set_card(edge.parent, edge.child, Card.exactly_one())
+            continue
+        upper = source_vertex(parent_source)
+        lower = source_vertex(child_source)
+        if upper is None or lower is None:
+            # A TYPE-FILLed type that does not exist in the source.
+            target_shape.set_card(edge.parent, edge.child, Card.exactly_one())
+            continue
+        card = path_cardinality(source_shape, upper, lower)
+        if card is None:
+            # No relationship in the source: predicted minimum is zero
+            # (nothing guarantees a closest partner) and the maximum is
+            # unbounded (the closest join may fan out arbitrarily).
+            card = Card.any_number()
+        target_shape.set_card(edge.parent, edge.child, card)
+    return target_shape

@@ -1,0 +1,34 @@
+"""The storage engine: XMorph's data store (Figure 8).
+
+The paper's implementation shreds XML into BerkeleyDB JE tables; we
+implement the equivalent embedded store from scratch:
+
+* :mod:`repro.storage.pages` — a paged file with an LRU buffer pool;
+  every block read/write is counted and charged simulated device time.
+* :mod:`repro.storage.btree` — a B+tree ordered key-value store over
+  the buffer pool (the BerkeleyDB substitute).
+* :mod:`repro.storage.tables` — the four tables of Figure 8 (Nodes,
+  AdornedShapes, TypeToSequence, GroupedSequence) plus a catalog,
+  mapped onto B+tree keyspaces.
+* :mod:`repro.storage.shredder` — XML → tables.
+* :mod:`repro.storage.database` — the user-facing :class:`Database`
+  with a storage-backed document index for guard evaluation.
+* :mod:`repro.storage.stats` — vmstat-analog instrumentation (block
+  I/O, CPU wait percentage, available memory) behind Figures 11–13.
+"""
+
+from repro.storage.stats import SystemStats, CostModel
+from repro.storage.pages import PagedFile, BufferPool, PAGE_SIZE
+from repro.storage.btree import BPlusTree
+from repro.storage.database import Database, StoredDocumentIndex
+
+__all__ = [
+    "SystemStats",
+    "CostModel",
+    "PagedFile",
+    "BufferPool",
+    "PAGE_SIZE",
+    "BPlusTree",
+    "Database",
+    "StoredDocumentIndex",
+]

@@ -1,0 +1,411 @@
+"""A B+tree ordered key-value store over the buffer pool.
+
+This is the reproduction's stand-in for BerkeleyDB JE: an embedded,
+ordered map from byte-string keys to byte-string values, stored in
+fixed-size pages.  Leaves are chained for range scans; internal nodes
+hold separator keys.  Inserts split full nodes bottom-up; deletes are
+lazy (no rebalancing — the paper's workload is write-once shredding
+followed by scans, and lazy deletion keeps the code honest and small).
+
+Values must fit in a page (callers chunk large values; see
+:mod:`repro.storage.tables`).  Page 0 of the file is the tree's meta
+page holding the root pointer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional
+
+from repro.errors import StorageError
+from repro.storage.pages import PAGE_SIZE, BufferPool
+
+_LEAF, _INTERNAL = 0, 1
+_NO_PAGE = 0xFFFFFFFF
+_META_MAGIC = b"XMBT"
+_HEADER = struct.Struct("<BHI")  # node type, entry count, next/child0
+_META = struct.Struct("<4sI")  # magic, root page
+
+#: Largest key+value a single entry may occupy (one entry must fit a page).
+MAX_ENTRY = PAGE_SIZE - 64
+
+
+class BPlusTree:
+    """An ordered map ``bytes -> bytes`` with range scans."""
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+        if self.pool.file.page_count == 0:
+            meta = self.pool.allocate()
+            assert meta == 0
+            root = self.pool.allocate()
+            _write_node(self.pool, root, _Node(_LEAF, _NO_PAGE, [], []))
+            self._set_root(root)
+        else:
+            buffer = self.pool.get(0)
+            magic, root = _META.unpack_from(buffer, 0)
+            if magic != _META_MAGIC:
+                raise StorageError("not an XMorph B+tree file")
+            self._root = root
+
+    # -- meta --------------------------------------------------------------
+
+    def _set_root(self, page_id: int) -> None:
+        self._root = page_id
+        buffer = self.pool.get(0)
+        _META.pack_into(buffer, 0, _META_MAGIC, page_id)
+        self.pool.mark_dirty(0)
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        node, _path = self._descend(key)
+        index = _find(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            return node.values[index]
+        return None
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def scan(
+        self, start: bytes = b"", stop: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """All entries with ``start <= key < stop`` in key order."""
+        node, _path = self._descend(start)
+        index = _find(node.keys, start)
+        while True:
+            while index < len(node.keys):
+                key = node.keys[index]
+                if stop is not None and key >= stop:
+                    return
+                yield key, node.values[index]
+                index += 1
+            if node.next_leaf == _NO_PAGE:
+                return
+            node = _read_node(self.pool, node.next_leaf)
+            index = 0
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """All entries whose key starts with ``prefix``."""
+        stop = _prefix_upper_bound(prefix)
+        for key, value in self.scan(prefix, stop):
+            yield key, value
+
+    def count(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    # -- writes ----------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or replace."""
+        if len(key) + len(value) > MAX_ENTRY:
+            raise StorageError(
+                f"entry too large ({len(key)}+{len(value)} bytes > {MAX_ENTRY})"
+            )
+        promotions = self._insert(self._root, key, value)
+        while promotions:
+            old_root = self._root
+            new_root = self.pool.allocate()
+            node = _Node(
+                _INTERNAL,
+                old_root,
+                [separator for separator, _ in promotions],
+                [page for _, page in promotions],
+            )
+            promotions = self._store_with_split(new_root, node)
+            self._set_root(new_root)
+
+    def delete(self, key: bytes) -> bool:
+        """Remove a key (lazy: leaves may become sparse)."""
+        node, path = self._descend(key)
+        index = _find(node.keys, key)
+        if index >= len(node.keys) or node.keys[index] != key:
+            return False
+        del node.keys[index]
+        del node.values[index]
+        _write_node(self.pool, path[-1], node)
+        return True
+
+    @classmethod
+    def bulk_load(cls, pool: BufferPool, items) -> "BPlusTree":
+        """Build a tree bottom-up from sorted unique (key, value) pairs.
+
+        The classic bulk-loading shortcut: pack leaves left to right at
+        ~full occupancy, then build each internal level over the one
+        below — no top-down descents, no splits, every page written
+        once.  The pool's file must be fresh (no pages yet).
+
+        Raises :class:`StorageError` on an out-of-order or duplicate
+        key, or when the file already contains data.
+        """
+        if pool.file.page_count != 0:
+            raise StorageError("bulk_load needs a fresh file")
+        meta = pool.allocate()
+        assert meta == 0
+
+        # Level 0: pack leaves.
+        leaf_entries: list[tuple[bytes, int]] = []  # (first key, page id)
+        node = _Node(_LEAF, _NO_PAGE, [], [])
+        page_id = pool.allocate()
+        previous_key: Optional[bytes] = None
+        previous_page: Optional[int] = None
+        for key, value in items:
+            if previous_key is not None and key <= previous_key:
+                raise StorageError(
+                    f"bulk_load input not strictly sorted at key {key!r}"
+                )
+            previous_key = key
+            if len(key) + len(value) > MAX_ENTRY:
+                raise StorageError("entry too large for bulk_load")
+            entry_size = 2 + len(key) + 2 + len(value)
+            if node.keys and node.serialized_size() + entry_size > PAGE_SIZE:
+                next_page = pool.allocate()
+                node.next_leaf = next_page
+                _write_node(pool, page_id, node)
+                leaf_entries.append((node.keys[0], page_id))
+                node = _Node(_LEAF, _NO_PAGE, [], [])
+                page_id = next_page
+            node.keys.append(key)
+            node.values.append(value)
+        _write_node(pool, page_id, node)
+        leaf_entries.append((node.keys[0] if node.keys else b"", page_id))
+
+        # Upper levels: one separator per child after the first.
+        level = leaf_entries
+        while len(level) > 1:
+            upper: list[tuple[bytes, int]] = []
+            node = _Node(_INTERNAL, level[0][1], [], [])
+            page_id = pool.allocate()
+            first_key = level[0][0]
+            for key, child in level[1:]:
+                entry_size = 2 + len(key) + 4
+                if node.keys and node.serialized_size() + entry_size > PAGE_SIZE:
+                    _write_node(pool, page_id, node)
+                    upper.append((first_key, page_id))
+                    node = _Node(_INTERNAL, child, [], [])
+                    page_id = pool.allocate()
+                    first_key = key
+                    continue
+                node.keys.append(key)
+                node.values.append(child)
+            _write_node(pool, page_id, node)
+            upper.append((first_key, page_id))
+            level = upper
+
+        tree = cls.__new__(cls)
+        tree.pool = pool
+        buffer = pool.get(0)
+        _META.pack_into(buffer, 0, _META_MAGIC, level[0][1])
+        pool.mark_dirty(0)
+        tree._root = level[0][1]
+        return tree
+
+    # -- descent -----------------------------------------------------------------
+
+    def _descend(self, key: bytes) -> tuple["_Node", list[int]]:
+        """The leaf responsible for ``key`` plus the page-id path to it."""
+        page_id = self._root
+        path = [page_id]
+        node = _read_node(self.pool, page_id)
+        while node.kind == _INTERNAL:
+            page_id = node.child_for(key)
+            path.append(page_id)
+            node = _read_node(self.pool, page_id)
+        return node, path
+
+    def _insert(self, page_id: int, key: bytes, value: bytes) -> list[tuple[bytes, int]]:
+        node = _read_node(self.pool, page_id)
+        if node.kind == _LEAF:
+            index = _find(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+            return self._store_with_split(page_id, node)
+        child = node.child_for(key)
+        for separator, right_page in self._insert(child, key, value):
+            index = _find(node.keys, separator)
+            node.keys.insert(index, separator)
+            node.values.insert(index, right_page)
+        return self._store_with_split(page_id, node)
+
+    def _store_with_split(self, page_id: int, node: "_Node") -> list[tuple[bytes, int]]:
+        """Write ``node``, splitting into as many pages as needed.
+
+        Returns the separators/pages to insert into the parent.  A
+        greedy size-based partition is used because entries are
+        variable-length: a half-split is not guaranteed to fit when a
+        node holds a few near-page-size entries.
+        """
+        if node.serialized_size() <= PAGE_SIZE:
+            _write_node(self.pool, page_id, node)
+            return []
+        groups = _partition(node)
+        promotions: list[tuple[bytes, int]] = []
+        if node.kind == _LEAF:
+            pages = [page_id] + [self.pool.allocate() for _ in groups[1:]]
+            for position, (keys, values) in enumerate(groups):
+                next_leaf = pages[position + 1] if position + 1 < len(pages) else node.next_leaf
+                _write_node(self.pool, pages[position], _Node(_LEAF, next_leaf, keys, values))
+                if position > 0:
+                    promotions.append((keys[0], pages[position]))
+        else:
+            # Between internal groups the first key of each later group
+            # moves up as the separator and its child pointer becomes
+            # that group's leftmost child.
+            first_keys, first_values = groups[0]
+            _write_node(self.pool, page_id, _Node(_INTERNAL, node.child0, first_keys, first_values))
+            for keys, values in groups[1:]:
+                right_page = self.pool.allocate()
+                separator = keys[0]
+                _write_node(
+                    self.pool, right_page, _Node(_INTERNAL, values[0], keys[1:], values[1:])
+                )
+                promotions.append((separator, right_page))
+        return promotions
+
+
+class _Node:
+    """A deserialized page: leaf values are bytes, internal values are page ids."""
+
+    __slots__ = ("kind", "child0", "next_leaf", "keys", "values")
+
+    def __init__(self, kind: int, link: int, keys: list, values: list):
+        self.kind = kind
+        # For leaves `link` is the next-leaf pointer; for internal nodes
+        # it is the leftmost child.
+        if kind == _LEAF:
+            self.next_leaf = link
+            self.child0 = _NO_PAGE
+        else:
+            self.child0 = link
+            self.next_leaf = _NO_PAGE
+        self.keys = keys
+        self.values = values
+
+    def child_for(self, key: bytes) -> int:
+        index = _find(self.keys, key)
+        if index < len(self.keys) and self.keys[index] == key:
+            index += 1
+        if index == 0:
+            return self.child0
+        return self.values[index - 1]
+
+    def serialized_size(self) -> int:
+        size = _HEADER.size
+        if self.kind == _LEAF:
+            for key, value in zip(self.keys, self.values):
+                size += 2 + len(key) + 2 + len(value)
+        else:
+            for key in self.keys:
+                size += 2 + len(key) + 4
+        return size
+
+
+def _partition(node: "_Node") -> list[tuple[list, list]]:
+    """Greedily partition an oversized node's entries into fitting groups.
+
+    Aims for balanced halves when possible (the classic B+tree split)
+    but falls back to more groups when large entries force it.  Each
+    group is guaranteed to fit because a single entry always fits.
+    """
+    target = max(PAGE_SIZE // 2, 1)
+    groups: list[tuple[list, list]] = []
+    keys: list[bytes] = []
+    values: list = []
+    size = _HEADER.size
+    for key, value in zip(node.keys, node.values):
+        entry = 2 + len(key) + (2 + len(value) if node.kind == _LEAF else 4)
+        if keys and (size + entry > PAGE_SIZE or size >= target and len(groups) == 0):
+            groups.append((keys, values))
+            keys, values = [], []
+            size = _HEADER.size
+        keys.append(key)
+        values.append(value)
+        size += entry
+    groups.append((keys, values))
+    # An internal group needs at least one key left after its first key
+    # is promoted as the separator; rebalance a degenerate tail group by
+    # stealing an entry from its neighbour.
+    if node.kind == _INTERNAL and len(groups) > 1 and len(groups[-1][0]) < 2:
+        prev_keys, prev_values = groups[-2]
+        if len(prev_keys) >= 2:
+            groups[-1][0].insert(0, prev_keys.pop())
+            groups[-1][1].insert(0, prev_values.pop())
+        else:
+            keys, values = groups.pop()
+            groups[-1][0].extend(keys)
+            groups[-1][1].extend(values)
+    return groups
+
+
+def _find(keys: list[bytes], key: bytes) -> int:
+    """Leftmost insertion point (bisect_left)."""
+    low, high = 0, len(keys)
+    while low < high:
+        middle = (low + high) // 2
+        if keys[middle] < key:
+            low = middle + 1
+        else:
+            high = middle
+    return low
+
+
+def _read_node(pool: BufferPool, page_id: int) -> _Node:
+    buffer = pool.get(page_id)
+    kind, count, link = _HEADER.unpack_from(buffer, 0)
+    offset = _HEADER.size
+    keys: list[bytes] = []
+    values: list = []
+    for _ in range(count):
+        (key_len,) = struct.unpack_from("<H", buffer, offset)
+        offset += 2
+        keys.append(bytes(buffer[offset : offset + key_len]))
+        offset += key_len
+        if kind == _LEAF:
+            (val_len,) = struct.unpack_from("<H", buffer, offset)
+            offset += 2
+            values.append(bytes(buffer[offset : offset + val_len]))
+            offset += val_len
+        else:
+            (child,) = struct.unpack_from("<I", buffer, offset)
+            offset += 4
+            values.append(child)
+    pool.stats.charge_cpu(count)
+    return _Node(kind, link, keys, values)
+
+
+def _write_node(pool: BufferPool, page_id: int, node: _Node) -> None:
+    buffer = pool.get(page_id)
+    link = node.next_leaf if node.kind == _LEAF else node.child0
+    _HEADER.pack_into(buffer, 0, node.kind, len(node.keys), link)
+    offset = _HEADER.size
+    for key, value in zip(node.keys, node.values):
+        struct.pack_into("<H", buffer, offset, len(key))
+        offset += 2
+        buffer[offset : offset + len(key)] = key
+        offset += len(key)
+        if node.kind == _LEAF:
+            struct.pack_into("<H", buffer, offset, len(value))
+            offset += 2
+            buffer[offset : offset + len(value)] = value
+            offset += len(value)
+        else:
+            struct.pack_into("<I", buffer, offset, value)
+            offset += 4
+    buffer[offset:] = bytes(PAGE_SIZE - offset)
+    pool.mark_dirty(page_id)
+    pool.stats.charge_cpu(len(node.keys))
+
+
+def _prefix_upper_bound(prefix: bytes) -> Optional[bytes]:
+    """The smallest byte string greater than every ``prefix``-keyed string."""
+    mutable = bytearray(prefix)
+    while mutable:
+        if mutable[-1] != 0xFF:
+            mutable[-1] += 1
+            return bytes(mutable)
+        mutable.pop()
+    return None

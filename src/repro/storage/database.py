@@ -1,0 +1,351 @@
+"""The user-facing database: store documents, evaluate guards over them.
+
+:class:`Database` owns one paged file, buffer pool and B+tree;
+documents are shredded in (:mod:`repro.storage.shredder`) and evaluated
+against a :class:`StoredDocumentIndex`, which loads the adorned shape
+eagerly (it is tiny) and type sequences lazily — so compiling a guard
+touches only shape records, and rendering reads exactly the type
+sequences the target shape mentions.  That asymmetry is the paper's
+architectural point: "Prior to rendering, only the adorned shapes,
+which are typically tiny relative to the size of the data, are needed."
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.closeness.index import BaseIndex
+from repro.engine.interpreter import Interpreter, TransformResult
+from repro.errors import DocumentNotFoundError, StorageError
+from repro.shape.cardinality import Card
+from repro.shape.shape import Shape
+from repro.shape.types import DataType, ShapeType, TypeTable
+from repro.storage import tables
+from repro.storage.btree import BPlusTree
+from repro.storage.pages import BufferPool, PagedFile
+from repro.storage.shredder import shred
+from repro.storage.stats import CostModel, SystemStats
+from repro.xmltree.node import XmlForest, XmlNode
+from repro.xmltree.parser import parse_forest
+
+
+class Database:
+    """An embedded XMorph database in a single file."""
+
+    def __init__(
+        self,
+        path: str,
+        cache_pages: int = 2048,
+        model: Optional[CostModel] = None,
+        durable: bool = True,
+    ):
+        self.stats = SystemStats(model or CostModel())
+        self._file = PagedFile(path, self.stats)
+        journal = None
+        if durable:
+            from repro.storage.journal import Journal
+
+            journal = Journal(path + ".journal")
+            journal.recover(self._file)
+        self.pool = BufferPool(self._file, capacity=cache_pages, journal=journal)
+        self.tree = BPlusTree(self.pool)
+        self._indexes: dict[str, StoredDocumentIndex] = {}
+        #: When true, a vmstat-style sample is recorded after every type
+        #: sequence load (drives the Figure 11–13 time series).
+        self.sample_progress = False
+
+    # -- document management ------------------------------------------------
+
+    def store_document(self, name: str, source: str | XmlForest) -> dict:
+        """Shred a document (XML text or a parsed forest) into the store."""
+        if name in self.document_names():
+            raise StorageError(f"document {name!r} already stored")
+        forest = parse_forest(source) if isinstance(source, str) else source
+        descriptor = shred(self.tree, self._next_doc_id(), name, forest)
+        self.pool.flush()
+        return descriptor
+
+    def document_names(self) -> list[str]:
+        return [
+            key[1:].decode()
+            for key, _value in self.tree.scan_prefix(b"D")
+        ]
+
+    def describe(self, name: str) -> dict:
+        raw = self.tree.get(tables.catalog_key(name))
+        if raw is None:
+            raise DocumentNotFoundError(name)
+        return json.loads(raw.decode())
+
+    def index(self, name: str) -> "StoredDocumentIndex":
+        if name not in self._indexes:
+            self._indexes[name] = StoredDocumentIndex(self, self.describe(name))
+        return self._indexes[name]
+
+    # -- evaluation -------------------------------------------------------------
+
+    def transform(self, name: str, guard: str) -> TransformResult:
+        """Compile, type-check and render a guard over a stored document."""
+        result = Interpreter(self.index(name)).transform(guard)
+        self._charge_compile(name)
+        if result.rendered is not None:
+            # Output construction: copies, joins and provenance tracking.
+            self.stats.charge_cpu(
+                6 * result.rendered.nodes_written + 2 * result.rendered.nodes_read
+            )
+        return result
+
+    def compile(self, name: str, guard: str) -> TransformResult:
+        """Everything but rendering — touches only shape records."""
+        result = Interpreter(self.index(name)).compile(guard)
+        self._charge_compile(name)
+        return result
+
+    def stream_transform(self, name: str, guard: str, out) -> "object":
+        """Compile a guard and stream the rendered XML into ``out``.
+
+        The streaming renderer never materializes the output forest, so
+        this is the lowest-memory way to transform a stored document
+        into a file or socket.  Returns the stream statistics.
+        """
+        from repro.engine.stream import render_stream
+
+        compiled = self.compile(name, guard)
+        stats = render_stream(compiled.target_shape, self.index(name), out)
+        self.stats.charge_cpu(4 * stats.nodes_written)
+        return stats
+
+    def _charge_compile(self, name: str) -> None:
+        """Compilation cost model: the loss analysis is all-pairs over types."""
+        type_count = len(self.index(name).type_table)
+        self.stats.charge_cpu(2 * type_count * type_count)
+
+    def load_forest(self, name: str) -> XmlForest:
+        """Reconstruct a full document from its Nodes records."""
+        descriptor = self.describe(name)
+        doc_id = descriptor["doc_id"]
+        index = self.index(name)
+        prefix = b"N" + doc_id.to_bytes(4, "big")
+        forest = XmlForest()
+        by_dewey: dict[tuple, XmlNode] = {}
+        for key, value in self.tree.scan_prefix(prefix):
+            dewey = tables.decode_dewey(key[len(prefix):])
+            record = tables.decode_node_value(dewey, value)
+            data_type = index.type_table.by_id(record.type_id)
+            node = XmlNode(data_type.name, record.kind, tables.read_text(self.tree, doc_id, record))
+            node.dewey = dewey
+            by_dewey[dewey.parts] = node
+            parent = dewey.parent
+            if parent is None:
+                forest.append(node)
+            else:
+                by_dewey[parent.parts].append(node)
+        self.stats.charge_cpu(len(by_dewey))
+        return forest
+
+    def grouped_sequence(self, name: str, dotted_type: str) -> list[tuple]:
+        """Read a type's GroupedSequence records: (parent Dewey, Dewey) pairs.
+
+        This is Figure 8's fourth table — the per-parent grouping of a
+        type's nodes, stored at shred time.  The pairs come back in
+        document order, which groups children under their parent.
+        """
+        import struct
+
+        index = self.index(name)
+        matches = index.type_table.match_label(dotted_type)
+        if not matches:
+            raise StorageError(f"no type matching {dotted_type!r} in {name!r}")
+        pairs: list[tuple] = []
+        for data_type in matches:
+            prefix = (
+                b"G"
+                + index.doc_id.to_bytes(4, "big")
+                + data_type.type_id.to_bytes(4, "big")
+            )
+            for _key, chunk in self.tree.scan_prefix(prefix):
+                offset = 0
+                while offset < len(chunk):
+                    parent_len, own_len = struct.unpack_from("<BB", chunk, offset)
+                    offset += 2
+                    parent = (
+                        tables.decode_dewey(chunk[offset : offset + parent_len])
+                        if parent_len
+                        else None
+                    )
+                    offset += parent_len
+                    own = tables.decode_dewey(chunk[offset : offset + own_len])
+                    offset += own_len
+                    pairs.append((parent, own))
+        return pairs
+
+    def drop_document(self, name: str) -> int:
+        """Remove a document and all its records; returns entries deleted.
+
+        Deletion is lazy at the B+tree level (pages are not reclaimed),
+        which matches the store's write-once/scan-mostly design; the
+        catalog, shape, node, sequence and overflow keyspaces all clear.
+        """
+        descriptor = self.describe(name)
+        doc_id: int = descriptor["doc_id"]
+        prefix = doc_id.to_bytes(4, "big")
+        deleted = 0
+        for keyspace in (b"N", b"S", b"T", b"G", b"V"):
+            victims = [key for key, _value in self.tree.scan_prefix(keyspace + prefix)]
+            for key in victims:
+                self.tree.delete(key)
+            deleted += len(victims)
+        self.tree.delete(tables.catalog_key(name))
+        self._indexes.pop(name, None)
+        self.pool.flush()
+        return deleted + 1
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def drop_cache(self) -> None:
+        """Flush and empty the buffer pool and loaded sequences ("cold cache")."""
+        self.pool.drop_cache()
+        for index in self._indexes.values():
+            index.drop_cache()
+        self._indexes.clear()
+
+    def flush(self) -> None:
+        self.pool.flush()
+        self._file.sync()
+
+    def close(self) -> None:
+        self.pool.flush()
+        self._file.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _next_doc_id(self) -> int:
+        raw = self.tree.get(tables.META_KEY)
+        next_id = int.from_bytes(raw, "big") if raw else 0
+        self.tree.put(tables.META_KEY, (next_id + 1).to_bytes(4, "big"))
+        return next_id
+
+
+#: Rough per-node memory footprint used for the Figure 13 accounting.
+_NODE_OVERHEAD = 120
+
+
+class StoredDocumentIndex(BaseIndex):
+    """A document index backed by the store.
+
+    The shape and type table load eagerly from the (tiny) AdornedShapes
+    records; node sequences load lazily per type, charging block I/O
+    and simulated memory.  Type distances derive from root paths: the
+    distance between two types is the distance between their paths'
+    common prefix and each type — exact whenever the two types co-occur
+    under a common-prefix instance, which holds for DataGuide-shaped
+    data (the in-memory :class:`~repro.closeness.DocumentIndex` is the
+    exact reference; tests cross-check the two).
+    """
+
+    def __init__(self, database: Database, descriptor: dict):
+        self.database = database
+        self.doc_id: int = descriptor["doc_id"]
+        self.name: str = descriptor["name"]
+        self._node_count: int = descriptor["nodes"]
+        shape_chunks = tables.load_chunks(
+            database.tree, b"S" + self.doc_id.to_bytes(4, "big")
+        )
+        if not shape_chunks:
+            raise StorageError(f"document {self.name!r} has no stored shape")
+        shape_info = tables.decode_shape(shape_chunks)
+        self.type_table = TypeTable()
+        self._counts: dict[int, int] = {}
+        for type_id, path in sorted(shape_info["types"]):
+            interned = self.type_table.intern(tuple(path))
+            if interned.type_id != type_id:
+                raise StorageError("type table corrupted: id mismatch")
+        self.shape = Shape()
+        self._shape_of: dict[DataType, ShapeType] = {}
+        for data_type in self.type_table:
+            vertex = ShapeType.for_source(data_type)
+            self._shape_of[data_type] = vertex
+            self.shape.add_type(vertex)
+        for parent_id, child_id, low, high in shape_info["edges"]:
+            self.shape.add_edge(
+                self._shape_of[self.type_table.by_id(parent_id)],
+                self._shape_of[self.type_table.by_id(child_id)],
+                Card(low, high),
+            )
+        for type_id, count in shape_info["counts"].items():
+            self._counts[int(type_id)] = count
+        self._sequences: dict[int, list[XmlNode]] = {}
+        self._type_of: dict[int, DataType] = {}
+        self._loaded_bytes = 0
+
+    # -- BaseIndex interface ----------------------------------------------------
+
+    def types(self) -> list[DataType]:
+        return list(self.type_table)
+
+    def shape_vertex(self, data_type: DataType) -> Optional[ShapeType]:
+        return self._shape_of.get(data_type)
+
+    def type_of(self, node: XmlNode) -> DataType:
+        return self._type_of[id(node)]
+
+    def type_distance(self, first: DataType, second: DataType) -> Optional[int]:
+        if first is second:
+            return 0
+        shared = 0
+        for a, b in zip(first.path, second.path):
+            if a != b:
+                break
+            shared += 1
+        if shared == 0:
+            return None
+        return (first.level - (shared - 1)) + (second.level - (shared - 1))
+
+    def nodes_of(self, data_type: DataType) -> list[XmlNode]:
+        cached = self._sequences.get(data_type.type_id)
+        if cached is not None:
+            return cached
+        tree = self.database.tree
+        prefix = (
+            b"T"
+            + self.doc_id.to_bytes(4, "big")
+            + data_type.type_id.to_bytes(4, "big")
+        )
+        nodes: list[XmlNode] = []
+        for _key, chunk in tree.scan_prefix(prefix):
+            for record in tables.unpack_sequence(data_type.type_id, chunk):
+                node = XmlNode(
+                    data_type.name,
+                    record.kind,
+                    tables.read_text(tree, self.doc_id, record),
+                )
+                node.dewey = record.dewey
+                self._type_of[id(node)] = data_type
+                nodes.append(node)
+        self._sequences[data_type.type_id] = nodes
+        footprint = sum(_NODE_OVERHEAD + len(n.text) for n in nodes)
+        self._loaded_bytes += footprint
+        self.database.stats.allocate(footprint)
+        self.database.stats.charge_cpu(len(nodes))
+        if self.database.sample_progress:
+            self.database.stats.sample(f"load:{data_type.dotted}")
+        return nodes
+
+    # -- extras -----------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return self._node_count
+
+    def count_of(self, data_type: DataType) -> int:
+        return self._counts.get(data_type.type_id, 0)
+
+    def drop_cache(self) -> None:
+        self._sequences.clear()
+        self._type_of.clear()
+        self.database.stats.release(self._loaded_bytes)
+        self._loaded_bytes = 0

@@ -1,0 +1,107 @@
+"""A write-ahead journal for crash-safe page flushes.
+
+BerkeleyDB (the paper's store) is transactional; our substitute gets a
+minimal equivalent: before dirty pages are written in place, they are
+appended to a journal file and fsynced; a commit marker seals the
+batch; only then are the pages applied to the main file and the journal
+cleared.  On open, a sealed journal is replayed (the crash happened
+mid-apply), and an unsealed one is discarded (the crash happened
+mid-journal, the main file is untouched).
+
+Journal layout::
+
+    MAGIC "XMJL" | count u32 | (page_id u32 | PAGE_SIZE bytes) * count | "DONE"
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Mapping
+
+from repro.storage.pages import PAGE_SIZE, PagedFile
+
+_MAGIC = b"XMJL"
+_SEAL = b"DONE"
+_HEADER = struct.Struct("<4sI")
+_ENTRY_HEADER = struct.Struct("<I")
+
+
+class Journal:
+    """The write-ahead journal of one database file."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    # -- writing ------------------------------------------------------------
+
+    def write(self, pages: Mapping[int, bytes]) -> None:
+        """Durably record a batch of page images (not yet applied)."""
+        if not pages:
+            return
+        blob = bytearray(_HEADER.pack(_MAGIC, len(pages)))
+        for page_id in sorted(pages):
+            data = pages[page_id]
+            if len(data) != PAGE_SIZE:
+                raise ValueError(f"journal entry for page {page_id} has wrong size")
+            blob += _ENTRY_HEADER.pack(page_id)
+            blob += data
+        blob += _SEAL
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, bytes(blob))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def clear(self) -> None:
+        """Forget the journal after a successful apply."""
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+
+    # -- recovery ----------------------------------------------------------------
+
+    def pending(self) -> dict[int, bytes] | None:
+        """The sealed batch awaiting replay, or ``None``.
+
+        An unsealed/corrupt journal means the crash happened before the
+        commit point: the main file was never touched, so the journal
+        is simply discarded.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            return None
+        if len(blob) < _HEADER.size + len(_SEAL) or not blob.endswith(_SEAL):
+            self.clear()
+            return None
+        magic, count = _HEADER.unpack_from(blob, 0)
+        if magic != _MAGIC:
+            self.clear()
+            return None
+        expected = _HEADER.size + count * (_ENTRY_HEADER.size + PAGE_SIZE) + len(_SEAL)
+        if len(blob) != expected:
+            self.clear()
+            return None
+        pages: dict[int, bytes] = {}
+        offset = _HEADER.size
+        for _ in range(count):
+            (page_id,) = _ENTRY_HEADER.unpack_from(blob, offset)
+            offset += _ENTRY_HEADER.size
+            pages[page_id] = blob[offset : offset + PAGE_SIZE]
+            offset += PAGE_SIZE
+        return pages
+
+    def recover(self, file: PagedFile) -> int:
+        """Replay a sealed journal into the main file; returns pages applied."""
+        pages = self.pending()
+        if pages is None:
+            return 0
+        for page_id, data in pages.items():
+            while page_id >= file.page_count:
+                file.allocate()
+            file.write_page(page_id, data)
+        file.sync()
+        self.clear()
+        return len(pages)

@@ -1,0 +1,159 @@
+"""Paged file storage with an LRU buffer pool.
+
+All persistent data lives in fixed-size pages of one file per database.
+The buffer pool caches pages, tracks dirty state and evicts
+least-recently-used pages, writing them back; every physical page read
+or write is reported to :class:`~repro.storage.stats.SystemStats`.
+This is the layer where the paper's block-I/O numbers (Figures 11–12)
+come from.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import PageError
+from repro.storage.stats import SystemStats
+
+PAGE_SIZE = 4096
+
+
+class PagedFile:
+    """A file of fixed-size pages with I/O accounting."""
+
+    def __init__(self, path: str, stats: SystemStats):
+        self.path = path
+        self.stats = stats
+        flags = os.O_RDWR | os.O_CREAT
+        self._fd = os.open(path, flags, 0o644)
+        size = os.fstat(self._fd).st_size
+        if size % PAGE_SIZE:
+            raise PageError(f"{path} is not page-aligned ({size} bytes)")
+        self._page_count = size // PAGE_SIZE
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    def allocate(self) -> int:
+        """Extend the file by one (zeroed) page; returns its id."""
+        page_id = self._page_count
+        self._page_count += 1
+        os.pwrite(self._fd, bytes(PAGE_SIZE), page_id * PAGE_SIZE)
+        self.stats.block_write()
+        return page_id
+
+    def read_page(self, page_id: int) -> bytearray:
+        self._check(page_id)
+        data = os.pread(self._fd, PAGE_SIZE, page_id * PAGE_SIZE)
+        self.stats.block_read()
+        return bytearray(data)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        self._check(page_id)
+        if len(data) != PAGE_SIZE:
+            raise PageError(f"page payload must be {PAGE_SIZE} bytes, got {len(data)}")
+        os.pwrite(self._fd, data, page_id * PAGE_SIZE)
+        self.stats.block_write()
+
+    def sync(self) -> None:
+        os.fsync(self._fd)
+
+    def close(self) -> None:
+        os.close(self._fd)
+
+    def _check(self, page_id: int) -> None:
+        if page_id < 0 or page_id >= self._page_count:
+            raise PageError(f"page {page_id} out of range (0..{self._page_count - 1})")
+
+
+class BufferPool:
+    """An LRU cache of pages over a :class:`PagedFile`.
+
+    ``capacity`` is in pages.  Cached page buffers count against the
+    simulated memory budget, so Figure 13's available-memory curve
+    reflects the pool filling up.
+    """
+
+    def __init__(self, file: PagedFile, capacity: int = 1024, journal=None):
+        if capacity < 1:
+            raise PageError("buffer pool needs capacity >= 1")
+        self.file = file
+        self.capacity = capacity
+        #: Optional :class:`repro.storage.journal.Journal`: when set,
+        #: every write-back (flush batch or dirty eviction) is recorded
+        #: in the write-ahead journal before touching the main file.
+        self.journal = journal
+        self._pages: OrderedDict[int, bytearray] = OrderedDict()
+        self._dirty: set[int] = set()
+
+    @property
+    def stats(self) -> SystemStats:
+        return self.file.stats
+
+    def allocate(self) -> int:
+        page_id = self.file.allocate()
+        self._install(page_id, bytearray(PAGE_SIZE))
+        return page_id
+
+    def get(self, page_id: int) -> bytearray:
+        """The page's buffer (cached); mutations need :meth:`mark_dirty`."""
+        cached = self._pages.get(page_id)
+        if cached is not None:
+            self._pages.move_to_end(page_id)
+            return cached
+        data = self.file.read_page(page_id)
+        self._install(page_id, data)
+        return data
+
+    def mark_dirty(self, page_id: int) -> None:
+        if page_id not in self._pages:
+            raise PageError(f"page {page_id} is not resident")
+        self._dirty.add(page_id)
+
+    def flush(self) -> None:
+        """Write back every dirty page (keeps them cached).
+
+        With a journal attached this is a crash-safe commit: the batch
+        is journaled and fsynced first, applied second, cleared last.
+        """
+        if not self._dirty:
+            return
+        if self.journal is not None:
+            self.journal.write(
+                {page_id: bytes(self._pages[page_id]) for page_id in self._dirty}
+            )
+        for page_id in sorted(self._dirty):
+            self.file.write_page(page_id, bytes(self._pages[page_id]))
+        self._dirty.clear()
+        if self.journal is not None:
+            self.file.sync()
+            self.journal.clear()
+
+    def drop_cache(self) -> None:
+        """Flush and forget everything (the benchmarks' 'cold cache')."""
+        self.flush()
+        self.stats.release(len(self._pages) * PAGE_SIZE)
+        self._pages.clear()
+
+    @property
+    def resident(self) -> int:
+        return len(self._pages)
+
+    def _install(self, page_id: int, data: bytearray) -> None:
+        self._pages[page_id] = data
+        self._pages.move_to_end(page_id)
+        self.stats.allocate(PAGE_SIZE)
+        while len(self._pages) > self.capacity:
+            victim, buffer = self._pages.popitem(last=False)
+            if victim in self._dirty:
+                if self.journal is not None:
+                    self.journal.write({victim: bytes(buffer)})
+                self.file.write_page(victim, bytes(buffer))
+                self._dirty.discard(victim)
+                if self.journal is not None:
+                    self.file.sync()
+                    self.journal.clear()
+            self.stats.release(PAGE_SIZE)

@@ -1,0 +1,112 @@
+"""The XMorph data shredder (Figure 8, left).
+
+Shredding takes an XML document and writes the four tables: one Nodes
+record per vertex, the document's adorned shape, and the per-type
+sequence tables the render algorithm scans.  This is a one-time cost —
+the paper reports it separately (20–115 s for the XMark factors) and
+excludes it from the transformation timings, as do our benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.shape.dataguide import DataGuideBuilder
+from repro.storage.btree import BPlusTree
+from repro.storage import tables
+from repro.storage.tables import NodeRecord
+from repro.xmltree.node import XmlForest
+
+
+def shred(tree: BPlusTree, doc_id: int, name: str, forest: XmlForest) -> dict:
+    """Write a forest's tables; returns the catalog descriptor."""
+    started = time.perf_counter()
+    builder = DataGuideBuilder().build(forest)
+
+    by_type: dict[int, list[NodeRecord]] = {}
+    node_count = 0
+    text_bytes = 0
+    for node in forest.iter_nodes():
+        data_type = builder.type_of[id(node)]
+        text_bytes += len(node.text)
+        inline, overflow = tables.write_text(tree, doc_id, node.dewey, node.text)
+        record = NodeRecord(node.dewey, data_type.type_id, node.kind, inline, overflow)
+        tree.put(tables.node_key(doc_id, node.dewey), tables.encode_node_value(record))
+        by_type.setdefault(data_type.type_id, []).append(record)
+        node_count += 1
+    tree.pool.stats.charge_cpu(node_count * 4)
+
+    for type_id, records in by_type.items():
+        for chunk_no, chunk in enumerate(tables.pack_sequence(records)):
+            tree.put(tables.sequence_key(doc_id, type_id, chunk_no), chunk)
+        # GroupedSequence: the same nodes keyed for per-parent grouping.
+        # For root-path types document order already groups children
+        # under their parent, so the payload is the (parent, node) pair
+        # stream in that order.
+        grouped = _pack_grouped(records)
+        for chunk_no, chunk in enumerate(grouped):
+            tree.put(tables.grouped_key(doc_id, type_id, chunk_no), chunk)
+
+    descriptor = {
+        "doc_id": doc_id,
+        "name": name,
+        "nodes": node_count,
+        "text_bytes": text_bytes,
+        "shape": _shape_descriptor(builder),
+        "shred_seconds": time.perf_counter() - started,
+    }
+    shape_chunks = tables.encode_shape(descriptor["shape"])
+    for chunk_no, chunk in enumerate(shape_chunks):
+        tree.put(tables.shape_key(doc_id, chunk_no), chunk)
+    catalog = dict(descriptor)
+    del catalog["shape"]  # the shape lives in its own (chunked) records
+    tree.put(tables.catalog_key(name), tables.encode_shape(catalog)[0])
+    return descriptor
+
+
+def _shape_descriptor(builder: DataGuideBuilder) -> dict:
+    types = [[t.type_id, list(t.path)] for t in builder.type_table]
+    edges = []
+    for edge in builder.shape.edges():
+        edges.append(
+            [
+                edge.parent.source.type_id,
+                edge.child.source.type_id,
+                edge.card.lo,
+                edge.card.hi,
+            ]
+        )
+    counts = {
+        str(builder.type_of[id(node)].type_id): 0 for node in ()
+    }  # populated below
+    tally: dict[int, int] = {}
+    for data_type in builder.type_table:
+        tally[data_type.type_id] = 0
+    for type_ in builder.type_of.values():
+        tally[type_.type_id] += 1
+    counts = {str(type_id): count for type_id, count in tally.items()}
+    return {"types": types, "edges": edges, "counts": counts}
+
+
+def _pack_grouped(records: list[NodeRecord]) -> list[bytes]:
+    """Pack (parent dewey, node dewey) pairs for the GroupedSequence table."""
+    import struct
+
+    chunks: list[bytes] = []
+    buffer = bytearray()
+    for record in records:
+        parent = record.dewey.parent
+        parent_bytes = tables.encode_dewey(parent) if parent is not None else b""
+        own_bytes = tables.encode_dewey(record.dewey)
+        entry = (
+            struct.pack("<BB", len(parent_bytes), len(own_bytes))
+            + parent_bytes
+            + own_bytes
+        )
+        if buffer and len(buffer) + len(entry) > tables.CHUNK_BYTES:
+            chunks.append(bytes(buffer))
+            buffer = bytearray()
+        buffer += entry
+    if buffer:
+        chunks.append(bytes(buffer))
+    return chunks

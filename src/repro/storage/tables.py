@@ -1,0 +1,210 @@
+"""The database tables of Figure 8, mapped onto B+tree keyspaces.
+
+Key layout (all multi-byte integers big-endian so byte order is value
+order):
+
+====================  =======================================================
+``b"C"``              catalog meta (next document id)
+``b"D" name``         catalog: document name -> descriptor (JSON)
+``b"N" doc dewey``    Nodes: node id -> (type, kind, value)
+``b"S" doc chunk``    AdornedShapes: the document's shape (JSON, chunked)
+``b"T" doc type ck``  TypeToSequence: per-type node sequence (packed, chunked)
+``b"G" doc type ck``  GroupedSequence: per-type (parent, node) pairs (packed)
+``b"V" doc dewey ck`` Value overflow: long text content, chunked
+====================  =======================================================
+
+Dewey identifiers encode each component as 3 bytes big-endian, so
+lexicographic byte order equals document order (shorter ids sort before
+their descendants, matching tuple order).
+
+Values larger than ~3.5 KiB never enter the tree: long node text goes
+to the overflow keyspace and sequences/shapes are chunked.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.btree import BPlusTree
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.node import NodeKind
+
+#: Payload budget per chunk, comfortably under the B+tree entry limit.
+CHUNK_BYTES = 3200
+#: Text longer than this goes to the overflow keyspace.
+INLINE_TEXT = 1500
+
+_COMPONENT_MAX = (1 << 24) - 1
+
+
+# ---------------------------------------------------------------------------
+# Dewey and key encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_dewey(dewey: Dewey) -> bytes:
+    out = bytearray()
+    for part in dewey.parts:
+        if part > _COMPONENT_MAX:
+            raise StorageError(f"Dewey component {part} exceeds storage limit")
+        out += part.to_bytes(3, "big")
+    return bytes(out)
+
+
+def decode_dewey(data: bytes) -> Dewey:
+    parts = tuple(
+        int.from_bytes(data[offset : offset + 3], "big")
+        for offset in range(0, len(data), 3)
+    )
+    return Dewey(parts)
+
+
+def catalog_key(name: str) -> bytes:
+    return b"D" + name.encode()
+
+
+def node_key(doc_id: int, dewey: Dewey) -> bytes:
+    return b"N" + doc_id.to_bytes(4, "big") + encode_dewey(dewey)
+
+
+def shape_key(doc_id: int, chunk: int) -> bytes:
+    return b"S" + doc_id.to_bytes(4, "big") + chunk.to_bytes(4, "big")
+
+
+def sequence_key(doc_id: int, type_id: int, chunk: int) -> bytes:
+    return b"T" + doc_id.to_bytes(4, "big") + type_id.to_bytes(4, "big") + chunk.to_bytes(4, "big")
+
+
+def grouped_key(doc_id: int, type_id: int, chunk: int) -> bytes:
+    return b"G" + doc_id.to_bytes(4, "big") + type_id.to_bytes(4, "big") + chunk.to_bytes(4, "big")
+
+
+def overflow_key(doc_id: int, dewey: Dewey, chunk: int) -> bytes:
+    return b"V" + doc_id.to_bytes(4, "big") + encode_dewey(dewey) + chunk.to_bytes(2, "big")
+
+
+META_KEY = b"C"
+
+
+# ---------------------------------------------------------------------------
+# Record codecs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class NodeRecord:
+    """One vertex as stored: type, kind, and (possibly overflowed) text."""
+
+    dewey: Dewey
+    type_id: int
+    kind: NodeKind
+    text: str
+    overflow_chunks: int = 0  # > 0 when text lives in the overflow keyspace
+
+
+def write_text(tree: BPlusTree, doc_id: int, dewey: Dewey, text: str) -> tuple[str, int]:
+    """Store long text in overflow; returns (inline text, chunk count)."""
+    raw = text.encode()
+    if len(raw) <= INLINE_TEXT:
+        return text, 0
+    chunks = [raw[i : i + CHUNK_BYTES] for i in range(0, len(raw), CHUNK_BYTES)]
+    for number, chunk in enumerate(chunks):
+        tree.put(overflow_key(doc_id, dewey, number), chunk)
+    return "", len(chunks)
+
+
+def read_text(tree: BPlusTree, doc_id: int, record: NodeRecord) -> str:
+    if record.overflow_chunks == 0:
+        return record.text
+    pieces = [
+        tree.get(overflow_key(doc_id, record.dewey, number)) or b""
+        for number in range(record.overflow_chunks)
+    ]
+    return b"".join(pieces).decode()
+
+
+_NODE_HEAD = struct.Struct("<IBH")  # type_id, kind+overflow flag, chunks/text len
+
+
+def encode_node_value(record: NodeRecord) -> bytes:
+    kind_bit = 1 if record.kind is NodeKind.ATTRIBUTE else 0
+    if record.overflow_chunks:
+        head = _NODE_HEAD.pack(record.type_id, kind_bit | 2, record.overflow_chunks)
+        return head
+    raw = record.text.encode()
+    return _NODE_HEAD.pack(record.type_id, kind_bit, len(raw)) + raw
+
+
+def decode_node_value(dewey: Dewey, value: bytes) -> NodeRecord:
+    type_id, flags, extra = _NODE_HEAD.unpack_from(value, 0)
+    kind = NodeKind.ATTRIBUTE if flags & 1 else NodeKind.ELEMENT
+    if flags & 2:
+        return NodeRecord(dewey, type_id, kind, "", overflow_chunks=extra)
+    text = value[_NODE_HEAD.size : _NODE_HEAD.size + extra].decode()
+    return NodeRecord(dewey, type_id, kind, text)
+
+
+# -- packed sequence entries (TypeToSequence / GroupedSequence) -------------
+
+
+def pack_sequence(records: list[NodeRecord]) -> Iterator[bytes]:
+    """Pack records into chunk values of at most CHUNK_BYTES."""
+    buffer = bytearray()
+    for record in records:
+        dewey_bytes = encode_dewey(record.dewey)
+        kind_bit = 1 if record.kind is NodeKind.ATTRIBUTE else 0
+        if record.overflow_chunks:
+            body = struct.pack("<BH", kind_bit | 2, record.overflow_chunks)
+        else:
+            raw = record.text.encode()
+            body = struct.pack("<BH", kind_bit, len(raw)) + raw
+        entry = struct.pack("<B", len(dewey_bytes)) + dewey_bytes + body
+        if buffer and len(buffer) + len(entry) > CHUNK_BYTES:
+            yield bytes(buffer)
+            buffer = bytearray()
+        buffer += entry
+    if buffer:
+        yield bytes(buffer)
+
+
+def unpack_sequence(type_id: int, chunk: bytes) -> Iterator[NodeRecord]:
+    offset = 0
+    while offset < len(chunk):
+        (dewey_len,) = struct.unpack_from("<B", chunk, offset)
+        offset += 1
+        dewey = decode_dewey(chunk[offset : offset + dewey_len])
+        offset += dewey_len
+        flags, extra = struct.unpack_from("<BH", chunk, offset)
+        offset += 3
+        kind = NodeKind.ATTRIBUTE if flags & 1 else NodeKind.ELEMENT
+        if flags & 2:
+            yield NodeRecord(dewey, type_id, kind, "", overflow_chunks=extra)
+        else:
+            text = chunk[offset : offset + extra].decode()
+            offset += extra
+            yield NodeRecord(dewey, type_id, kind, text)
+
+
+# -- shape serialization ------------------------------------------------------------
+
+
+def encode_shape(descriptor: dict) -> list[bytes]:
+    raw = json.dumps(descriptor, separators=(",", ":")).encode()
+    return [raw[i : i + CHUNK_BYTES] for i in range(0, len(raw), CHUNK_BYTES)] or [b"{}"]
+
+
+def decode_shape(chunks: list[bytes]) -> dict:
+    return json.loads(b"".join(chunks).decode())
+
+
+def store_chunks(tree: BPlusTree, keys: Iterator[bytes] | list[bytes], chunks: list[bytes]) -> None:
+    for key, chunk in zip(keys, chunks):
+        tree.put(key, chunk)
+
+
+def load_chunks(tree: BPlusTree, prefix: bytes) -> list[bytes]:
+    return [value for _key, value in tree.scan_prefix(prefix)]

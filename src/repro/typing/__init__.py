@@ -1,0 +1,34 @@
+"""The guard type system: potential information loss (Section V).
+
+A transformation's loss properties are determined *before touching the
+data*, by comparing path cardinalities of the source shape against the
+predicted cardinalities of the target shape (Theorems 1 and 2):
+
+* **inclusive** (no data lost) unless some pair's minimum path
+  cardinality rises from zero to non-zero;
+* **non-additive** (no data manufactured) unless some pair's maximum
+  path cardinality increases.
+
+In the paper's type-system vocabulary a guard is *strongly-typed* when
+the transformation is both (reversible), *narrowing* when it is only
+non-additive, *widening* when it is only inclusive, *weakly-typed* when
+neither; a label matching no type is a *type mismatch*.
+"""
+
+from repro.typing.loss import (
+    GuardType,
+    LossFinding,
+    LossKind,
+    LossReport,
+    analyze_loss,
+)
+from repro.typing.enforce import enforce
+
+__all__ = [
+    "GuardType",
+    "LossFinding",
+    "LossKind",
+    "LossReport",
+    "analyze_loss",
+    "enforce",
+]

@@ -1,0 +1,43 @@
+"""Type enforcement: gate rendering on the guard's typing (Section III).
+
+"By default only strongly-typed guards are allowed."  The ``CAST``
+family relaxes enforcement; ``!``-marked labels accept specific
+findings.  Enforcement considers only *unaccepted* findings, so a guard
+with every lossy spot ``!``-marked passes without any CAST wrapper —
+the workflow the paper describes (run, read the loss report, annotate).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GuardTypeError
+from repro.algebra.build import Enforcement
+from repro.typing.loss import LossKind, LossReport
+
+
+def enforce(report: LossReport, enforcement: Enforcement) -> None:
+    """Raise :class:`GuardTypeError` when the report violates the policy."""
+    lost = [f for f in report.unaccepted() if f.kind is LossKind.LOST]
+    added = [f for f in report.unaccepted() if f.kind is LossKind.ADDED]
+
+    if lost and added and not enforcement.allow_weak:
+        raise GuardTypeError(
+            "guard is weakly-typed (the transformation may both lose and "
+            "manufacture data); wrap it in CAST to allow this",
+            report=report,
+        )
+    if lost and not enforcement.allow_narrowing:
+        detail = "; ".join(str(f) for f in lost[:3])
+        raise GuardTypeError(
+            f"guard is narrowing (the transformation may lose data): {detail}; "
+            "wrap it in CAST-NARROWING to allow this, or mark the lossy "
+            "labels with !",
+            report=report,
+        )
+    if added and not enforcement.allow_widening:
+        detail = "; ".join(str(f) for f in added[:3])
+        raise GuardTypeError(
+            f"guard is widening (the transformation may manufacture data): {detail}; "
+            "wrap it in CAST-WIDENING to allow this, or mark the lossy "
+            "labels with !",
+            report=report,
+        )

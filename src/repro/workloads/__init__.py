@@ -1,0 +1,19 @@
+"""Deterministic workload generators for the paper's experiments.
+
+* :mod:`repro.workloads.xmark` — the XMark auction benchmark schema
+  (Figures 10–13, 15, 16); sized by the benchmark *factor* exactly as
+  the paper scales it.
+* :mod:`repro.workloads.dblp` — DBLP-shaped bibliography slices
+  (Figure 14), sized by publication count.
+* :mod:`repro.workloads.nasa` — the NASA ADC astronomy dataset shape
+  (Figure 15), notable for its long text content.
+
+All generators are seeded and pure: the same arguments produce the
+same forest on every run.
+"""
+
+from repro.workloads.xmark import generate_xmark
+from repro.workloads.dblp import generate_dblp
+from repro.workloads.nasa import generate_nasa
+
+__all__ = ["generate_xmark", "generate_dblp", "generate_nasa"]

@@ -1,0 +1,93 @@
+"""DBLP-shaped bibliography slices (the Figure 14 workload).
+
+The paper tests on slices of ``dblp.xml`` (134–518 MB), whose shape
+"roughly has the shape shown in Figure 1": a flat ``dblp`` root with
+hundreds of thousands of publication elements, each carrying authors,
+title, year, pages, url and venue fields.  Slices are sized by
+publication count, which scales linearly like the paper's byte slices.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.words import person_name, scaled, words
+from repro.xmltree.node import XmlForest, XmlNode, attribute, element
+from repro.xmltree.serializer import serialize
+
+_VENUES = (
+    "ICDE SIGMOD VLDB EDBT CIKM WWW KDD PODS SSDBM WebDB "
+    "TKDE TODS VLDBJ DKE IS JACM"
+).split()
+
+
+def generate_dblp(publications: int, seed: int = 42) -> XmlForest:
+    """A dblp slice with the given number of publication records."""
+    rng = random.Random(seed)
+    root = element("dblp")
+    for number in range(publications):
+        kind = rng.random()
+        if kind < 0.45:
+            root.append(_article(rng, number))
+        elif kind < 0.9:
+            root.append(_inproceedings(rng, number))
+        else:
+            root.append(_phdthesis(rng, number))
+    return XmlForest([root]).renumber()
+
+
+def generate_dblp_xml(publications: int, seed: int = 42) -> str:
+    return serialize(generate_dblp(publications, seed))
+
+
+def publications_for_megabytes(megabytes: float) -> int:
+    """Roughly how many records the paper's slices of a size held.
+
+    dblp.xml averages ≈ 380 bytes per publication record, so the
+    paper's 134 MB slice is on the order of 350k records.  Benchmarks
+    scale this down proportionally.
+    """
+    return scaled(megabytes * 2750, 1.0)
+
+
+def _common_fields(rng: random.Random, node: XmlNode, number: int) -> None:
+    for _ in range(rng.randint(1, 4)):
+        node.append(element("author", text=person_name(rng)))
+    node.append(element("title", text=words(rng, rng.randint(4, 10)) + "."))
+    node.append(element("year", text=str(rng.randint(1970, 2011))))
+
+
+def _article(rng: random.Random, number: int) -> XmlNode:
+    node = element("article", attribute("key", f"journals/x/{number}"))
+    _common_fields(rng, node, number)
+    node.append(element("journal", text=rng.choice(_VENUES)))
+    node.append(element("volume", text=str(rng.randint(1, 40))))
+    first = rng.randint(1, 400)
+    node.append(element("pages", text=f"{first}-{first + rng.randint(5, 30)}"))
+    node.append(element("url", text=f"db/journals/x/x{number}.html"))
+    if rng.random() < 0.7:
+        node.append(element("ee", text=f"http://doi.example.org/10.1000/{number}"))
+    return node
+
+
+def _inproceedings(rng: random.Random, number: int) -> XmlNode:
+    node = element("inproceedings", attribute("key", f"conf/x/{number}"))
+    _common_fields(rng, node, number)
+    node.append(element("booktitle", text=rng.choice(_VENUES)))
+    first = rng.randint(1, 900)
+    node.append(element("pages", text=f"{first}-{first + rng.randint(5, 15)}"))
+    node.append(element("url", text=f"db/conf/x/x{number}.html"))
+    if rng.random() < 0.6:
+        node.append(element("ee", text=f"http://doi.example.org/10.2000/{number}"))
+    if rng.random() < 0.3:
+        node.append(element("crossref", text=f"conf/x/{rng.randint(1990, 2011)}"))
+    return node
+
+
+def _phdthesis(rng: random.Random, number: int) -> XmlNode:
+    node = element("phdthesis", attribute("key", f"phd/x/{number}"))
+    node.append(element("author", text=person_name(rng)))
+    node.append(element("title", text=words(rng, rng.randint(5, 12)) + "."))
+    node.append(element("year", text=str(rng.randint(1970, 2011))))
+    node.append(element("school", text=rng.choice(["Utah State University", "NTU Singapore", "MIT", "ETH Zurich"])))
+    return node

@@ -1,0 +1,112 @@
+"""The NASA ADC astronomy dataset shape (a Figure 15 workload).
+
+The paper's third dataset is 23 MB of astronomy data from NASA's
+Astronomical Data Center.  Its published XML schema nests ``dataset``
+records with titles, alternate names, long ``abstract`` paragraphs,
+author lists with initials, journal references and table descriptions.
+The defining property for Figure 15 is the *large text content per
+element* (abstract paragraphs run to hundreds of words), which lowers
+element-per-second throughput relative to element-dense datasets —
+exactly the variation the paper attributes to "differences in the size
+of element content".
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.words import person_name, words
+from repro.xmltree.node import XmlForest, XmlNode, attribute, element
+from repro.xmltree.serializer import serialize
+
+
+def generate_nasa(datasets: int, seed: int = 42) -> XmlForest:
+    """An ADC-shaped document with the given number of dataset records."""
+    rng = random.Random(seed)
+    root = element("datasets")
+    for number in range(datasets):
+        root.append(_dataset(rng, number))
+    return XmlForest([root]).renumber()
+
+
+def generate_nasa_xml(datasets: int, seed: int = 42) -> str:
+    return serialize(generate_nasa(datasets, seed))
+
+
+def _dataset(rng: random.Random, number: int) -> XmlNode:
+    dataset = element(
+        "dataset",
+        attribute("subject", rng.choice(["astrometry", "photometry", "spectroscopy", "catalogs"])),
+        attribute("xmlns:xlink", "http://www.w3.org/XML/XLink/0.9"),
+        element("title", text=words(rng, rng.randint(5, 10))),
+    )
+    if rng.random() < 0.6:
+        altname = element("altname", text=f"ADC A{number}")
+        altname.append(attribute("type", "ADC"))
+        dataset.append(altname)
+    dataset.append(_reference(rng))
+    keywords = element("keywords")
+    keywords.append(attribute("parentListURL", "http://adc.example.gov/keywords"))
+    for _ in range(rng.randint(2, 5)):
+        keywords.append(element("keyword", text=words(rng, 1)))
+    dataset.append(keywords)
+
+    # The long-text heart of the dataset: multi-paragraph abstracts.
+    abstract = element("abstract")
+    for _ in range(rng.randint(1, 3)):
+        abstract.append(element("para", text=words(rng, rng.randint(80, 200))))
+    dataset.append(abstract)
+
+    descriptions = element("descriptions")
+    description = element("description")
+    description.append(element("details", text=words(rng, rng.randint(40, 120))))
+    descriptions.append(description)
+    dataset.append(descriptions)
+
+    dataset.append(_table_head(rng))
+    identifier = element("identifier", text=f"J_A+A_{number}")
+    dataset.append(identifier)
+    return dataset
+
+
+def _reference(rng: random.Random) -> XmlNode:
+    source = element("source")
+    other = element(
+        "other",
+        element("title", text=words(rng, rng.randint(4, 9))),
+    )
+    author_list = element("author")
+    author_list.append(element("initial", text=rng.choice("ABCDEFGHJK")))
+    author_list.append(element("lastName", text=person_name(rng).split()[-1]))
+    other.append(author_list)
+    other.append(element("name", text=rng.choice(["Astron. Astrophys.", "Astrophys. J.", "Mon. Not. R. Astron. Soc."])))
+    other.append(element("publisher", text=rng.choice(["ESO", "AAS", "RAS"])))
+    other.append(element("city", text=rng.choice(["Garching", "Washington", "London"])))
+    date = element("date")
+    date.append(element("year", text=str(rng.randint(1970, 2003))))
+    other.append(date)
+    source.append(other)
+    return element("reference", source)
+
+
+def _table_head(rng: random.Random) -> XmlNode:
+    table_head = element("tableHead")
+    table_links = element("tableLinks")
+    for _ in range(rng.randint(1, 3)):
+        link = element("tableLink")
+        link.append(attribute("xlink:href", f"table{rng.randint(1, 9)}.dat"))
+        link.append(element("description", text=words(rng, rng.randint(6, 15))))
+        table_links.append(link)
+    table_head.append(table_links)
+    fields = element("fields")
+    for _ in range(rng.randint(3, 8)):
+        fields.append(
+            element(
+                "field",
+                element("name", text=words(rng, 1)),
+                element("definition", text=words(rng, rng.randint(5, 12))),
+                element("units", text=rng.choice(["mag", "arcsec", "deg", "mas/yr", "km/s"])),
+            )
+        )
+    table_head.append(fields)
+    return table_head

@@ -1,0 +1,52 @@
+"""Shared deterministic text generation for the workload generators."""
+
+from __future__ import annotations
+
+import random
+
+WORDS = (
+    "auction bid price market value seller buyer item lot reserve gavel "
+    "catalogue estimate provenance condition rare antique modern signed "
+    "limited edition original print canvas bronze silver gold ceramic "
+    "archive record study survey analysis spectrum galaxy nebula cluster "
+    "stellar orbit telescope catalog magnitude redshift parallax motion "
+    "database query index transform schema element attribute document "
+    "author title publisher journal volume proceedings conference paper"
+).split()
+
+FIRST_NAMES = (
+    "Ada Alan Barbara Carl Dana Edgar Fiona Grace Henry Irene Jim Kathy "
+    "Leslie Miguel Nadia Omar Priya Quentin Rosa Sam Tina Umar Vera Wei "
+    "Xavier Yuki Zora"
+).split()
+
+LAST_NAMES = (
+    "Codd Hoare Liskov Dijkstra Knuth Lamport Gray Stonebraker Bayer "
+    "McCreight Astrahan Chamberlin Boyce Date Fagin Ullman Widom Tanaka "
+    "Garcia Chen Kumar Novak Silva Wang Mueller Rossi Dubois"
+).split()
+
+CITIES = (
+    "Logan Singapore Zurich Austin Bergen Kyoto Lagos Quito Tromso "
+    "Adelaide Leuven Bologna"
+).split()
+
+COUNTRIES = "USA Singapore Switzerland Norway Japan Nigeria Ecuador Australia Belgium Italy".split()
+
+
+def words(rng: random.Random, count: int) -> str:
+    """A deterministic 'sentence' of ``count`` words."""
+    return " ".join(rng.choice(WORDS) for _ in range(count))
+
+
+def person_name(rng: random.Random) -> str:
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def date(rng: random.Random) -> str:
+    return f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/{rng.randint(1998, 2011)}"
+
+
+def scaled(count: float, factor: float, minimum: int = 1) -> int:
+    """Scale a base population by the benchmark factor."""
+    return max(minimum, round(count * factor))

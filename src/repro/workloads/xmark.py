@@ -1,0 +1,274 @@
+"""The XMark auction benchmark generator (Section IX's main workload).
+
+Reproduces the XMark ``site`` schema — regions with items, categories,
+the category graph, people, open and closed auctions — with populations
+proportional to the real xmlgen's at the given *factor* (the paper uses
+factors 0.1–0.5 ≈ 11–55 MB; our benchmarks use smaller factors, and the
+size scales linearly in the factor exactly as in the paper).  The
+generated documents exercise the same structural features the paper's
+``MUTATE site`` transformation must cope with: hundreds of distinct
+path types, recursive ``parlist`` descriptions, attributes, references
+and mixed fan-outs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.words import CITIES, COUNTRIES, date, person_name, scaled, words
+from repro.xmltree.node import XmlForest, XmlNode, attribute, element
+from repro.xmltree.serializer import serialize
+
+_REGIONS = {
+    "africa": 550,
+    "asia": 2000,
+    "australia": 2200,
+    "europe": 6000,
+    "namerica": 10000,
+    "samerica": 1000,
+}
+_PEOPLE = 25500
+_OPEN_AUCTIONS = 12000
+_CLOSED_AUCTIONS = 9750
+_CATEGORIES = 1000
+_CATGRAPH_EDGES = 2500
+
+
+def generate_xmark(factor: float, seed: int = 42) -> XmlForest:
+    """Generate an XMark document at the given benchmark factor."""
+    rng = random.Random(seed)
+    site = element("site")
+
+    categories = scaled(_CATEGORIES, factor)
+    people = scaled(_PEOPLE, factor)
+    items: list[str] = []
+
+    regions = element("regions")
+    for region_name, base in _REGIONS.items():
+        region = element(region_name)
+        for _ in range(scaled(base, factor)):
+            item_id = f"item{len(items)}"
+            items.append(item_id)
+            region.append(_item(rng, item_id, categories))
+        regions.append(region)
+    site.append(regions)
+
+    site.append(_categories(rng, categories))
+    site.append(_catgraph(rng, scaled(_CATGRAPH_EDGES, factor), categories))
+    site.append(_people(rng, people, categories))
+    site.append(_open_auctions(rng, scaled(_OPEN_AUCTIONS, factor), items, people))
+    site.append(_closed_auctions(rng, scaled(_CLOSED_AUCTIONS, factor), items, people))
+
+    return XmlForest([site]).renumber()
+
+
+def generate_xmark_xml(factor: float, seed: int = 42) -> str:
+    return serialize(generate_xmark(factor, seed))
+
+
+# ---------------------------------------------------------------------------
+# Pieces
+# ---------------------------------------------------------------------------
+
+
+def _text_block(rng: random.Random) -> XmlNode:
+    """A ``text`` node with occasional keyword/bold/emph markup children."""
+    node = element("text", text=words(rng, rng.randint(6, 20)))
+    for markup in ("keyword", "bold", "emph"):
+        if rng.random() < 0.25:
+            node.append(element(markup, text=words(rng, 2)))
+    return node
+
+
+def _description(rng: random.Random, depth: int = 0) -> XmlNode:
+    description = element("description")
+    if depth < 2 and rng.random() < 0.3:
+        parlist = element("parlist")
+        for _ in range(rng.randint(1, 3)):
+            listitem = element("listitem")
+            if depth < 1 and rng.random() < 0.3:
+                listitem.append(_description(rng, depth + 1))
+            else:
+                listitem.append(_text_block(rng))
+            parlist.append(listitem)
+        description.append(parlist)
+    else:
+        description.append(_text_block(rng))
+    return description
+
+
+def _item(rng: random.Random, item_id: str, categories: int) -> XmlNode:
+    item = element(
+        "item",
+        attribute("id", item_id),
+        element("location", text=rng.choice(COUNTRIES)),
+        element("quantity", text=str(rng.randint(1, 5))),
+        element("name", text=words(rng, 3)),
+        element("payment", text="Creditcard"),
+    )
+    if rng.random() < 0.1:
+        item.append(attribute("featured", "yes"))
+    item.append(_description(rng))
+    item.append(element("shipping", text="Will ship internationally"))
+    for _ in range(rng.randint(1, 2)):
+        item.append(
+            element("incategory", attribute("category", f"category{rng.randrange(categories)}"))
+        )
+    mailbox = element("mailbox")
+    for _ in range(rng.randint(0, 2)):
+        mailbox.append(
+            element(
+                "mail",
+                element("from", text=person_name(rng)),
+                element("to", text=person_name(rng)),
+                element("date", text=date(rng)),
+                _text_block(rng),
+            )
+        )
+    item.append(mailbox)
+    return item
+
+
+def _categories(rng: random.Random, count: int) -> XmlNode:
+    categories = element("categories")
+    for number in range(count):
+        categories.append(
+            element(
+                "category",
+                attribute("id", f"category{number}"),
+                element("name", text=words(rng, 2)),
+                _description(rng),
+            )
+        )
+    return categories
+
+
+def _catgraph(rng: random.Random, edges: int, categories: int) -> XmlNode:
+    catgraph = element("catgraph")
+    for _ in range(edges):
+        catgraph.append(
+            element(
+                "edge",
+                attribute("from", f"category{rng.randrange(categories)}"),
+                attribute("to", f"category{rng.randrange(categories)}"),
+            )
+        )
+    return catgraph
+
+
+def _people(rng: random.Random, count: int, categories: int) -> XmlNode:
+    people = element("people")
+    for number in range(count):
+        person = element(
+            "person",
+            attribute("id", f"person{number}"),
+            element("name", text=person_name(rng)),
+            element("emailaddress", text=f"mailto:person{number}@example.org"),
+        )
+        if rng.random() < 0.6:
+            person.append(element("phone", text=f"+{rng.randint(1, 99)} {rng.randint(100, 999)} {rng.randint(1000, 9999)}"))
+        if rng.random() < 0.7:
+            address = element(
+                "address",
+                element("street", text=f"{rng.randint(1, 99)} {words(rng, 1)} St"),
+                element("city", text=rng.choice(CITIES)),
+                element("country", text=rng.choice(COUNTRIES)),
+                element("zipcode", text=str(rng.randint(10000, 99999))),
+            )
+            if rng.random() < 0.3:
+                address.append(element("province", text=words(rng, 1)))
+            person.append(address)
+        if rng.random() < 0.4:
+            person.append(element("homepage", text=f"http://example.org/~person{number}"))
+        if rng.random() < 0.5:
+            person.append(element("creditcard", text=" ".join(str(rng.randint(1000, 9999)) for _ in range(4))))
+        if rng.random() < 0.8:
+            profile = element("profile", attribute("income", f"{rng.uniform(9000, 90000):.2f}"))
+            for _ in range(rng.randint(0, 3)):
+                profile.append(
+                    element("interest", attribute("category", f"category{rng.randrange(categories)}"))
+                )
+            if rng.random() < 0.6:
+                profile.append(element("education", text=rng.choice(["High School", "College", "Graduate School"])))
+            if rng.random() < 0.5:
+                profile.append(element("gender", text=rng.choice(["male", "female"])))
+            profile.append(element("business", text=rng.choice(["Yes", "No"])))
+            if rng.random() < 0.7:
+                profile.append(element("age", text=str(rng.randint(18, 80))))
+            person.append(profile)
+        if rng.random() < 0.5:
+            watches = element("watches")
+            for _ in range(rng.randint(1, 3)):
+                watches.append(element("watch", attribute("open_auction", f"open_auction{rng.randint(0, 99)}")))
+            person.append(watches)
+        people.append(person)
+    return people
+
+
+def _annotation(rng: random.Random, people: int) -> XmlNode:
+    return element(
+        "annotation",
+        element("author", attribute("person", f"person{rng.randrange(people)}")),
+        _description(rng),
+        element("happiness", text=str(rng.randint(1, 10))),
+    )
+
+
+def _open_auctions(rng: random.Random, count: int, items: list[str], people: int) -> XmlNode:
+    auctions = element("open_auctions")
+    for number in range(count):
+        auction = element(
+            "open_auction",
+            attribute("id", f"open_auction{number}"),
+            element("initial", text=f"{rng.uniform(1, 200):.2f}"),
+        )
+        if rng.random() < 0.5:
+            auction.append(element("reserve", text=f"{rng.uniform(50, 400):.2f}"))
+        for _ in range(rng.randint(0, 3)):
+            auction.append(
+                element(
+                    "bidder",
+                    element("date", text=date(rng)),
+                    element("time", text=f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:00"),
+                    element("personref", attribute("person", f"person{rng.randrange(people)}")),
+                    element("increase", text=f"{rng.uniform(1, 30):.2f}"),
+                )
+            )
+        auction.extend(
+            [
+                element("current", text=f"{rng.uniform(1, 600):.2f}"),
+                element("itemref", attribute("item", rng.choice(items))),
+                element("seller", attribute("person", f"person{rng.randrange(people)}")),
+                _annotation(rng, people),
+                element("quantity", text=str(rng.randint(1, 5))),
+                element("type", text=rng.choice(["Regular", "Featured", "Dutch"])),
+                element(
+                    "interval",
+                    element("start", text=date(rng)),
+                    element("end", text=date(rng)),
+                ),
+            ]
+        )
+        if rng.random() < 0.4:
+            auction.append(element("privacy", text="Yes"))
+        auctions.append(auction)
+    return auctions
+
+
+def _closed_auctions(rng: random.Random, count: int, items: list[str], people: int) -> XmlNode:
+    auctions = element("closed_auctions")
+    for _ in range(count):
+        auctions.append(
+            element(
+                "closed_auction",
+                element("seller", attribute("person", f"person{rng.randrange(people)}")),
+                element("buyer", attribute("person", f"person{rng.randrange(people)}")),
+                element("itemref", attribute("item", rng.choice(items))),
+                element("price", text=f"{rng.uniform(1, 600):.2f}"),
+                element("date", text=date(rng)),
+                element("quantity", text=str(rng.randint(1, 5))),
+                element("type", text=rng.choice(["Regular", "Featured"])),
+                _annotation(rng, people),
+            )
+        )
+    return auctions

@@ -1,0 +1,26 @@
+"""XML substrate: Dewey node numbering, node model, parser, serializer.
+
+This subpackage is the data layer the paper assumes: an XML tree whose
+nodes carry prefix-based ("Dewey") numbers (Section VII), so that the
+least common ancestor of two nodes — and hence their tree distance — can
+be computed from the numbers alone.
+"""
+
+from repro.xmltree.dewey import Dewey
+from repro.xmltree.node import XmlNode, XmlForest, NodeKind, element, attribute, text_of
+from repro.xmltree.parser import parse_document, parse_forest
+from repro.xmltree.serializer import serialize, serialize_node
+
+__all__ = [
+    "Dewey",
+    "XmlNode",
+    "XmlForest",
+    "NodeKind",
+    "element",
+    "attribute",
+    "text_of",
+    "parse_document",
+    "parse_forest",
+    "serialize",
+    "serialize_node",
+]

@@ -1,0 +1,97 @@
+"""Serialize the node model back to XML text.
+
+Attribute vertices are rendered into start tags; an element's ``text``
+(its value) is emitted before its element children, matching how the
+parser collects directly contained character data.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import TextIO
+
+from repro.xmltree.node import XmlForest, XmlNode
+
+
+def serialize(forest: XmlForest | XmlNode, indent: int | None = None) -> str:
+    """Serialize a forest (or single node) to a string.
+
+    ``indent``: number of spaces per nesting level, or ``None`` for
+    compact single-line output.
+    """
+    out = StringIO()
+    write(forest, out, indent=indent)
+    return out.getvalue()
+
+
+def serialize_node(node: XmlNode, indent: int | None = None) -> str:
+    return serialize(node, indent=indent)
+
+
+def write(forest: XmlForest | XmlNode, out: TextIO, indent: int | None = None) -> int:
+    """Stream-serialize into ``out``; returns the number of characters written.
+
+    This is the hot path of the eXist-style "dump the document" baseline,
+    so it avoids building intermediate strings per subtree.
+    """
+    roots = forest.roots if isinstance(forest, XmlForest) else [forest]
+    written = 0
+    for position, root in enumerate(roots):
+        if position and indent is None:
+            out.write("\n")
+            written += 1
+        written += _write_node(root, out, indent, 0)
+        if indent is not None:
+            out.write("\n")
+            written += 1
+    return written
+
+
+def escape_text(value: str) -> str:
+    """Escape character data."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attr(value: str) -> str:
+    """Escape an attribute value (double-quoted)."""
+    return escape_text(value).replace('"', "&quot;")
+
+
+def _write_node(node: XmlNode, out: TextIO, indent: int | None, depth: int) -> int:
+    written = 0
+    pad = "" if indent is None else " " * (indent * depth)
+    if pad:
+        out.write(pad)
+        written += len(pad)
+
+    out.write(f"<{node.name}")
+    written += len(node.name) + 1
+    for attr in node.attributes():
+        chunk = f' {attr.name}="{escape_attr(attr.text)}"'
+        out.write(chunk)
+        written += len(chunk)
+
+    text = node.text.strip() if indent is not None else node.text
+    elements = node.element_children()
+    if not text and not elements:
+        out.write("/>")
+        return written + 2
+
+    out.write(">")
+    written += 1
+    if text:
+        escaped = escape_text(text)
+        out.write(escaped)
+        written += len(escaped)
+    if elements:
+        for child in elements:
+            if indent is not None:
+                out.write("\n")
+                written += 1
+            written += _write_node(child, out, indent, depth + 1)
+        if indent is not None:
+            out.write("\n" + pad)
+            written += 1 + len(pad)
+    closing = f"</{node.name}>"
+    out.write(closing)
+    return written + len(closing)

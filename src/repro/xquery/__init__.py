@@ -1,0 +1,20 @@
+"""XQuery-lite: a compact XQuery subset sufficient for query guards.
+
+The paper couples every query guard with an XQuery query; this package
+provides the query side.  Supported: rooted and relative path
+expressions with ``/`` and ``//`` axes, name and ``*`` tests, attribute
+steps (``@id``), predicates, FLWOR (``for``/``let``/``where``/
+``return``), direct element constructors with embedded ``{...}``
+expressions, ``if/then/else``, general comparisons, arithmetic,
+``and``/``or``, and a small function library (``doc``, ``count``,
+``distinct-values``, ``string``, ``name``, ``data``, ``not``,
+``concat``, ``contains``, ``number``, ``empty``, ``exists``).
+
+Values are sequences of items (nodes, strings, numbers, booleans) with
+XPath-style atomization and effective boolean value rules.
+"""
+
+from repro.xquery.parser import parse_query
+from repro.xquery.evaluator import evaluate, QueryContext
+
+__all__ = ["parse_query", "evaluate", "QueryContext"]

@@ -1,0 +1,133 @@
+"""Abstract syntax for XQuery-lite expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    value: Union[str, float]
+
+
+@dataclass(frozen=True, slots=True)
+class VarRef:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ContextItem:
+    """The current context item (``.``-free: root of the context doc)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Sequence:
+    """Comma expression: concatenation of item sequences."""
+
+    items: tuple["Expr", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One path step: axis + node test + predicates."""
+
+    axis: str  # "child" | "descendant-or-self" | "attribute"
+    test: str  # a name or "*" or "text()"
+    predicates: tuple["Expr", ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Path:
+    """``start/step/step...``; ``start=None`` means rooted at the context doc."""
+
+    start: Optional["Expr"]
+    steps: tuple[Step, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Binary:
+    op: str  # "or" "and" "=" "!=" "<" "<=" ">" ">=" "+" "-" "*"
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class IfExpr:
+    condition: "Expr"
+    then: "Expr"
+    otherwise: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class ForClause:
+    variable: str
+    source: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class LetClause:
+    variable: str
+    value: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class OrderSpec:
+    key: "Expr"
+    descending: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Flwor:
+    clauses: tuple[Union[ForClause, LetClause], ...]
+    where: Optional["Expr"]
+    body: "Expr"
+    order: tuple[OrderSpec, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Quantified:
+    """``some/every $v in expr satisfies expr``."""
+
+    mode: str  # "some" | "every"
+    variable: str
+    source: "Expr"
+    condition: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionCall:
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class AttrTemplate:
+    name: str
+    # Attribute values may interleave text and {expr} holes.
+    parts: tuple[Union[str, "Expr"], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Constructor:
+    """A direct element constructor with mixed content."""
+
+    name: str
+    attributes: tuple[AttrTemplate, ...]
+    # Content interleaves literal text and embedded expressions.
+    content: tuple[Union[str, "Expr"], ...]
+
+
+Expr = Union[
+    Literal,
+    VarRef,
+    ContextItem,
+    Sequence,
+    Path,
+    Binary,
+    IfExpr,
+    Flwor,
+    Quantified,
+    FunctionCall,
+    Constructor,
+]

@@ -1,0 +1,142 @@
+"""On-demand tokenizer for XQuery-lite.
+
+Tokenization is lazy — ``scan_token(source, pos)`` returns the next
+token *and where it ends* — because direct element constructors force
+the parser to switch between expression mode and raw-XML mode
+mid-stream: inside ``<result>{$a/name}</result>`` the text is scanned as
+XML while each ``{...}`` hole re-enters expression mode at a known
+offset.  A pre-scanned token list cannot express that.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+
+
+class QTok(enum.Enum):
+    NAME = "name"
+    STRING = "string"
+    NUMBER = "number"
+    VARIABLE = "$name"
+    SLASH = "/"
+    DSLASH = "//"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    AT = "@"
+    COMMA = ","
+    STAR = "*"
+    PLUS = "+"
+    MINUS = "-"
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    ASSIGN = ":="
+    DOTDOT = ".."
+    CONSTRUCTOR = "<name"  # '<' opening a direct element constructor
+    END = "<end>"
+
+
+KEYWORDS = frozenset(
+    {"for", "let", "in", "where", "return", "if", "then", "else", "and", "or"}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: QTok
+    text: str
+    position: int
+    end: int
+
+    def keyword(self, word: str) -> bool:
+        return self.type is QTok.NAME and self.text == word
+
+    def __str__(self) -> str:
+        return f"{self.type.name}({self.text!r})"
+
+
+def name_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def name_char(char: str) -> bool:
+    return char.isalnum() or char in "_-.:"
+
+
+_TWO_CHAR = {"!=": QTok.NE, "<=": QTok.LE, ">=": QTok.GE, ":=": QTok.ASSIGN}
+_ONE_CHAR = {
+    "/": QTok.SLASH, "[": QTok.LBRACKET, "]": QTok.RBRACKET,
+    "(": QTok.LPAREN, ")": QTok.RPAREN, "{": QTok.LBRACE,
+    "}": QTok.RBRACE, "@": QTok.AT, ",": QTok.COMMA,
+    "*": QTok.STAR, "+": QTok.PLUS, "-": QTok.MINUS,
+    "=": QTok.EQ, "<": QTok.LT, ">": QTok.GT,
+}
+
+
+def skip_trivia(source: str, pos: int) -> int:
+    """Advance past whitespace and ``(: ... :)`` comments."""
+    length = len(source)
+    while pos < length:
+        if source[pos] in " \t\r\n":
+            pos += 1
+        elif source.startswith("(:", pos):
+            end = source.find(":)", pos + 2)
+            if end == -1:
+                raise QuerySyntaxError("unterminated comment", position=pos)
+            pos = end + 2
+        else:
+            break
+    return pos
+
+
+def scan_token(source: str, pos: int) -> Token:
+    """Scan one expression-mode token starting at (or after) ``pos``."""
+    pos = skip_trivia(source, pos)
+    length = len(source)
+    if pos >= length:
+        return Token(QTok.END, "", pos, pos)
+    char = source[pos]
+    if char == "$":
+        end = pos + 1
+        while end < length and name_char(source[end]):
+            end += 1
+        if end == pos + 1:
+            raise QuerySyntaxError("expected variable name after $", position=pos)
+        return Token(QTok.VARIABLE, source[pos + 1 : end], pos, end)
+    if char in "'\"":
+        end = source.find(char, pos + 1)
+        if end == -1:
+            raise QuerySyntaxError("unterminated string literal", position=pos)
+        return Token(QTok.STRING, source[pos + 1 : end], pos, end + 1)
+    if char.isdigit():
+        end = pos
+        while end < length and (source[end].isdigit() or source[end] == "."):
+            end += 1
+        return Token(QTok.NUMBER, source[pos:end], pos, end)
+    if name_start(char):
+        end = pos
+        while end < length and name_char(source[end]):
+            end += 1
+        return Token(QTok.NAME, source[pos:end], pos, end)
+    if source.startswith("..", pos):
+        return Token(QTok.DOTDOT, "..", pos, pos + 2)
+    if source.startswith("//", pos):
+        return Token(QTok.DSLASH, "//", pos, pos + 2)
+    two = source[pos : pos + 2]
+    if two in _TWO_CHAR:
+        return Token(_TWO_CHAR[two], two, pos, pos + 2)
+    if char == "<" and pos + 1 < length and name_start(source[pos + 1]):
+        return Token(QTok.CONSTRUCTOR, "<", pos, pos + 1)
+    if char in _ONE_CHAR:
+        return Token(_ONE_CHAR[char], char, pos, pos + 1)
+    raise QuerySyntaxError(f"unexpected character {char!r}", position=pos)

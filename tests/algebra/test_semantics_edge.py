@@ -1,0 +1,158 @@
+"""Edge cases of the guard semantics that the paper's text underdetermines.
+
+Each test documents the resolution we chose (see the deviations list in
+repro/algebra/semantics.py and DESIGN.md §6).
+"""
+
+import pytest
+
+import repro
+from repro.algebra import DocumentShapeContext, Evaluator, build_operator
+from repro.closeness import DocumentIndex
+from repro.errors import LabelMismatchError, TypeAnalysisError
+from repro.lang import parse_guard
+from repro.xmltree import parse_document
+
+
+def run(forest, source, type_fill=False):
+    op, enforcement = build_operator(parse_guard(source))
+    evaluator = Evaluator(type_fill=type_fill or enforcement.type_fill)
+    return evaluator.run(op, DocumentShapeContext(DocumentIndex(forest)))
+
+
+def tree(shape):
+    return shape.pretty(show_cards=False)
+
+
+class TestMutateCorners:
+    def test_mutate_root_swap_with_root(self, fig1a):
+        # Swapping a type with the document root keeps a valid forest.
+        result = run(fig1a, "MUTATE book [ data ]")
+        assert result.shape.roots()[0].out_name == "book"
+
+    def test_mutate_deep_chain_rewire(self):
+        forest = parse_document("<r><a><b><c><d/></c></b></a></r>")
+        result = run(forest, "MUTATE d [ a ]")
+        text = tree(result.shape)
+        # d takes a's place; a (with its remaining chain) hangs below.
+        assert text.splitlines()[0] == "r"
+        assert text.splitlines()[1] == "  d"
+
+    def test_drop_root_promotes_children(self, fig1a):
+        result = run(fig1a, "MUTATE (DROP data)")
+        assert [t.out_name for t in result.shape.roots()] == ["book"]
+
+    def test_drop_several_types(self, fig1a):
+        result = run(fig1a, "MUTATE (DROP title) (DROP publisher)")
+        text = tree(result.shape)
+        assert "title" not in text
+        assert "publisher" not in text
+        assert "name" in text  # publisher's name hoisted to book
+
+    def test_nested_new_wrappers(self, fig1a):
+        result = run(fig1a, "MUTATE (NEW outer) [ (NEW inner) [ author ] ]")
+        text = tree(result.shape)
+        lines = text.splitlines()
+        outer_at = next(i for i, line in enumerate(lines) if line.strip() == "outer")
+        assert lines[outer_at + 1].strip() == "inner"
+        assert lines[outer_at + 2].strip() == "author"
+
+    def test_mutate_same_type_twice_is_stable(self, fig1a):
+        once = run(fig1a, "MUTATE author [ title ]")
+        twice = run(fig1a, "MUTATE author [ title ] | MUTATE author [ title ]")
+        assert tree(once.shape) == tree(twice.shape)
+
+
+class TestCompositionCorners:
+    def test_type_fill_in_second_stage(self, fig1a):
+        # Stage 2 sees stage 1's shape; `isbn` is absent there too.
+        result = run(
+            fig1a, "TYPE-FILL (MORPH author [ name ] | MUTATE author [ isbn ])"
+        )
+        assert "isbn" in tree(result.shape)
+
+    def test_second_stage_label_from_first_only(self, fig1a):
+        # Stage 1 keeps only author/name; stage 2 cannot see `title`.
+        with pytest.raises(LabelMismatchError):
+            run(fig1a, "MORPH author [ name ] | MORPH title")
+
+    def test_translate_then_mutate_chain(self, fig1a):
+        result = run(
+            fig1a,
+            "TRANSLATE book -> volume | MUTATE volume [ publisher ]",
+        )
+        text = tree(result.shape)
+        assert "volume" in text and "book" not in text
+
+    def test_clone_then_translate_renames_both(self, fig1a):
+        # TRANSLATE renames all cloned/restricted types sharing a base.
+        result = run(
+            fig1a,
+            "CAST (MUTATE author [ CLONE title ] | TRANSLATE title -> heading)",
+        )
+        text = tree(result.shape)
+        assert text.count("heading") == 2
+        assert "title" not in text
+
+    def test_pattern_at_stage_level_rejected(self, fig1a):
+        from repro.algebra.operators import TypeOp
+        evaluator = Evaluator()
+        with pytest.raises(TypeAnalysisError):
+            evaluator.run(
+                TypeOp("author"),
+                DocumentShapeContext(DocumentIndex(fig1a)),
+            )
+
+
+class TestSelectionCorners:
+    def test_bang_survives_into_shape(self, fig1a):
+        result = run(fig1a, "MORPH author [ !name ]")
+        child = result.shape.children(result.shape.roots()[0])[0]
+        assert child.accept_loss
+
+    def test_restrict_filter_carries_subtree(self, fig1a):
+        result = run(fig1a, "MORPH (RESTRICT book [ author [ name ] ])")
+        root = result.shape.roots()[0]
+        assert root.restrict_filter is not None
+        filter_names = [t.out_name for t in root.restrict_filter.types()]
+        assert filter_names == ["book", "author", "name"]
+
+    def test_star_on_restricted_type(self, fig1a):
+        result = run(fig1a, "MORPH (RESTRICT book [ author ]) [*]")
+        root = result.shape.roots()[0]
+        child_names = {c.out_name for c in result.shape.children(root)}
+        assert {"title", "author", "publisher"} <= child_names
+
+    def test_children_of_leaf_is_noop(self, fig1a):
+        result = run(fig1a, "MORPH title [*]")
+        assert tree(result.shape) == "title"
+
+    def test_descendants_of_root_copies_everything(self, fig1a):
+        result = run(fig1a, "MORPH data [**]")
+        source_tree = tree(DocumentIndex(fig1a).shape)
+        assert tree(result.shape) == source_tree
+
+
+class TestRenderedCorners:
+    def test_mutate_deep_chain_rendered(self):
+        forest = parse_document("<r><a><b><c>leaf</c></b></a></r>")
+        result = repro.transform(forest, "CAST (MUTATE c [ a ])")
+        # c hoisted to a's place; a below it; b keeps hanging off a.
+        r = result.forest.roots[0]
+        assert r.name == "r"
+        assert r.children[0].name == "c"
+        assert r.children[0].text == "leaf"
+
+    def test_two_drops_rendered(self, fig1a):
+        result = repro.transform(fig1a, "CAST (MUTATE (DROP title) (DROP publisher))")
+        names = {n.name for n in result.forest.iter_nodes()}
+        assert "title" not in names and "publisher" not in names
+        assert {"data", "book", "author", "name"} <= names
+
+    def test_nested_new_rendered(self, fig1a):
+        result = repro.transform(fig1a, "CAST (MUTATE (NEW outer) [ (NEW inner) [ author ] ])")
+        outers = result.forest.find_named("outer")
+        assert len(outers) == 2
+        for outer in outers:
+            assert outer.children[0].name == "inner"
+            assert outer.children[0].children[0].name == "author"

@@ -1,0 +1,84 @@
+"""Tests for the eXist-style native XML store baseline."""
+
+import pytest
+
+from repro.baseline import ExistStore
+from repro.errors import DocumentNotFoundError
+from repro.workloads import generate_dblp
+from repro.xmltree import parse_document, parse_forest
+
+from tests.conftest import FIG1A
+
+
+@pytest.fixture
+def store(tmp_path):
+    exist = ExistStore(str(tmp_path / "exist.db"))
+    yield exist
+    exist.close()
+
+
+class TestDump:
+    def test_dump_roundtrips(self, store):
+        store.store_document("a", FIG1A)
+        dumped = store.dump("a")
+        assert parse_forest(dumped).canonical() == parse_document(FIG1A).canonical()
+
+    def test_dump_reads_pages_sequentially(self, store):
+        forest = generate_dblp(500)
+        document = store.store_document("d", forest)
+        store.drop_cache()
+        before = store.stats.blocks_in
+        store.dump("d")
+        assert store.stats.blocks_in - before >= document.page_count
+
+    def test_dump_cost_scales_with_size(self, tmp_path):
+        costs = []
+        for count in (200, 400):
+            with ExistStore(str(tmp_path / f"e{count}.db")) as store:
+                store.store_document("d", generate_dblp(count))
+                store.drop_cache()
+                base = store.stats.simulated_seconds
+                store.dump("d")
+                costs.append(store.stats.simulated_seconds - base)
+        assert costs[1] > costs[0] * 1.5
+
+    def test_missing_document(self, store):
+        with pytest.raises(DocumentNotFoundError):
+            store.dump("nope")
+
+
+class TestQuery:
+    def test_query_evaluates(self, store):
+        store.store_document("a", FIG1A)
+        items = store.query("a", "for $b in /data/book return $b/title/text()")
+        assert items == ["X", "Y"]
+
+    def test_paper_dump_query(self, store):
+        store.store_document("a", FIG1A)
+        items = store.query("a", 'for $b in doc("a")/data return <data>{$b}</data>')
+        assert len(items) == 1
+
+    def test_small_query_cheaper_than_deep_reconstruction(self, store):
+        store.store_document("d", generate_dblp(300))
+        store.drop_cache()
+        base = store.stats.simulated_seconds
+        store.query("d", "for $a in //author return $a")
+        small = store.stats.simulated_seconds - base
+
+        base = store.stats.simulated_seconds
+        store.query(
+            "d",
+            "for $p in /dblp/* return <rec>{for $a in $p/author return "
+            "<a>{$a/text()}{for $t in $p/title return <t>{$t/text()}"
+            "{for $y in $p/year return $y}</t>}</a>}</rec>",
+        )
+        deep = store.stats.simulated_seconds - base
+        assert deep > small
+
+    def test_query_charges_io_and_cpu(self, store):
+        store.store_document("a", FIG1A)
+        before_blocks = store.stats.blocks_in
+        before_cpu = store.stats.cpu_seconds
+        store.query("a", "//name")
+        assert store.stats.blocks_in > before_blocks
+        assert store.stats.cpu_seconds > before_cpu

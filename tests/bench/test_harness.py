@@ -1,0 +1,70 @@
+"""Tests for the measured-operation harness."""
+
+import pytest
+
+from repro.baseline import ExistStore
+from repro.bench import (
+    Measurement,
+    measured_compile,
+    measured_dump,
+    measured_query,
+    measured_transform,
+)
+from repro.storage import Database
+
+from tests.conftest import FIG1A
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = Database(str(tmp_path / "h.db"))
+    database.store_document("a", FIG1A)
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def exist(tmp_path):
+    store = ExistStore(str(tmp_path / "e.db"))
+    store.store_document("a", FIG1A)
+    yield store
+    store.close()
+
+
+class TestMeasurement:
+    def test_throughput(self):
+        m = Measurement(wall_seconds=1.0, simulated_seconds=0.5, blocks=10)
+        assert m.throughput(100) == 200.0
+
+    def test_zero_simulated_time(self):
+        m = Measurement(wall_seconds=1.0, simulated_seconds=0.0, blocks=0)
+        assert m.throughput(5) == float("inf")
+
+
+class TestMeasuredOperations:
+    def test_transform_captures_deltas(self, db):
+        m = measured_transform(db, "a", "MORPH author [ name ]")
+        assert m.wall_seconds > 0
+        assert m.simulated_seconds > 0
+        assert m.result.forest.node_count() == 4
+
+    def test_cold_resets_cache(self, db):
+        first = measured_transform(db, "a", "MORPH author [ name ]", cold=True)
+        warm = measured_transform(db, "a", "MORPH author [ name ]", cold=False)
+        assert warm.blocks <= first.blocks
+
+    def test_compile_measures_no_sequence_io(self, db):
+        db.drop_cache()
+        m = measured_compile(db, "a", "MORPH author [ name ]")
+        transform = measured_transform(db, "a", "MORPH author [ name ]")
+        assert m.simulated_seconds <= transform.simulated_seconds
+
+    def test_dump(self, exist):
+        m = measured_dump(exist, "a")
+        assert "<data>" in m.result
+        assert m.blocks >= 1
+
+    def test_query(self, exist):
+        m = measured_query(exist, "a", "count(//book)")
+        assert m.result == [2.0]
+        assert m.simulated_seconds > 0

@@ -1,0 +1,163 @@
+"""Tests for the document index: type distances and closest pairs.
+
+The brute-force closest graph is the ground truth; the index must agree
+with it on every input, including random forests (property tests).
+"""
+
+from hypothesis import given, settings
+
+from repro.closeness import DocumentIndex, closest_graph
+from repro.xmltree import parse_document
+
+from tests.strategies import documents
+
+
+def data_type(index, dotted):
+    for t in index.types():
+        if t.dotted == dotted:
+            return t
+    raise AssertionError(f"no type {dotted}")
+
+
+class TestTypeDistanceFig1:
+    def test_sibling_types(self, fig1a):
+        index = DocumentIndex(fig1a)
+        publisher = data_type(index, "data.book.publisher")
+        title = data_type(index, "data.book.title")
+        # Section VII: "The (minimal) type distance from <publisher> to
+        # <title> is two."
+        assert index.type_distance(publisher, title) == 2
+
+    def test_parent_child_types(self, fig1a):
+        index = DocumentIndex(fig1a)
+        book = data_type(index, "data.book")
+        author = data_type(index, "data.book.author")
+        assert index.type_distance(book, author) == 1
+
+    def test_self_distance_zero(self, fig1a):
+        index = DocumentIndex(fig1a)
+        book = data_type(index, "data.book")
+        assert index.type_distance(book, book) == 0
+
+    def test_cross_subtree_distance(self, fig1a):
+        index = DocumentIndex(fig1a)
+        name = data_type(index, "data.book.author.name")
+        publisher = data_type(index, "data.book.publisher")
+        # name 1.1.2.1 to publisher 1.1.3: LCA book at level 1 -> 2 + 1.
+        assert index.type_distance(name, publisher) == 3
+
+    def test_symmetric(self, fig1b):
+        index = DocumentIndex(fig1b)
+        types = index.types()
+        for first in types:
+            for second in types:
+                assert index.type_distance(first, second) == index.type_distance(
+                    second, first
+                )
+
+
+class TestClosestPairsFig1:
+    def test_paper_worked_example(self, fig1a):
+        """Section VII: publisher 1.1.3 is closest to title 1.1.1 only."""
+        index = DocumentIndex(fig1a)
+        publisher = data_type(index, "data.book.publisher")
+        title = data_type(index, "data.book.title")
+        pairs = [
+            (str(p.dewey), str(t.dewey)) for p, t in index.closest_pairs(publisher, title)
+        ]
+        assert pairs == [("1.1.3", "1.1.1"), ("1.2.3", "1.2.1")]
+
+    def test_author_book_join(self, fig1a):
+        """Section VII render step 2: authors CLOSE books."""
+        index = DocumentIndex(fig1a)
+        author = data_type(index, "data.book.author")
+        book = data_type(index, "data.book")
+        pairs = [(str(a.dewey), str(b.dewey)) for a, b in index.closest_pairs(author, book)]
+        assert pairs == [("1.1.2", "1.1"), ("1.2.2", "1.2")]
+
+    def test_same_type_yields_nothing(self, fig1a):
+        index = DocumentIndex(fig1a)
+        book = data_type(index, "data.book")
+        assert list(index.closest_pairs(book, book)) == []
+
+    def test_closest_partners_of_node(self, fig1a):
+        index = DocumentIndex(fig1a)
+        title = data_type(index, "data.book.title")
+        first_publisher = index.nodes_of(data_type(index, "data.book.publisher"))[0]
+        partners = index.closest_partners(first_publisher, title)
+        assert [str(n.dewey) for n in partners] == ["1.1.1"]
+
+    def test_grouped_instance_fanout(self, fig1c):
+        # In (c), one author groups two books: author CLOSE book fans out.
+        index = DocumentIndex(fig1c)
+        author = data_type(index, "data.author")
+        book = data_type(index, "data.author.book")
+        pairs = list(index.closest_pairs(author, book))
+        assert len(pairs) == 2
+        assert {str(b.dewey) for _, b in pairs} == {"1.1.2", "1.1.3"}
+
+
+class TestSequences:
+    def test_document_order(self, fig1b):
+        index = DocumentIndex(fig1b)
+        for data_type_ in index.types():
+            nodes = index.nodes_of(data_type_)
+            assert [n.dewey for n in nodes] == sorted(n.dewey for n in nodes)
+
+    def test_node_count(self, fig1a):
+        index = DocumentIndex(fig1a)
+        assert index.node_count() == fig1a.node_count()
+
+    def test_type_of(self, fig1a):
+        index = DocumentIndex(fig1a)
+        for node in fig1a.iter_nodes():
+            assert index.type_of(node).path == node.type_path()
+
+
+class TestAgainstBruteForce:
+    """The index must agree with the O(n²) ground truth."""
+
+    def check(self, forest):
+        index = DocumentIndex(forest)
+        graph = closest_graph(forest)
+        # 1. Type distances equal brute-force minima.
+        nodes = list(forest.iter_nodes())
+        for first_type in index.types():
+            for second_type in index.types():
+                if first_type is second_type:
+                    continue
+                expected = None
+                for v in index.nodes_of(first_type):
+                    for w in index.nodes_of(second_type):
+                        d = v.dewey.distance(w.dewey)
+                        if d is not None and (expected is None or d < expected):
+                            expected = d
+                assert index.type_distance(first_type, second_type) == expected
+        # 2. Closest pairs equal the graph's edges for each type pair.
+        for first_type in index.types():
+            for second_type in index.types():
+                if first_type is second_type:
+                    continue
+                pairs = {
+                    frozenset((v.dewey, w.dewey))
+                    for v, w in index.closest_pairs(first_type, second_type)
+                }
+                expected_edges = {
+                    edge
+                    for edge in graph.edges
+                    if {
+                        forest.node_by_dewey(min(edge)).type_path(),
+                        forest.node_by_dewey(max(edge)).type_path(),
+                    }
+                    == {first_type.path, second_type.path}
+                }
+                assert pairs == expected_edges
+
+    def test_fig1_instances(self, fig1_all):
+        for forest in fig1_all.values():
+            self.check(forest)
+
+    @settings(max_examples=40, deadline=None)
+    @given(documents(max_depth=3, max_children=3))
+    def test_random_documents(self, forest):
+        self.check(forest)

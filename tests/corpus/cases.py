@@ -1,0 +1,299 @@
+"""The golden-case corpus: exact input → guard → output triples.
+
+Each case pins the precise semantics of one language behaviour as a
+small, reviewable triple.  The corpus doubles as documentation: read it
+next to docs/LANGUAGE.md.  ``expected`` is compared modulo sibling
+order (shapes are unordered); ``loss`` pins the verdict string.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Case:
+    name: str
+    document: str
+    guard: str
+    expected: str  # expected output forest, as XML
+    loss: str = "strongly-typed"
+
+
+BOOKS = (
+    "<data>"
+    "<book><title>X</title><author><name>A</name></author>"
+    "<publisher><name>W</name></publisher></book>"
+    "<book><title>Y</title><author><name>A</name></author>"
+    "<publisher><name>V</name></publisher></book>"
+    "</data>"
+)
+
+GROUPED = (
+    "<data><author><name>A</name>"
+    "<book><title>X</title><publisher><name>W</name></publisher></book>"
+    "<book><title>Y</title><publisher><name>V</name></publisher></book>"
+    "</author></data>"
+)
+
+MIXED = (
+    '<lib><item id="1"><kind>cd</kind><price>9</price></item>'
+    '<item id="2"><kind>dvd</kind><price>15</price></item></lib>'
+)
+
+CASES = [
+    Case(
+        "morph-basic-rearrangement",
+        BOOKS,
+        "MORPH author [ name book [ title ] ]",
+        "<author><name>A</name><book><title>X</title></book></author>"
+        "<author><name>A</name><book><title>Y</title></book></author>",
+    ),
+    Case(
+        "morph-single-type",
+        BOOKS,
+        "MORPH title",
+        "<title>X</title><title>Y</title>",
+    ),
+    Case(
+        "morph-preserves-grouping",
+        GROUPED,
+        "MORPH author [ name book [ title ] ]",
+        "<author><name>A</name><book><title>X</title></book>"
+        "<book><title>Y</title></book></author>",
+    ),
+    Case(
+        "morph-ambiguous-label-resolved-by-closeness",
+        BOOKS,
+        "MORPH publisher [ name ]",
+        "<publisher><name>W</name></publisher><publisher><name>V</name></publisher>",
+    ),
+    Case(
+        "morph-children-star",
+        BOOKS,
+        "MORPH publisher [*]",
+        "<publisher><name>W</name></publisher><publisher><name>V</name></publisher>",
+    ),
+    Case(
+        "morph-descendants-star",
+        BOOKS,
+        "MORPH book [**]",
+        "<book><title>X</title><author><name>A</name></author>"
+        "<publisher><name>W</name></publisher></book>"
+        "<book><title>Y</title><author><name>A</name></author>"
+        "<publisher><name>V</name></publisher></book>",
+    ),
+    Case(
+        # CHILDREN (*) includes the source children as leaf types —
+        # author and publisher come without their own subtrees.
+        "morph-star-merges-explicit-children",
+        BOOKS,
+        "MORPH book [* title]",
+        "<book><title>X</title><author/><publisher/></book>"
+        "<book><title>Y</title><author/><publisher/></book>",
+    ),
+    Case(
+        "morph-cousin-join",
+        BOOKS,
+        "MORPH title [ publisher.name ]",
+        "<title>X<name>W</name></title><title>Y<name>V</name></title>",
+    ),
+    Case(
+        "mutate-identity",
+        BOOKS,
+        "MUTATE data",
+        BOOKS,
+    ),
+    Case(
+        "mutate-move-down",
+        BOOKS,
+        "MUTATE author [ publisher ]",
+        "<data><book><title>X</title><author><name>A</name>"
+        "<publisher><name>W</name></publisher></author></book>"
+        "<book><title>Y</title><author><name>A</name>"
+        "<publisher><name>V</name></publisher></author></book></data>",
+    ),
+    Case(
+        "mutate-swap-ancestor",
+        BOOKS,
+        "MUTATE author.name [ author ]",
+        "<data><book><title>X</title><name>A<author/></name>"
+        "<publisher><name>W</name></publisher></book>"
+        "<book><title>Y</title><name>A<author/></name>"
+        "<publisher><name>V</name></publisher></book></data>",
+    ),
+    Case(
+        "mutate-drop-hoists-children",
+        BOOKS,
+        "MUTATE (DROP author)",
+        "<data><book><title>X</title><name>A</name>"
+        "<publisher><name>W</name></publisher></book>"
+        "<book><title>Y</title><name>A</name>"
+        "<publisher><name>V</name></publisher></book></data>",
+    ),
+    Case(
+        "mutate-new-wraps-each",
+        BOOKS,
+        "MUTATE (NEW scribe) [ author ]",
+        "<data><book><title>X</title><scribe><author><name>A</name></author></scribe>"
+        "<publisher><name>W</name></publisher></book>"
+        "<book><title>Y</title><scribe><author><name>A</name></author></scribe>"
+        "<publisher><name>V</name></publisher></book></data>",
+    ),
+    Case(
+        "mutate-clone-duplicates",
+        BOOKS,
+        "CAST (MUTATE publisher [ CLONE title ])",
+        "<data><book><title>X</title><author><name>A</name></author>"
+        "<publisher><name>W</name><title>X</title></publisher></book>"
+        "<book><title>Y</title><author><name>A</name></author>"
+        "<publisher><name>V</name><title>Y</title></publisher></book></data>",
+    ),
+    Case(
+        # RESTRICT keeps only the root type; the filter stays hidden.
+        # The second item has no <kind>, so it is filtered out.
+        "restrict-filters-instances",
+        '<lib><item id="1"><kind>cd</kind></item><item id="2"/></lib>',
+        "MORPH (RESTRICT item [ kind ])",
+        "<item/>",
+    ),
+    Case(
+        "translate-renames-output",
+        BOOKS,
+        "MORPH author [ name ] | TRANSLATE author -> writer",
+        "<writer><name>A</name></writer><writer><name>A</name></writer>",
+    ),
+    Case(
+        "compose-morph-then-drop",
+        BOOKS,
+        "MORPH author [ name ] | MUTATE (DROP name)",
+        "<author/><author/>",
+    ),
+    Case(
+        # Stage 1 keeps book as a leaf (no title mentioned); stage 3
+        # moves name below the renamed work.
+        "compose-three-stages",
+        BOOKS,
+        "MORPH author [ name book ] | TRANSLATE book -> work | MUTATE work [ name ]",
+        "<author><work><name>A</name></work></author>"
+        "<author><work><name>A</name></work></author>",
+    ),
+    Case(
+        "attributes-travel",
+        MIXED,
+        "MORPH item [ id kind ]",
+        '<item id="1"><kind>cd</kind></item><item id="2"><kind>dvd</kind></item>',
+    ),
+    Case(
+        "type-fill-placeholder",
+        MIXED,
+        "CAST (TYPE-FILL MORPH item [ kind isbn ])",
+        "<item><kind>cd</kind><isbn/></item><item><kind>dvd</kind><isbn/></item>",
+        loss="strongly-typed",
+    ),
+    Case(
+        # Both authors are closest to the one title: the render copies
+        # it under each.  Duplication alone adds no closest-edge types,
+        # so the verdict is still strongly-typed (cf. Theorem 2).
+        "duplication-without-widening",
+        "<data><book><title>T</title>"
+        "<author><name>A</name></author><author><name>B</name></author>"
+        "</book></data>",
+        "MORPH author [ name title ]",
+        "<author><name>A</name><title>T</title></author>"
+        "<author><name>B</name><title>T</title></author>",
+    ),
+    Case(
+        "narrowing-drops-partnerless",
+        "<data><book><title>X</title><author><name>A</name></author></book>"
+        "<book><title>Y</title><author/></book></data>",
+        "CAST-NARROWING MUTATE author.name [ author ]",
+        "<data><book><title>X</title><name>A<author/></name></book>"
+        "<book><title>Y</title></book></data>",
+        loss="narrowing",
+    ),
+    Case(
+        "bang-accepts-loss",
+        "<data><author><name>A</name>"
+        "<book><title>X</title><publisher><name>W</name></publisher></book>"
+        "<book><title>Y</title><publisher><name>V</name></publisher></book>"
+        "</author></data>",
+        "MORPH author [ !title publisher [ name ] ]",
+        "<author><title>X</title><title>Y</title>"
+        "<publisher><name>W</name></publisher>"
+        "<publisher><name>V</name></publisher></author>",
+        loss="widening",
+    ),
+    Case(
+        "new-root-wrapper",
+        BOOKS,
+        "MORPH (NEW bibliography) [ author [ name ] ]",
+        "<bibliography><author><name>A</name></author></bibliography>"
+        "<bibliography><author><name>A</name></author></bibliography>",
+    ),
+    Case(
+        "dotted-label-disambiguation",
+        BOOKS,
+        "MORPH author.name",
+        "<name>A</name><name>A</name>",
+    ),
+]
+
+MORE_CASES = [
+    Case(
+        # Attributes move with their owner type under MUTATE.
+        "mutate-with-attributes",
+        '<r><entry key="k1"><v>1</v></entry><entry key="k2"><v>2</v></entry></r>',
+        "MUTATE v [ entry ]",
+        '<r><v>1<entry key="k1"/></v><v>2<entry key="k2"/></v></r>',
+    ),
+    Case(
+        # NEW then TRANSLATE: the new label is renameable downstream.
+        "new-then-translate",
+        "<r><a>x</a></r>",
+        "MUTATE (NEW wrap) [ a ] | TRANSLATE wrap -> box",
+        "<r><box><a>x</a></box></r>",
+    ),
+    Case(
+        # RESTRICT composed: the filter applies, then the shape extends.
+        "restrict-then-extend",
+        "<r><p><q/><t>keep</t></p><p><t>drop</t></p></r>",
+        "CAST MORPH (RESTRICT p [ q ]) [ t ]",
+        "<p><t>keep</t></p>",
+    ),
+    Case(
+        # Descendants under MUTATE target: ** inside a mutate pattern.
+        "mutate-with-descendants",
+        "<r><a><b><c>leaf</c></b></a><z/></r>",
+        "MUTATE z [ b [**] ]",
+        "<r><a/><z><b><c>leaf</c></b></z></r>",
+    ),
+    Case(
+        # Deeply nested chains keep every level's text.
+        "deep-chain-values",
+        "<l1>a<l2>b<l3>c<l4>d</l4></l3></l2></l1>",
+        "MORPH l4 [ l3 [ l2 [ l1 ] ] ]",
+        "<l4>d<l3>c<l2>b<l1>a</l1></l2></l3></l4>",
+    ),
+    Case(
+        # Numeric and special-character text survive the round trip.
+        "special-characters",
+        "<r><x>a &amp; b &lt; c</x><x>3.14</x></r>",
+        "MORPH x",
+        "<x>a &amp; b &lt; c</x><x>3.14</x>",
+    ),
+    Case(
+        # An empty source selection is legal: no instances, no output.
+        "empty-instance-set",
+        "<r><a/></r>",
+        "MORPH a [*]",
+        "<a/>",
+    ),
+    Case(
+        # Multiple TRANSLATE entries apply independently.
+        "translate-multiple",
+        "<r><a>1</a><b>2</b></r>",
+        "MUTATE r | TRANSLATE a -> x, b -> y",
+        "<r><x>1</x><y>2</y></r>",
+    ),
+]
+
+CASES = CASES + MORE_CASES

@@ -1,0 +1,65 @@
+"""Tests for the guard explainer."""
+
+import pytest
+
+from repro.engine.explain import explain_guard
+from repro.lang import parse_guard
+
+
+class TestExplain:
+    def test_morph(self):
+        text = explain_guard("MORPH author [ name book [ title ] ]")
+        assert "ONLY these types" in text
+        assert "'author' at the top" in text
+        assert "'name', placed under its closest parent above" in text
+        assert "'book'" in text and "'title'" in text
+
+    def test_mutate(self):
+        text = explain_guard("MUTATE book [ publisher ]")
+        assert "rearrange the FULL source shape" in text
+        assert "stays where it was" in text
+
+    def test_translate(self):
+        text = explain_guard("TRANSLATE author -> writer, name -> label")
+        assert "rename every 'author' type to 'writer'" in text
+        assert "rename every 'name' type to 'label'" in text
+
+    def test_compose(self):
+        text = explain_guard("MORPH a | MUTATE b | TRANSLATE x -> y")
+        assert "pipeline of 3 stages" in text
+        assert "stage 1:" in text and "stage 3:" in text
+
+    def test_casts(self):
+        assert "LOSE" in explain_guard("CAST-NARROWING MORPH a")
+        assert "MANUFACTURE" in explain_guard("CAST-WIDENING MORPH a")
+        assert "weakly-typed" in explain_guard("CAST MORPH a")
+        assert "placeholder" in explain_guard("TYPE-FILL MORPH a")
+
+    def test_bang(self):
+        text = explain_guard("MORPH author [ !title ]")
+        assert "accepting any information loss" in text
+
+    def test_stars(self):
+        text = explain_guard("MORPH book [* a [**]]")
+        assert "children from the source (*)" in text
+        assert "whole source subtree (**)" in text
+
+    def test_drop_clone_restrict_new(self):
+        text = explain_guard(
+            "MUTATE (NEW wrap) [ (DROP a) (CLONE b) (RESTRICT c [ d ]) ]"
+        )
+        assert "brand-new element <wrap>" in text
+        assert "remove the type" in text
+        assert "COPY" in text
+        assert "closest partners" in text
+
+    def test_accepts_parsed_ast(self):
+        node = parse_guard("MORPH a")
+        assert "ONLY these types" in explain_guard(node)
+
+    def test_every_corpus_guard_explains(self):
+        from tests.corpus.cases import CASES
+
+        for case in CASES:
+            text = explain_guard(case.guard)
+            assert text.strip(), case.name

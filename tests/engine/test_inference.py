@@ -1,0 +1,95 @@
+"""Tests for guard inference (the paper's Section X open problem)."""
+
+import repro
+from repro.engine.inference import infer_guard
+from repro.lang import parse_guard
+
+
+def infer(query):
+    return infer_guard(query).guard
+
+
+class TestPathCollection:
+    def test_rooted_path(self):
+        assert infer("/data/author/name") == "MORPH data [ author [ name ] ]"
+
+    def test_flwor_variable_threading(self):
+        guard = infer(
+            "for $a in /data/author return $a/book/title"
+        )
+        assert guard == "MORPH data [ author [ book [ title ] ] ]"
+
+    def test_let_bindings(self):
+        guard = infer(
+            "let $books := /data/book return $books/title"
+        )
+        assert guard == "MORPH data [ book [ title ] ]"
+
+    def test_nested_flwor(self):
+        guard = infer(
+            "for $a in /data/author return "
+            "for $b in $a/book return <r>{$b/title}{$b/price}</r>"
+        )
+        assert guard == "MORPH data [ author [ book [ title price ] ] ]"
+
+    def test_where_clause_contributes(self):
+        guard = infer(
+            "for $b in /data/book where $b/publisher/name = 'W' return $b/title"
+        )
+        assert "publisher [ name ]" in guard
+        assert "title" in guard
+
+    def test_predicates_contribute(self):
+        guard = infer("/data/book[author/name = 'Codd']/title")
+        assert "author [ name ]" in guard
+
+    def test_doc_function_roots(self):
+        guard = infer("for $a in doc('x')/dblp/article return $a/title")
+        assert guard == "MORPH dblp [ article [ title ] ]"
+
+    def test_descendant_step_starts_fresh_subtree(self):
+        assert infer("//author/name") == "MORPH author [ name ]"
+
+    def test_wildcard_becomes_star(self):
+        guard = infer("for $p in /dblp/* return $p")
+        assert guard == "MORPH dblp [ * ]"
+
+    def test_attribute_step(self):
+        guard = infer("/site/regions/africa/item/@id")
+        assert guard.endswith("item [ id ] ] ] ]")
+
+    def test_multiple_roots_multiple_guards(self):
+        inferred = infer_guard("(/data/author, //publisher/name)")
+        assert len(inferred.guards) == 2
+        assert inferred.guards[0] == "MORPH data [ author ]"
+        assert inferred.guards[1] == "MORPH publisher [ name ]"
+
+    def test_shared_prefix_merges(self):
+        guard = infer("(/data/book/title, /data/book/price)")
+        assert guard == "MORPH data [ book [ title price ] ]"
+
+    def test_no_paths_no_guards(self):
+        assert infer_guard("1 + 2").guards == []
+
+
+class TestInferredGuardsWork:
+    """The inferred guard must parse, and running it must give the
+    query exactly the shape it needs."""
+
+    def test_inferred_guard_parses(self):
+        guard = infer("for $a in /data/author return $a/book/title")
+        parse_guard(guard)
+
+    def test_end_to_end_on_wrong_shape(self, fig1b):
+        # The query expects the normalized shape; the data is
+        # publisher-centric.  Infer the guard, run the guarded query.
+        query = "for $a in /data/author return $a/book/title/text()"
+        inferred = infer_guard(query)
+        # The inferred shape is rooted at data, with author below.
+        guarded = repro.GuardedQuery(inferred.guard, query)
+        outcome = guarded.run(fig1b)
+        assert sorted(outcome.items) == ["X", "Y"]
+
+    def test_text_steps_ignored(self):
+        guard = infer("/data/book/title/text()")
+        assert guard == "MORPH data [ book [ title ] ]"

@@ -1,0 +1,69 @@
+"""Tests for materialized transformations and update propagation."""
+
+import repro
+from repro.engine.materialize import MaterializedTransform
+from repro.xmltree import element
+
+
+GUARD = "MORPH author [ name book [ title ] ]"
+
+
+class TestValueUpdates:
+    def test_text_update_propagates_to_copies(self, fig1a):
+        view = MaterializedTransform(fig1a, GUARD)
+        title = fig1a.find_named("title")[0]
+        updated = view.update_text(title, "X (2nd ed.)")
+        assert len(updated) == 1
+        assert "X (2nd ed.)" in view.xml()
+
+    def test_duplicated_node_updates_everywhere(self):
+        # One title closest to two authors: both copies must update.
+        forest = repro.parse_document(
+            "<data><book><title>T</title>"
+            "<author><name>A</name></author>"
+            "<author><name>B</name></author></book></data>"
+        )
+        view = MaterializedTransform(forest, "CAST-WIDENING MORPH author [ name title ]")
+        title = forest.find_named("title")[0]
+        updated = view.update_text(title, "T2")
+        assert len(updated) == 2
+        assert view.xml().count("T2") == 2
+
+    def test_update_does_not_mark_stale(self, fig1a):
+        view = MaterializedTransform(fig1a, GUARD)
+        view.update_text(fig1a.find_named("name")[0], "Anna")
+        assert not view.stale
+
+    def test_copies_of_unrendered_node_empty(self, fig1a):
+        view = MaterializedTransform(fig1a, "MORPH author [ name ]")
+        publisher = fig1a.find_named("publisher")[0]
+        assert view.copies_of(publisher) == []
+
+
+class TestStructuralUpdates:
+    def test_insert_marks_stale_and_refresh_renders(self, fig1a):
+        view = MaterializedTransform(fig1a, GUARD)
+        book = fig1a.roots[0].children[0]
+        view.insert_child(book.find("author"), element("name", text="Ghost"))
+        assert view.stale
+        # Accessing the forest refreshes automatically.
+        names = [n.text for n in view.forest.find_named("name")]
+        assert "Ghost" in names
+        assert not view.stale
+
+    def test_remove_propagates_after_refresh(self, fig1a):
+        view = MaterializedTransform(fig1a, GUARD)
+        second_book = fig1a.roots[0].children[1]
+        view.remove_node(second_book)
+        titles = [n.text for n in view.forest.find_named("title")]
+        assert titles == ["X"]
+
+    def test_refresh_rebuilds_provenance(self, fig1a):
+        view = MaterializedTransform(fig1a, GUARD)
+        book = fig1a.roots[0].children[0]
+        view.insert_child(book, element("title", text="extra"))
+        view.refresh()
+        # Updates keep working against the refreshed materialization.
+        title = fig1a.find_named("title")[0]
+        assert view.update_text(title, "renamed")
+        assert "renamed" in view.xml()

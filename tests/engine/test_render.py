@@ -1,0 +1,161 @@
+"""Tests for the Render algorithm (Section VII)."""
+
+import repro
+from repro.xmltree import parse_document
+
+
+def rendered_xml(forest, guard, indent=None):
+    return repro.transform(forest, guard).xml(indent=indent)
+
+
+def canonical(xml_text):
+    return repro.parse_forest(xml_text).canonical()
+
+
+class TestPaperWorkedExample:
+    """Section VII renders MORPH author [ name book [ title ] ] on (a)."""
+
+    def test_output_structure(self, fig1a):
+        result = repro.transform(fig1a, "MORPH author [ name book [ title ] ]")
+        expected = canonical(
+            "<author><name>A</name><book><title>X</title></book></author>"
+            "<author><name>A</name><book><title>Y</title></book></author>"
+        )
+        assert result.forest.canonical() == expected
+
+    def test_instances_a_and_b_agree(self, fig1a, fig1b):
+        guard = "MORPH author [ name book [ title ] ]"
+        first = repro.transform(fig1a, guard)
+        second = repro.transform(fig1b, guard)
+        assert first.forest.canonical() == second.forest.canonical()
+
+    def test_grouping_preserved_from_c(self, fig1c):
+        result = repro.transform(fig1c, "MORPH author [ name book [ title ] ]")
+        expected = canonical(
+            "<author><name>A</name><book><title>X</title></book>"
+            "<book><title>Y</title></book></author>"
+        )
+        assert result.forest.canonical() == expected
+
+    def test_document_order_output(self, fig1a):
+        result = repro.transform(fig1a, "MORPH author [ name book [ title ] ]")
+        # First author's book holds title X (source order kept).
+        first_author = result.forest.roots[0]
+        assert first_author.find("book").find("title").text == "X"
+
+    def test_provenance_maps_to_source(self, fig1a):
+        result = repro.transform(fig1a, "MORPH title")
+        for root in result.forest.roots:
+            origin = result.rendered.source_of(root)
+            assert origin is not None
+            assert origin.name == "title"
+            assert origin.text == root.text
+
+
+class TestValuesAndAttributes:
+    def test_text_values_copied(self, fig1a):
+        result = repro.transform(fig1a, "MORPH publisher [ name ]")
+        names = sorted(n.text for n in result.forest.find_named("name"))
+        assert names == ["V", "W"]
+
+    def test_attributes_travel_with_types(self):
+        forest = parse_document('<r><item id="i1"><price>3</price></item></r>')
+        result = repro.transform(forest, "MORPH item [ id price ]")
+        item = result.forest.roots[0]
+        # id was an attribute vertex; it renders back as an attribute.
+        assert item.attribute("id").text == "i1"
+        assert item.find("price").text == "3"
+
+
+class TestDuplication:
+    """The 'write cost is quadratic' case: one node copied to many parents."""
+
+    def test_shared_child_copied_per_parent(self):
+        # Two authors in one book: the single title is closest to both.
+        forest = parse_document(
+            "<data><book><title>T</title>"
+            "<author><name>A</name></author>"
+            "<author><name>B</name></author>"
+            "</book></data>"
+        )
+        result = repro.transform(forest, "CAST-WIDENING MORPH author [ name title ]")
+        titles = result.forest.find_named("title")
+        assert len(titles) == 2
+        assert all(t.text == "T" for t in titles)
+
+    def test_nodes_written_counts_copies(self):
+        forest = parse_document(
+            "<data><book><title>T</title>"
+            "<author><name>A</name></author>"
+            "<author><name>B</name></author>"
+            "</book></data>"
+        )
+        result = repro.transform(forest, "CAST-WIDENING MORPH author [ name title ]")
+        # 2 authors + 2 names + 2 title copies.
+        assert result.rendered.nodes_written == 6
+
+
+class TestOperators:
+    def test_mutate_b_to_a_rendering(self, fig1a, fig1b):
+        mutated = repro.transform(fig1b, "MUTATE book [ publisher [ name ] ]")
+        assert mutated.forest.canonical() == fig1a.canonical()
+
+    def test_new_wraps_each_author(self, fig1a):
+        result = repro.transform(fig1a, "MUTATE (NEW scribe) [ author ]")
+        scribes = result.forest.find_named("scribe")
+        assert len(scribes) == 2
+        for scribe in scribes:
+            assert [c.name for c in scribe.children] == ["author"]
+
+    def test_new_as_root_collects_all(self, fig1a):
+        result = repro.transform(fig1a, "MORPH (NEW bibliography) [ author [ name ] ]")
+        roots = result.forest.roots
+        assert len(roots) == 2  # one wrapper per author (leading child)
+        assert all(r.name == "bibliography" for r in roots)
+
+    def test_clone_duplicates_data(self, fig1a):
+        result = repro.transform(fig1a, "MUTATE author [ CLONE title ]")
+        titles = result.forest.find_named("title")
+        assert len(titles) == 4  # two originals + two copies
+
+    def test_translate_renames_output(self, fig1a):
+        result = repro.transform(
+            fig1a, "MORPH author [ name ] | TRANSLATE author -> writer"
+        )
+        assert [r.name for r in result.forest.roots] == ["writer", "writer"]
+
+    def test_restrict_filters_instances(self):
+        # Two names: one belongs to an author, one to a publisher; the
+        # RESTRICT keeps only the author-adjacent name instances.
+        forest = parse_document(
+            "<data><book>"
+            "<author><name>A</name></author>"
+            "<publisher><name>W</name></publisher>"
+            "</book></data>"
+        )
+        result = repro.transform(
+            forest, "CAST-NARROWING MORPH (RESTRICT name [ author ])"
+        )
+        names = result.forest.find_named("name")
+        assert [n.text for n in names] == ["A"]
+
+    def test_type_fill_renders_placeholder(self, fig1a):
+        result = repro.transform(
+            fig1a, "CAST (TYPE-FILL MORPH author [ name isbn ])"
+        )
+        isbns = result.forest.find_named("isbn")
+        assert len(isbns) == 2
+        assert all(not node.children and not node.text for node in isbns)
+
+
+class TestCounters:
+    def test_reads_and_joins_counted(self, fig1a):
+        result = repro.transform(fig1a, "MORPH author [ name book [ title ] ]")
+        assert result.rendered.nodes_read > 0
+        assert result.rendered.joins >= 2
+        assert result.rendered.nodes_written == result.forest.node_count()
+
+    def test_output_renumbered(self, fig1a):
+        result = repro.transform(fig1a, "MORPH author [ name book [ title ] ]")
+        ids = [n.dewey for n in result.forest.iter_nodes()]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)

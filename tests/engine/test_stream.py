@@ -1,0 +1,90 @@
+"""Tests for the streaming renderer: must agree with the batch renderer."""
+
+import pytest
+
+import repro
+from repro.closeness import DocumentIndex
+from repro.engine.stream import render_stream, render_to_string
+from repro.workloads import generate_dblp
+from repro.xmltree import parse_forest
+from io import StringIO
+
+
+def both_renders(forest, guard):
+    """(batch forest, streamed text) for the same guard."""
+    interpreter = repro.Interpreter(forest)
+    result = interpreter.transform(f"CAST ({guard})")
+    compiled = interpreter.compile(f"CAST ({guard})")
+    streamed = render_to_string(compiled.target_shape, interpreter.index)
+    return result, streamed
+
+
+GUARDS = [
+    "MORPH author [ name book [ title ] ]",
+    "MORPH publisher [ name book [ title ] ]",
+    "MUTATE data",
+    "MUTATE book [ publisher [ name ] ]",
+    "MORPH author [ name ] | TRANSLATE author -> writer",
+    "MUTATE (NEW scribe) [ author ]",
+    "MORPH (RESTRICT name [ author ])",
+]
+
+
+class TestAgreesWithBatchRenderer:
+    @pytest.mark.parametrize("guard", GUARDS)
+    def test_same_output_fig1a(self, fig1a, guard):
+        result, streamed = both_renders(fig1a, guard)
+        assert parse_forest(streamed).canonical() == result.forest.canonical()
+
+    @pytest.mark.parametrize("guard", GUARDS[:4])
+    def test_same_output_fig1c(self, fig1c, guard):
+        result, streamed = both_renders(fig1c, guard)
+        assert parse_forest(streamed).canonical() == result.forest.canonical()
+
+    def test_dblp_medium_guard(self):
+        forest = generate_dblp(120)
+        result, streamed = both_renders(forest, "MORPH author [ title [ year ] ]")
+        assert parse_forest(streamed).canonical() == result.forest.canonical()
+
+    def test_attributes_stream_into_start_tags(self):
+        forest = repro.parse_document('<r><item id="i1"><price>3</price></item></r>')
+        _result, streamed = both_renders(forest, "MORPH item [ id price ]")
+        assert 'id="i1"' in streamed
+
+
+class TestStreamingBehaviour:
+    def test_stats_counted(self, fig1a):
+        interpreter = repro.Interpreter(fig1a)
+        compiled = interpreter.compile("MORPH author [ name ]")
+        sink = StringIO()
+        stats = render_stream(compiled.target_shape, interpreter.index, sink)
+        assert stats.nodes_written == 4  # 2 authors + 2 names
+        assert stats.characters == len(sink.getvalue())
+        assert stats.joins >= 1
+
+    def test_indented_output_parses(self, fig1a):
+        interpreter = repro.Interpreter(fig1a)
+        compiled = interpreter.compile("MORPH author [ name book [ title ] ]")
+        text = render_to_string(compiled.target_shape, interpreter.index, indent=2)
+        assert "\n" in text
+        assert parse_forest(text).canonical() == interpreter.transform(
+            "MORPH author [ name book [ title ] ]"
+        ).forest.canonical()
+
+    def test_incremental_writes(self, fig1a):
+        """Output arrives in many small writes, not one big one."""
+
+        class CountingSink:
+            def __init__(self):
+                self.writes = 0
+                self.pieces = []
+
+            def write(self, text):
+                self.writes += 1
+                self.pieces.append(text)
+
+        interpreter = repro.Interpreter(fig1a)
+        compiled = interpreter.compile("MORPH author [ name book [ title ] ]")
+        sink = CountingSink()
+        render_stream(compiled.target_shape, interpreter.index, sink)
+        assert sink.writes > 10

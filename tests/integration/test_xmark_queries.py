@@ -1,0 +1,97 @@
+"""XMark-flavoured guarded queries over the generated auction data.
+
+The point of query guards is making realistic queries shape-proof;
+these tests run XMark-benchmark-style queries behind guards, against
+both the in-memory engine and the storage engine.
+"""
+
+import pytest
+
+import repro
+from repro.storage import Database
+from repro.workloads import generate_xmark
+
+
+@pytest.fixture(scope="module")
+def auction():
+    return generate_xmark(0.002)
+
+
+@pytest.fixture(scope="module")
+def auction_db(tmp_path_factory, auction):
+    db = Database(str(tmp_path_factory.mktemp("xm") / "x.db"))
+    db.store_document("xmark", auction)
+    yield db
+    db.close()
+
+
+class TestXMarkStyleQueries:
+    def test_q1_style_person_lookup(self, auction):
+        """XMark Q1: the name of a given person."""
+        guarded = repro.GuardedQuery(
+            "CAST MORPH person [ id name ]",
+            "for $p in /person where $p/@id = 'person0' return $p/name/text()",
+        )
+        outcome = guarded.run(auction)
+        assert len(outcome.items) == 1
+
+    def test_q6_style_count_items(self, auction):
+        """XMark Q6: how many items are listed in all regions."""
+        guarded = repro.GuardedQuery(
+            "CAST MORPH item",
+            "count(/item)",
+        )
+        outcome = guarded.run(auction)
+        assert outcome.items[0] > 0
+
+    def test_price_aggregation(self, auction):
+        guarded = repro.GuardedQuery(
+            "CAST MORPH closed_auction [ price ]",
+            "avg(/closed_auction/price)",
+        )
+        outcome = guarded.run(auction)
+        assert 0 < outcome.items[0] < 700
+
+    def test_join_shape_auction_with_annotation_author(self, auction):
+        # Rearranged shape: annotation authors directly under auctions.
+        guarded = repro.GuardedQuery(
+            "CAST MORPH open_auction [ current annotation [ author ] ]",
+            "for $a in /open_auction where number($a/current) > 100 "
+            "return count($a/annotation/author)",
+        )
+        outcome = guarded.run(auction)
+        assert outcome.items  # some auctions above 100
+
+    def test_people_report_sorted(self, auction):
+        guarded = repro.GuardedQuery(
+            "CAST MORPH person [ name age ]",
+            "for $p in /person where exists($p/age) "
+            "order by number($p/age) descending return $p/age/text()",
+        )
+        outcome = guarded.run(auction)
+        ages = [float(age) for age in outcome.items]
+        assert ages == sorted(ages, reverse=True)
+
+    def test_same_query_over_store(self, auction_db, auction):
+        result = auction_db.transform("xmark", "CAST MORPH item [ name quantity ]")
+        stored_count = len(result.forest.roots)
+        memory = repro.transform(auction, "CAST MORPH item [ name quantity ]")
+        assert stored_count == len(memory.forest.roots)
+
+    def test_mailbox_flatten(self, auction):
+        # Flatten deeply nested mail out of items.
+        guarded = repro.GuardedQuery(
+            "CAST MORPH mail [ from to date ]",
+            "count(/mail)",
+        )
+        outcome = guarded.run(auction)
+        assert outcome.items[0] >= 0
+
+    def test_category_graph_attributes(self, auction):
+        guarded = repro.GuardedQuery(
+            "CAST MORPH edge [ from to ]",
+            "for $e in /edge return concat($e/@from, '->', $e/@to)",
+        )
+        outcome = guarded.run(auction)
+        assert all("->" in item for item in outcome.items)
+        assert outcome.items

@@ -1,0 +1,54 @@
+"""Fuzz tests: the front-end parsers never crash, only raise their errors."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GuardSyntaxError, QuerySyntaxError, XmlParseError
+from repro.lang import parse_guard
+from repro.xquery.parser import parse_query
+from repro.xmltree import parse_forest
+
+_guardish = st.text(
+    alphabet="MORPHUTAEranslatecompsdbk[]()|!*, ->\n\t", max_size=80
+)
+_queryish = st.text(
+    alphabet="forletwherturn$aibk/[]()<>{}='\"@,.*+- \n", max_size=80
+)
+_xmlish = st.text(alphabet="<>/abc&;!=\"' -", max_size=80)
+
+
+class TestParserRobustness:
+    @given(_guardish)
+    def test_guard_parser_total(self, text):
+        try:
+            parse_guard(text)
+        except GuardSyntaxError:
+            pass  # the only acceptable failure mode
+
+    @given(_queryish)
+    def test_query_parser_total(self, text):
+        try:
+            parse_query(text)
+        except QuerySyntaxError:
+            pass
+
+    @given(_xmlish)
+    def test_xml_parser_total(self, text):
+        try:
+            parse_forest(text)
+        except XmlParseError:
+            pass
+
+    @given(st.text(max_size=60))
+    def test_guard_parser_arbitrary_unicode(self, text):
+        try:
+            parse_guard(text)
+        except GuardSyntaxError:
+            pass
+
+    @given(st.text(max_size=60))
+    def test_xml_parser_arbitrary_unicode(self, text):
+        try:
+            parse_forest(text)
+        except XmlParseError:
+            pass

@@ -1,0 +1,122 @@
+"""Tests for the guard tokenizer."""
+
+import pytest
+
+from repro.errors import GuardSyntaxError
+from repro.lang import Token, TokenType, tokenize
+
+
+def types(source):
+    return [t.type for t in tokenize(source)][:-1]  # drop END
+
+
+class TestKeywords:
+    def test_all_keywords(self):
+        source = (
+            "MORPH MUTATE TRANSLATE COMPOSE DROP CLONE NEW RESTRICT "
+            "CHILDREN DESCENDANTS CAST CAST-NARROWING CAST-WIDENING TYPE-FILL"
+        )
+        assert types(source) == [
+            TokenType.MORPH,
+            TokenType.MUTATE,
+            TokenType.TRANSLATE,
+            TokenType.COMPOSE,
+            TokenType.DROP,
+            TokenType.CLONE,
+            TokenType.NEW,
+            TokenType.RESTRICT,
+            TokenType.CHILDREN,
+            TokenType.DESCENDANTS,
+            TokenType.CAST,
+            TokenType.CAST_NARROWING,
+            TokenType.CAST_WIDENING,
+            TokenType.TYPE_FILL,
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert types("morph Mutate cast-widening type-fill") == [
+            TokenType.MORPH,
+            TokenType.MUTATE,
+            TokenType.CAST_WIDENING,
+            TokenType.TYPE_FILL,
+        ]
+
+    def test_labels_not_keywords(self):
+        tokens = tokenize("author book.title x-y")
+        assert [t.type for t in tokens][:-1] == [TokenType.LABEL] * 3
+        assert [t.text for t in tokens][:-1] == ["author", "book.title", "x-y"]
+
+
+class TestPunctuation:
+    def test_brackets_and_stars(self):
+        assert types("author [ * ]") == [
+            TokenType.LABEL,
+            TokenType.LBRACKET,
+            TokenType.STAR,
+            TokenType.RBRACKET,
+        ]
+
+    def test_double_star(self):
+        assert types("[**]") == [
+            TokenType.LBRACKET,
+            TokenType.DOUBLE_STAR,
+            TokenType.RBRACKET,
+        ]
+
+    def test_bang_pipe_comma(self):
+        assert types("!title | x , y") == [
+            TokenType.BANG,
+            TokenType.LABEL,
+            TokenType.PIPE,
+            TokenType.LABEL,
+            TokenType.COMMA,
+            TokenType.LABEL,
+        ]
+
+    def test_arrow(self):
+        assert types("author -> writer") == [
+            TokenType.LABEL,
+            TokenType.ARROW,
+            TokenType.LABEL,
+        ]
+
+    def test_arrow_glued_to_label(self):
+        tokens = tokenize("author->writer")
+        assert [t.type for t in tokens][:-1] == [
+            TokenType.LABEL,
+            TokenType.ARROW,
+            TokenType.LABEL,
+        ]
+        assert tokens[0].text == "author"
+        assert tokens[2].text == "writer"
+
+
+class TestTrivia:
+    def test_whitespace_insensitive(self):
+        compact = types("MORPH author[name]")
+        spread = types("MORPH  author [ name\n]")
+        assert compact == spread
+
+    def test_comments_skipped(self):
+        assert types("MORPH author # the rest\n [ name ]") == [
+            TokenType.MORPH,
+            TokenType.LABEL,
+            TokenType.LBRACKET,
+            TokenType.LABEL,
+            TokenType.RBRACKET,
+        ]
+
+    def test_end_token(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+    def test_positions(self):
+        tokens = tokenize("MORPH author")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 6
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(GuardSyntaxError) as info:
+            tokenize("MORPH {author}")
+        assert info.value.position == 6

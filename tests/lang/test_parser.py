@@ -1,0 +1,186 @@
+"""Tests for the guard parser, including every guard printed in the paper."""
+
+import pytest
+
+from repro.errors import GuardSyntaxError
+from repro.lang import parse_guard, CastMode
+from repro.lang.ast import (
+    Cast,
+    Clone,
+    Compose,
+    Drop,
+    Group,
+    Label,
+    Morph,
+    Mutate,
+    New,
+    Restrict,
+    Term,
+    Translate,
+    TypeFill,
+)
+
+
+class TestPaperGuards:
+    """Each guard that appears verbatim in the paper must parse."""
+
+    PAPER_GUARDS = [
+        "MORPH author [ name book [ title ] ]",
+        "MORPH author [ !title name publisher [ name ] ]",
+        "MORPH data [author [* book [** publisher [*]]]]",
+        "MUTATE book [ publisher [ name ] ]",
+        "MORPH author [name] | MUTATE (DROP name)",
+        "CAST-WIDENING (TYPE-FILL MUTATE author [ title ])",
+        "MUTATE name [ author ]",
+        "MUTATE data [ name author ]",
+        "MUTATE (DROP title [ book ])",
+        "MUTATE author [ CLONE title ]",
+        "MUTATE (NEW scribe) [ author ]",
+        "MORPH (RESTRICT name [ author ]) [ title ]",
+        "MORPH author [ name ] | TRANSLATE author -> writer",
+        "MUTATE site",
+        "MORPH author",
+        "MORPH author [title [year]]",
+        "MORPH dblp [author [title [year [pages] url]]]",
+    ]
+
+    @pytest.mark.parametrize("source", PAPER_GUARDS)
+    def test_parses(self, source):
+        parse_guard(source)
+
+    @pytest.mark.parametrize("source", PAPER_GUARDS)
+    def test_print_parse_roundtrip(self, source):
+        first = parse_guard(source)
+        again = parse_guard(str(first))
+        assert again == first
+
+
+class TestStructure:
+    def test_simple_morph(self):
+        guard = parse_guard("MORPH author [ name ]")
+        assert isinstance(guard, Morph)
+        (term,) = guard.pattern.terms
+        assert term.head == Label("author")
+        assert term.children == (Term(Label("name")),)
+
+    def test_bang_label(self):
+        guard = parse_guard("MORPH author [ !title ]")
+        child = guard.pattern.terms[0].children[0]
+        assert child.head == Label("title", bang=True)
+
+    def test_star_abbreviations(self):
+        guard = parse_guard("MORPH author [* book [**]]")
+        author = guard.pattern.terms[0]
+        assert author.star_children and not author.star_descendants
+        book = author.children[0]
+        assert book.star_descendants and not book.star_children
+
+    def test_keyword_forms_match_stars(self):
+        assert parse_guard("MORPH CHILDREN author") == parse_guard("MORPH author [*]")
+        assert parse_guard("MORPH DESCENDANTS book") == parse_guard("MORPH book [**]")
+
+    def test_star_with_children(self):
+        guard = parse_guard("MORPH data [author [* book]]")
+        author = guard.pattern.terms[0].children[0]
+        assert author.star_children
+        assert author.children[0].head == Label("book")
+
+    def test_juxtaposition_equals_brackets(self):
+        # `a [ b c ]` and `a b c` are the same juxtaposition construct.
+        bracketed = parse_guard("MORPH a [ b c ]")
+        flat = parse_guard("MORPH a b c")
+        b_terms = bracketed.pattern.terms[0]
+        assert b_terms.children == flat.pattern.terms[1:]
+
+    def test_drop(self):
+        # Parentheses are grouping only; the head is the DROP itself.
+        guard = parse_guard("MUTATE (DROP name)")
+        head = guard.pattern.terms[0].head
+        assert isinstance(head, Drop)
+        assert head.term.head == Label("name")
+
+    def test_clone(self):
+        guard = parse_guard("MUTATE author [ CLONE title ]")
+        clone_term = guard.pattern.terms[0].children[0]
+        assert isinstance(clone_term.head, Clone)
+
+    def test_new_with_bracket(self):
+        guard = parse_guard("MUTATE (NEW scribe) [ author ]")
+        term = guard.pattern.terms[0]
+        assert term.head == New("scribe")
+        assert term.children[0].head == Label("author")
+
+    def test_restrict(self):
+        guard = parse_guard("MORPH (RESTRICT name [ author ]) [ title ]")
+        term = guard.pattern.terms[0]
+        restrict = term.head
+        assert isinstance(restrict, Restrict)
+        assert restrict.term.head == Label("name")
+        assert restrict.term.children[0].head == Label("author")
+        assert term.children[0].head == Label("title")
+
+    def test_translate(self):
+        guard = parse_guard("TRANSLATE author -> writer, name -> label")
+        assert guard == Translate((("author", "writer"), ("name", "label")))
+
+    def test_compose_pipe(self):
+        guard = parse_guard("MORPH a | MUTATE b | TRANSLATE x -> y")
+        assert isinstance(guard, Compose)
+        assert len(guard.parts) == 3
+
+    def test_compose_keyword(self):
+        keyword = parse_guard("COMPOSE MORPH a, MUTATE b")
+        piped = parse_guard("MORPH a | MUTATE b")
+        assert keyword == piped
+
+    def test_compose_then_translate_comma_disambiguation(self):
+        guard = parse_guard("COMPOSE TRANSLATE a -> b, MORPH x")
+        assert isinstance(guard, Compose)
+        assert isinstance(guard.parts[0], Translate)
+        assert isinstance(guard.parts[1], Morph)
+
+    def test_cast_modes(self):
+        assert parse_guard("CAST MORPH a").mode is CastMode.ANY
+        assert parse_guard("CAST-NARROWING MORPH a").mode is CastMode.NARROWING
+        assert parse_guard("CAST-WIDENING MORPH a").mode is CastMode.WIDENING
+
+    def test_nested_wrappers(self):
+        guard = parse_guard("CAST-WIDENING (TYPE-FILL MUTATE author [ title ])")
+        assert isinstance(guard, Cast)
+        assert isinstance(guard.guard, TypeFill)
+        assert isinstance(guard.guard.guard, Mutate)
+
+    def test_parenthesized_guard(self):
+        guard = parse_guard("(MORPH a | MUTATE b)")
+        assert isinstance(guard, Compose)
+
+    def test_dotted_labels(self):
+        guard = parse_guard("MORPH book.author [ name ]")
+        assert guard.pattern.terms[0].head == Label("book.author")
+
+    def test_case_insensitive(self):
+        assert parse_guard("morph Author [ NAME ]") == parse_guard(
+            "MORPH Author [ NAME ]"
+        )
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",  # nothing
+            "MORPH",  # missing pattern
+            "MORPH author [",  # unterminated bracket
+            "MORPH author ]",  # stray bracket
+            "author [ name ]",  # missing operator keyword
+            "TRANSLATE author",  # missing arrow
+            "TRANSLATE author ->",  # missing target
+            "COMPOSE MORPH a",  # single-part COMPOSE
+            "MORPH a | ",  # dangling pipe
+            "MORPH (a",  # unbalanced paren
+            "NEW x",  # term at guard level
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(GuardSyntaxError):
+            parse_guard(source)

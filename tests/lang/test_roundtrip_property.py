@@ -1,0 +1,115 @@
+"""Property test: every guard AST prints to text that parses back to it."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang import parse_guard
+from repro.lang.ast import (
+    Cast,
+    CastMode,
+    Clone,
+    Compose,
+    Drop,
+    Label,
+    Morph,
+    Mutate,
+    New,
+    Pattern,
+    Restrict,
+    Term,
+    Translate,
+    TypeFill,
+)
+
+_labels = st.sampled_from(["author", "book", "title", "name", "pub.name", "x-ref"])
+
+
+@st.composite
+def terms(draw, depth: int = 2):
+    head_kind = draw(
+        st.sampled_from(
+            ["label", "bang", "new"] + (["drop", "clone", "restrict"] if depth > 0 else [])
+        )
+    )
+    if head_kind == "label":
+        head = Label(draw(_labels))
+    elif head_kind == "bang":
+        head = Label(draw(_labels), bang=True)
+    elif head_kind == "new":
+        head = New(draw(_labels).split(".")[-1])
+    elif head_kind == "drop":
+        head = Drop(draw(terms(depth - 1)))
+    elif head_kind == "clone":
+        head = Clone(draw(terms(depth - 1)))
+    else:
+        head = Restrict(draw(terms(depth - 1)))
+    children = ()
+    if depth > 0:
+        children = tuple(draw(st.lists(terms(depth - 1), max_size=2)))
+    return Term(
+        head,
+        children,
+        star_children=draw(st.booleans()),
+        star_descendants=draw(st.booleans()),
+    )
+
+
+@st.composite
+def patterns(draw):
+    return Pattern(tuple(draw(st.lists(terms(), min_size=1, max_size=2))))
+
+
+@st.composite
+def guards(draw, depth: int = 1):
+    kind = draw(
+        st.sampled_from(
+            ["morph", "mutate", "translate"]
+            + (["compose", "cast", "typefill"] if depth > 0 else [])
+        )
+    )
+    if kind == "morph":
+        return Morph(draw(patterns()))
+    if kind == "mutate":
+        return Mutate(draw(patterns()))
+    if kind == "translate":
+        pairs = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["a", "b", "c"]), st.sampled_from(["x", "y", "z"])
+                ),
+                min_size=1,
+                max_size=3,
+            )
+        )
+        return Translate(tuple(pairs))
+    if kind == "compose":
+        parts = tuple(draw(st.lists(guards(depth - 1), min_size=2, max_size=3)))
+        return Compose(parts)
+    if kind == "cast":
+        return Cast(draw(st.sampled_from(list(CastMode))), draw(guards(depth - 1)))
+    return TypeFill(draw(guards(depth - 1)))
+
+
+@given(guards())
+def test_print_parse_roundtrip(guard):
+    printed = str(guard)
+    reparsed = parse_guard(printed)
+    assert reparsed == _normalize(guard), printed
+
+
+def _normalize(guard):
+    """Nested Compose flattens on parse; mirror that for comparison."""
+    if isinstance(guard, Compose):
+        flat = []
+        for part in guard.parts:
+            normalized = _normalize(part)
+            if isinstance(normalized, Compose):
+                flat.extend(normalized.parts)
+            else:
+                flat.append(normalized)
+        return Compose(tuple(flat))
+    if isinstance(guard, Cast):
+        return Cast(guard.mode, _normalize(guard.guard))
+    if isinstance(guard, TypeFill):
+        return TypeFill(_normalize(guard.guard))
+    return guard

@@ -1,0 +1,91 @@
+"""Tests for cardinality ranges and the theorem comparators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.shape import Card, UNBOUNDED
+
+bounded = st.integers(min_value=0, max_value=20)
+
+
+def cards():
+    return st.builds(
+        lambda lo, extra, unbounded: Card(lo, UNBOUNDED if unbounded else lo + extra),
+        bounded,
+        bounded,
+        st.booleans(),
+    )
+
+
+class TestConstruction:
+    def test_validates_negative_minimum(self):
+        with pytest.raises(ValueError):
+            Card(-1, 2)
+
+    def test_validates_empty_range(self):
+        with pytest.raises(ValueError):
+            Card(3, 2)
+
+    def test_unbounded_allowed(self):
+        assert Card(2, UNBOUNDED).hi is None
+
+    def test_constants(self):
+        assert Card.exactly_one() == Card(1, 1)
+        assert Card.optional() == Card(0, 1)
+        assert Card.leaf() == Card(0, 0)
+        assert Card.any_number() == Card(0, UNBOUNDED)
+
+    def test_str(self):
+        assert str(Card(1, 2)) == "1..2"
+        assert str(Card(0, UNBOUNDED)) == "0..*"
+
+
+class TestAlgebra:
+    def test_product(self):
+        assert Card(1, 2) * Card(2, 3) == Card(2, 6)
+
+    def test_product_with_unbounded(self):
+        assert Card(1, UNBOUNDED) * Card(2, 3) == Card(2, UNBOUNDED)
+
+    def test_product_zero_annihilates_minimum(self):
+        assert (Card(0, 1) * Card(5, 5)).lo == 0
+
+    def test_union(self):
+        assert Card(1, 2).union(Card(0, 5)) == Card(0, 5)
+        assert Card(1, 2).union(Card(3, UNBOUNDED)) == Card(1, UNBOUNDED)
+
+    def test_observe_widens(self):
+        assert Card(1, 1).observe(3) == Card(1, 3)
+        assert Card(1, 3).observe(0) == Card(0, 3)
+        assert Card(2, UNBOUNDED).observe(7) == Card(2, UNBOUNDED)
+
+    @given(cards(), cards())
+    def test_product_commutes(self, a, b):
+        assert a * b == b * a
+
+    @given(cards())
+    def test_one_is_identity(self, a):
+        assert a * Card.exactly_one() == a
+
+    @given(cards(), cards())
+    def test_union_covers_both(self, a, b):
+        merged = a.union(b)
+        assert merged.lo <= min(a.lo, b.lo)
+        if merged.hi is not None:
+            assert a.hi is not None and b.hi is not None
+            assert merged.hi >= max(a.hi, b.hi)
+
+
+class TestTheoremComparators:
+    def test_min_becomes_nonzero(self):
+        assert Card(0, 1).min_becomes_nonzero(Card(1, 1))
+        assert not Card(1, 1).min_becomes_nonzero(Card(1, 1))
+        assert not Card(0, 1).min_becomes_nonzero(Card(0, 5))
+
+    def test_max_increases(self):
+        assert Card(1, 1).max_increases(Card(1, 2))
+        assert Card(1, 1).max_increases(Card(1, UNBOUNDED))
+        assert not Card(1, 2).max_increases(Card(1, 2))
+        assert not Card(0, UNBOUNDED).max_increases(Card(0, UNBOUNDED))
+        assert not Card(0, UNBOUNDED).max_increases(Card(0, 3))

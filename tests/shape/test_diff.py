@@ -1,0 +1,68 @@
+"""Tests for shape diffs."""
+
+import repro
+from repro.shape import extract_shape
+from repro.shape.diff import diff_shapes
+from repro.xmltree import parse_document
+
+
+def shapes(before_xml, after_xml):
+    return (
+        extract_shape(parse_document(before_xml)),
+        extract_shape(parse_document(after_xml)),
+    )
+
+
+class TestClassification:
+    def test_identical(self, fig1a):
+        shape = extract_shape(fig1a)
+        diff = diff_shapes(shape, shape)
+        assert diff.identical
+        assert "identical" in diff.pretty()
+
+    def test_move_detected(self, fig1a, fig1b):
+        # (a) -> (b): publisher moves from below book to above it.
+        diff = diff_shapes(extract_shape(fig1a), extract_shape(fig1b))
+        moved = {c.name for c in diff.moved}
+        assert "publisher" in moved
+        assert "book" in moved
+
+    def test_added_and_removed(self):
+        before, after = shapes(
+            "<r><a><x/></a></r>",
+            "<r><a><y/></a></r>",
+        )
+        diff = diff_shapes(before, after)
+        assert [c.name for c in diff.removed] == ["x"]
+        assert [c.name for c in diff.added] == ["y"]
+
+    def test_cardinality_change(self):
+        before, after = shapes(
+            "<r><a><x/></a><a><x/></a></r>",
+            "<r><a><x/><x/></a><a><x/></a></r>",
+        )
+        diff = diff_shapes(before, after)
+        assert [c.name for c in diff.cardinality_changes] == ["x"]
+        assert "1..1 -> 1..2" in diff.cardinality_changes[0].detail
+
+    def test_unchanged_listed(self, fig1a, fig1b):
+        diff = diff_shapes(extract_shape(fig1a), extract_shape(fig1b))
+        assert "title" in diff.unchanged
+        assert "data" in diff.unchanged
+
+
+class TestGuardOutputDiff:
+    def test_diff_source_vs_guard_output(self, fig1b):
+        """What will this guard change about my shape?"""
+        interpreter = repro.Interpreter(fig1b)
+        compiled = interpreter.compile("MUTATE book [ publisher [ name ] ]")
+        diff = diff_shapes(interpreter.index.shape, compiled.target_shape)
+        moved = {c.name for c in diff.moved}
+        assert "publisher" in moved
+        assert not diff.added and not diff.removed
+
+    def test_pretty_output(self, fig1a, fig1b):
+        diff = diff_shapes(extract_shape(fig1a), extract_shape(fig1b))
+        text = diff.pretty()
+        assert "moved: publisher" in text
+        assert "unchanged types:" in text

@@ -1,0 +1,67 @@
+"""Tests for DTD export of shapes."""
+
+import repro
+from repro.shape.dtdgen import forest_to_dtd, occurrence, shape_to_dtd
+from repro.shape import Card, UNBOUNDED, extract_shape
+from repro.xmltree import parse_document
+
+
+class TestOccurrence:
+    def test_mapping(self):
+        assert occurrence(Card(1, 1)) == ""
+        assert occurrence(Card(0, 1)) == "?"
+        assert occurrence(Card(1, UNBOUNDED)) == "+"
+        assert occurrence(Card(0, UNBOUNDED)) == "*"
+        assert occurrence(Card(2, 2)) == "+"
+        assert occurrence(Card(0, 3)) == "*"
+
+
+class TestForestToDtd:
+    def test_fig1a_declarations(self, fig1a):
+        dtd = forest_to_dtd(fig1a)
+        assert "<!ELEMENT data (book+)>" in dtd
+        assert "<!ELEMENT book (title, author, publisher)>" in dtd
+        assert "<!ELEMENT title (#PCDATA)>" in dtd
+        assert "<!ELEMENT name (#PCDATA)>" in dtd
+
+    def test_optional_child(self, fig1a_optional_name):
+        dtd = forest_to_dtd(fig1a_optional_name)
+        assert "<!ELEMENT author (name?)>" in dtd
+
+    def test_attributes_become_attlist(self):
+        forest = parse_document('<r><item id="1"><price>3</price></item></r>')
+        dtd = forest_to_dtd(forest)
+        assert "<!ATTLIST item id CDATA #REQUIRED>" in dtd
+        assert "<!ELEMENT item (price)>" in dtd
+        # Attribute types must not also appear as elements.
+        assert "<!ELEMENT id" not in dtd
+
+    def test_optional_attribute_implied(self):
+        forest = parse_document('<r><a x="1"/><a/></r>')
+        dtd = forest_to_dtd(forest)
+        assert "<!ATTLIST a x CDATA #IMPLIED>" in dtd
+
+    def test_empty_leaf(self):
+        forest = parse_document("<r><sep/><sep/></r>")
+        dtd = forest_to_dtd(forest)
+        assert "<!ELEMENT sep EMPTY>" in dtd
+
+    def test_imprecision_noted(self, fig1c):
+        dtd = forest_to_dtd(fig1c)
+        assert "widened" in dtd  # author->book is 2..2
+
+
+class TestGuardOutputDtd:
+    def test_dtd_of_transformed_shape(self, fig1b):
+        # Compile a guard, then describe the output schema it produces.
+        result = repro.Interpreter(fig1b).compile("MORPH author [ name book [ title ] ]")
+        dtd = shape_to_dtd(result.target_shape)
+        assert "<!ELEMENT author (name, book)>" in dtd
+        assert "<!ELEMENT book (title)>" in dtd
+
+    def test_translated_names_used(self, fig1a):
+        result = repro.Interpreter(fig1a).compile(
+            "MORPH author [ name ] | TRANSLATE author -> writer"
+        )
+        dtd = shape_to_dtd(result.target_shape)
+        assert "<!ELEMENT writer (name)>" in dtd

@@ -1,0 +1,54 @@
+"""Tests for shape/collection statistics."""
+
+import pytest
+
+from repro.closeness import DocumentIndex
+from repro.shape import extract_shape
+from repro.shape.statistics import collection_statistics, shape_depth_histogram
+from repro.workloads import generate_dblp, generate_nasa
+from repro.xmltree import parse_document
+
+
+class TestCollectionStatistics:
+    def test_fig1a_counts(self, fig1a):
+        stats = collection_statistics(fig1a)
+        assert stats.type_count == 7
+        assert stats.node_count == fig1a.node_count()
+        assert stats.max_depth == 3  # data.book.author.name
+        assert stats.leaf_types == 3  # title, author.name, publisher.name
+
+    def test_depth_average_weighted_by_instances(self):
+        forest = parse_document("<r><a/><a/><a/><b><c/></b></r>")
+        stats = collection_statistics(forest)
+        # nodes: r(0), a(1)x3, b(1), c(2) -> avg = (0+1+1+1+1+2)/6
+        assert stats.average_depth == pytest.approx(1.0)
+
+    def test_attribute_types_counted(self):
+        forest = parse_document('<r><x id="1"/><x id="2"/></r>')
+        stats = collection_statistics(forest)
+        assert stats.attribute_types == 1
+
+    def test_text_density_orders_datasets(self):
+        nasa = collection_statistics(generate_nasa(20))
+        dblp = collection_statistics(generate_dblp(160))
+        assert nasa.text_density > dblp.text_density
+
+    def test_accepts_prebuilt_index(self, fig1a):
+        index = DocumentIndex(fig1a)
+        assert collection_statistics(index).node_count == fig1a.node_count()
+
+    def test_pretty(self, fig1a):
+        text = collection_statistics(fig1a).pretty()
+        assert "types:" in text and "text:" in text
+
+
+class TestDepthHistogram:
+    def test_fig1a_histogram(self, fig1a):
+        histogram = shape_depth_histogram(extract_shape(fig1a))
+        assert histogram == {0: 1, 1: 1, 2: 3, 3: 2}
+
+    def test_deep_vs_bushy_fingerprint(self):
+        deep = extract_shape(parse_document("<a><b><c><d/></c></b></a>"))
+        bushy = extract_shape(parse_document("<a><b/><c/><d/></a>"))
+        assert shape_depth_histogram(deep) == {0: 1, 1: 1, 2: 1, 3: 1}
+        assert shape_depth_histogram(bushy) == {0: 1, 1: 3}

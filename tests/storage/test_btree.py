@@ -1,0 +1,164 @@
+"""Tests for the B+tree, including a model-based property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.btree import MAX_ENTRY, BPlusTree
+from repro.storage.pages import BufferPool, PagedFile
+from repro.storage.stats import SystemStats
+
+
+@pytest.fixture
+def tree(tmp_path):
+    file = PagedFile(str(tmp_path / "t.db"), SystemStats())
+    yield BPlusTree(BufferPool(file, capacity=64))
+    file.close()
+
+
+class TestBasics:
+    def test_get_missing(self, tree):
+        assert tree.get(b"nope") is None
+        assert b"nope" not in tree
+
+    def test_put_get(self, tree):
+        tree.put(b"k", b"v")
+        assert tree.get(b"k") == b"v"
+        assert b"k" in tree
+
+    def test_replace(self, tree):
+        tree.put(b"k", b"v1")
+        tree.put(b"k", b"v2")
+        assert tree.get(b"k") == b"v2"
+        assert tree.count() == 1
+
+    def test_delete(self, tree):
+        tree.put(b"k", b"v")
+        assert tree.delete(b"k")
+        assert tree.get(b"k") is None
+        assert not tree.delete(b"k")
+
+    def test_empty_key_and_value(self, tree):
+        tree.put(b"", b"")
+        assert tree.get(b"") == b""
+
+    def test_oversized_entry_rejected(self, tree):
+        with pytest.raises(StorageError):
+            tree.put(b"k", b"x" * (MAX_ENTRY + 1))
+
+
+class TestScans:
+    def test_scan_sorted(self, tree):
+        for key in [b"m", b"a", b"z", b"b"]:
+            tree.put(key, key)
+        assert [k for k, _ in tree.scan()] == [b"a", b"b", b"m", b"z"]
+
+    def test_scan_range(self, tree):
+        for i in range(20):
+            tree.put(f"k{i:02d}".encode(), b"v")
+        keys = [k for k, _ in tree.scan(b"k05", b"k10")]
+        assert keys == [f"k{i:02d}".encode() for i in range(5, 10)]
+
+    def test_scan_prefix(self, tree):
+        tree.put(b"Ta1", b"1")
+        tree.put(b"Ta2", b"2")
+        tree.put(b"Tb1", b"3")
+        tree.put(b"U", b"4")
+        assert [k for k, _ in tree.scan_prefix(b"Ta")] == [b"Ta1", b"Ta2"]
+        assert [k for k, _ in tree.scan_prefix(b"T")] == [b"Ta1", b"Ta2", b"Tb1"]
+
+    def test_prefix_at_byte_boundary(self, tree):
+        tree.put(b"\xff\x01", b"a")
+        tree.put(b"\xff\xff", b"b")
+        assert len(list(tree.scan_prefix(b"\xff"))) == 2
+
+
+class TestSplitting:
+    def test_many_inserts_force_splits(self, tree):
+        count = 2000
+        for i in range(count):
+            tree.put(f"key{i:06d}".encode(), f"value{i}".encode() * 3)
+        assert tree.count() == count
+        for i in range(0, count, 97):
+            assert tree.get(f"key{i:06d}".encode()) == f"value{i}".encode() * 3
+
+    def test_reverse_order_inserts(self, tree):
+        for i in reversed(range(1000)):
+            tree.put(f"k{i:05d}".encode(), b"v")
+        keys = [k for k, _ in tree.scan()]
+        assert keys == sorted(keys) and len(keys) == 1000
+
+    def test_large_values_split_quickly(self, tree):
+        blob = b"x" * 3000
+        for i in range(50):
+            tree.put(f"big{i:03d}".encode(), blob)
+        assert all(tree.get(f"big{i:03d}".encode()) == blob for i in range(50))
+
+
+class TestPersistence:
+    def test_reopen(self, tmp_path):
+        path = str(tmp_path / "p.db")
+        stats = SystemStats()
+        file = PagedFile(path, stats)
+        tree = BPlusTree(BufferPool(file, capacity=32))
+        for i in range(500):
+            tree.put(f"k{i:04d}".encode(), f"v{i}".encode())
+        tree.pool.flush()
+        file.close()
+
+        file = PagedFile(path, stats)
+        again = BPlusTree(BufferPool(file, capacity=32))
+        assert again.count() == 500
+        assert again.get(b"k0123") == b"v123"
+        file.close()
+
+    def test_not_a_tree_file(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_bytes(b"\x00" * 4096)
+        file = PagedFile(str(path), SystemStats())
+        with pytest.raises(StorageError):
+            BPlusTree(BufferPool(file))
+        file.close()
+
+    def test_small_buffer_pool_still_correct(self, tmp_path):
+        """Thrashing pool: every access may hit disk, results identical."""
+        file = PagedFile(str(tmp_path / "s.db"), SystemStats())
+        tree = BPlusTree(BufferPool(file, capacity=3))
+        for i in range(800):
+            tree.put(f"k{i:04d}".encode(), f"v{i}".encode())
+        assert tree.get(b"k0500") == b"v500"
+        assert tree.count() == 800
+        file.close()
+
+
+class TestModelBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.binary(min_size=0, max_size=20),
+                st.binary(min_size=0, max_size=40),
+            ),
+            max_size=200,
+        )
+    )
+    def test_matches_dict_model(self, tmp_path_factory, operations):
+        tmp = tmp_path_factory.mktemp("bt")
+        file = PagedFile(str(tmp / "m.db"), SystemStats())
+        tree = BPlusTree(BufferPool(file, capacity=8))
+        model: dict[bytes, bytes] = {}
+        try:
+            for action, key, value in operations:
+                if action == "put":
+                    tree.put(key, value)
+                    model[key] = value
+                else:
+                    assert tree.delete(key) == (key in model)
+                    model.pop(key, None)
+            assert dict(tree.scan()) == model
+            for key, value in model.items():
+                assert tree.get(key) == value
+        finally:
+            file.close()

@@ -1,0 +1,106 @@
+"""Tests for B+tree bulk loading."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.btree import BPlusTree
+from repro.storage.pages import BufferPool, PagedFile
+from repro.storage.stats import SystemStats
+
+
+def fresh_pool(tmp_path, name="bulk.db", capacity=64):
+    file = PagedFile(str(tmp_path / name), SystemStats())
+    return BufferPool(file, capacity=capacity), file
+
+
+class TestBulkLoad:
+    def test_roundtrip(self, tmp_path):
+        pool, file = fresh_pool(tmp_path)
+        items = [(f"k{i:05d}".encode(), f"v{i}".encode()) for i in range(3000)]
+        tree = BPlusTree.bulk_load(pool, items)
+        assert tree.count() == 3000
+        assert tree.get(b"k01234") == b"v1234"
+        assert dict(tree.scan()) == dict(items)
+        file.close()
+
+    def test_empty_input(self, tmp_path):
+        pool, file = fresh_pool(tmp_path)
+        tree = BPlusTree.bulk_load(pool, [])
+        assert tree.count() == 0
+        assert tree.get(b"x") is None
+        file.close()
+
+    def test_single_entry(self, tmp_path):
+        pool, file = fresh_pool(tmp_path)
+        tree = BPlusTree.bulk_load(pool, [(b"only", b"one")])
+        assert tree.get(b"only") == b"one"
+        file.close()
+
+    def test_writable_afterwards(self, tmp_path):
+        pool, file = fresh_pool(tmp_path)
+        items = [(f"k{i:04d}".encode(), b"v") for i in range(500)]
+        tree = BPlusTree.bulk_load(pool, items)
+        tree.put(b"k0250x", b"inserted")
+        tree.put(b"a-first", b"prepended")
+        assert tree.get(b"k0250x") == b"inserted"
+        assert tree.get(b"a-first") == b"prepended"
+        keys = [k for k, _ in tree.scan()]
+        assert keys == sorted(keys)
+        file.close()
+
+    def test_persists_across_reopen(self, tmp_path):
+        pool, file = fresh_pool(tmp_path)
+        BPlusTree.bulk_load(pool, [(b"k", b"v")])
+        pool.flush()
+        file.close()
+        file = PagedFile(str(tmp_path / "bulk.db"), SystemStats())
+        again = BPlusTree(BufferPool(file))
+        assert again.get(b"k") == b"v"
+        file.close()
+
+    def test_rejects_unsorted(self, tmp_path):
+        pool, file = fresh_pool(tmp_path)
+        with pytest.raises(StorageError):
+            BPlusTree.bulk_load(pool, [(b"b", b""), (b"a", b"")])
+        file.close()
+
+    def test_rejects_duplicates(self, tmp_path):
+        pool, file = fresh_pool(tmp_path)
+        with pytest.raises(StorageError):
+            BPlusTree.bulk_load(pool, [(b"a", b""), (b"a", b"")])
+        file.close()
+
+    def test_rejects_used_file(self, tmp_path):
+        pool, file = fresh_pool(tmp_path)
+        BPlusTree(pool)  # initializes pages
+        with pytest.raises(StorageError):
+            BPlusTree.bulk_load(pool, [])
+        file.close()
+
+    def test_large_values_pack_few_per_page(self, tmp_path):
+        pool, file = fresh_pool(tmp_path)
+        blob = b"x" * 3000
+        items = [(f"k{i:03d}".encode(), blob) for i in range(40)]
+        tree = BPlusTree.bulk_load(pool, items)
+        assert all(tree.get(k) == blob for k, _ in items)
+        file.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.dictionaries(st.binary(min_size=1, max_size=16), st.binary(max_size=64), max_size=200))
+    def test_matches_put_loop(self, tmp_path_factory, mapping):
+        tmp = tmp_path_factory.mktemp("bl")
+        items = sorted(mapping.items())
+
+        pool_a, file_a = fresh_pool(tmp, "a.db")
+        bulk = BPlusTree.bulk_load(pool_a, items)
+
+        pool_b, file_b = fresh_pool(tmp, "b.db")
+        loop = BPlusTree(pool_b)
+        for key, value in items:
+            loop.put(key, value)
+
+        assert list(bulk.scan()) == list(loop.scan())
+        file_a.close()
+        file_b.close()

@@ -1,0 +1,248 @@
+"""Tests for the database facade, shredder and stored index."""
+
+import pytest
+from hypothesis import given, settings
+
+import repro
+from repro.errors import DocumentNotFoundError, StorageError
+from repro.storage import Database
+from repro.storage.tables import decode_dewey, encode_dewey, pack_sequence, unpack_sequence, NodeRecord
+from repro.xmltree import Dewey, parse_document
+from repro.xmltree.node import NodeKind
+
+from tests.conftest import FIG1A, FIG1B, FIG1C
+from tests.strategies import xml_forests
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = Database(str(tmp_path / "x.db"))
+    yield database
+    database.close()
+
+
+class TestCodecs:
+    def test_dewey_roundtrip(self):
+        for text in ["1", "1.2.3", "1.1.1.1.1"]:
+            dewey = Dewey.parse(text)
+            assert decode_dewey(encode_dewey(dewey)) == dewey
+
+    def test_dewey_key_order_is_document_order(self):
+        ids = [Dewey.parse(t) for t in ["1", "1.1", "1.1.2", "1.2", "2", "10.1"]]
+        encoded = [encode_dewey(d) for d in ids]
+        assert [decode_dewey(e) for e in sorted(encoded)] == sorted(ids)
+
+    def test_sequence_pack_roundtrip(self):
+        records = [
+            NodeRecord(Dewey.parse("1.1"), 3, NodeKind.ELEMENT, "hello"),
+            NodeRecord(Dewey.parse("1.2"), 3, NodeKind.ATTRIBUTE, "x" * 100),
+            NodeRecord(Dewey.parse("1.3"), 3, NodeKind.ELEMENT, "", overflow_chunks=2),
+        ]
+        chunks = list(pack_sequence(records))
+        unpacked = [r for chunk in chunks for r in unpack_sequence(3, chunk)]
+        assert unpacked == records
+
+    def test_sequence_chunking(self):
+        records = [
+            NodeRecord(Dewey((1, i)), 1, NodeKind.ELEMENT, "v" * 200)
+            for i in range(1, 101)
+        ]
+        chunks = list(pack_sequence(records))
+        assert len(chunks) > 1
+        unpacked = [r for chunk in chunks for r in unpack_sequence(1, chunk)]
+        assert unpacked == records
+
+
+class TestDocumentLifecycle:
+    def test_store_and_list(self, db):
+        db.store_document("a", FIG1A)
+        db.store_document("b", FIG1B)
+        assert db.document_names() == ["a", "b"]
+
+    def test_duplicate_name_rejected(self, db):
+        db.store_document("a", FIG1A)
+        with pytest.raises(StorageError):
+            db.store_document("a", FIG1B)
+
+    def test_missing_document(self, db):
+        with pytest.raises(DocumentNotFoundError):
+            db.describe("nope")
+
+    def test_descriptor_contents(self, db):
+        descriptor = db.store_document("a", FIG1A)
+        assert descriptor["nodes"] == parse_document(FIG1A).node_count()
+        assert descriptor["shred_seconds"] >= 0
+        assert db.describe("a")["nodes"] == descriptor["nodes"]
+
+    def test_load_forest_roundtrip(self, db):
+        for name, text in [("a", FIG1A), ("b", FIG1B), ("c", FIG1C)]:
+            db.store_document(name, text)
+        for name, text in [("a", FIG1A), ("b", FIG1B), ("c", FIG1C)]:
+            assert db.load_forest(name).canonical() == parse_document(text).canonical()
+
+    def test_long_text_overflows(self, db):
+        big = "word " * 2000  # ~10 KB, must overflow
+        db.store_document("big", f"<r><t>{big}</t></r>")
+        forest = db.load_forest("big")
+        assert forest.roots[0].find("t").text == big
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "p.db")
+        with Database(path) as db:
+            db.store_document("a", FIG1A)
+        with Database(path) as again:
+            assert again.document_names() == ["a"]
+            result = again.transform("a", "MORPH author [ name ]")
+            assert len(result.forest.roots) == 2
+
+
+class TestDropDocument:
+    def test_drop_removes_everything(self, db):
+        db.store_document("a", FIG1A)
+        db.store_document("b", FIG1B)
+        deleted = db.drop_document("a")
+        assert deleted > 0
+        assert db.document_names() == ["b"]
+        with pytest.raises(DocumentNotFoundError):
+            db.describe("a")
+        # The other document is untouched.
+        assert db.load_forest("b").canonical() == parse_document(FIG1B).canonical()
+
+    def test_drop_missing_raises(self, db):
+        with pytest.raises(DocumentNotFoundError):
+            db.drop_document("nope")
+
+    def test_name_reusable_after_drop(self, db):
+        db.store_document("a", FIG1A)
+        db.drop_document("a")
+        db.store_document("a", FIG1C)
+        assert db.load_forest("a").canonical() == parse_document(FIG1C).canonical()
+
+    def test_drop_clears_overflow(self, db):
+        big = "lorem " * 2000
+        db.store_document("big", f"<r><t>{big}</t></r>")
+        db.drop_document("big")
+        assert not list(db.tree.scan_prefix(b"V"))
+
+
+class TestStoredIndex:
+    def test_shape_matches_in_memory(self, db):
+        db.store_document("a", FIG1A)
+        stored = db.index("a")
+        memory = repro.DocumentIndex(parse_document(FIG1A))
+        assert stored.shape.fingerprint() == memory.shape.fingerprint()
+
+    def test_type_distances_agree(self, db):
+        for name, text in [("a", FIG1A), ("b", FIG1B), ("c", FIG1C)]:
+            db.store_document(name, text)
+        for name, text in [("a", FIG1A), ("b", FIG1B), ("c", FIG1C)]:
+            stored = db.index(name)
+            memory = repro.DocumentIndex(parse_document(text))
+            for first in memory.types():
+                for second in memory.types():
+                    stored_first = stored.type_table.get(first.path)
+                    stored_second = stored.type_table.get(second.path)
+                    assert stored.type_distance(stored_first, stored_second) == (
+                        memory.type_distance(first, second)
+                    )
+
+    def test_lazy_sequences_charge_io(self, db):
+        # Big enough that sequence chunks live on pages of their own.
+        books = "".join(
+            f"<book><title>T{i}</title><author><name>N{i}</name></author></book>"
+            for i in range(300)
+        )
+        db.store_document("big", f"<data>{books}</data>")
+        db.drop_cache()
+        index = db.index("big")
+        title = index.type_table.match_label("title")[0]
+        before = db.stats.cumulative_blocks
+        nodes = index.nodes_of(title)
+        assert len(nodes) == 300 and nodes[0].text == "T0"
+        assert db.stats.cumulative_blocks > before
+        assert db.stats.allocated > 0
+
+    def test_sequences_cached(self, db):
+        db.store_document("a", FIG1A)
+        index = db.index("a")
+        title = index.type_table.match_label("title")[0]
+        first = index.nodes_of(title)
+        assert index.nodes_of(title) is first
+
+    def test_counts(self, db):
+        db.store_document("a", FIG1A)
+        index = db.index("a")
+        book = index.type_table.match_label("book")[0]
+        assert index.count_of(book) == 2
+        assert index.node_count() == parse_document(FIG1A).node_count()
+
+
+class TestGroupedSequence:
+    def test_pairs_match_tree_parents(self, db):
+        db.store_document("a", FIG1A)
+        pairs = db.grouped_sequence("a", "title")
+        forest = parse_document(FIG1A)
+        expected = [
+            (node.parent.dewey, node.dewey)
+            for node in forest.iter_nodes()
+            if node.name == "title"
+        ]
+        assert pairs == expected
+
+    def test_root_type_has_no_parent(self, db):
+        db.store_document("a", FIG1A)
+        pairs = db.grouped_sequence("a", "data")
+        assert pairs == [(None, parse_document(FIG1A).roots[0].dewey)]
+
+    def test_children_grouped_contiguously(self, db):
+        db.store_document("c", FIG1C)
+        pairs = db.grouped_sequence("c", "book")
+        parents = [parent for parent, _own in pairs]
+        # Both books share the single author parent, adjacent in order.
+        assert parents[0] == parents[1]
+
+    def test_unknown_type(self, db):
+        db.store_document("a", FIG1A)
+        with pytest.raises(StorageError):
+            db.grouped_sequence("a", "nosuch")
+
+
+class TestTransformsOverStore:
+    GUARD = "MORPH author [ name book [ title ] ]"
+
+    def test_matches_in_memory_result(self, db):
+        for name, text in [("a", FIG1A), ("b", FIG1B), ("c", FIG1C)]:
+            db.store_document(name, text)
+        for name, text in [("a", FIG1A), ("b", FIG1B), ("c", FIG1C)]:
+            stored = db.transform(name, self.GUARD)
+            memory = repro.transform(parse_document(text), self.GUARD)
+            assert stored.forest.canonical() == memory.forest.canonical()
+            assert stored.loss.guard_type == memory.loss.guard_type
+
+    def test_compile_touches_no_sequence_blocks(self, db):
+        db.store_document("a", FIG1A)
+        db.drop_cache()
+        db.index("a")  # load shape records
+        before = db.stats.cumulative_blocks
+        db.compile("a", self.GUARD)
+        assert db.stats.cumulative_blocks == before
+
+    def test_render_reads_only_needed_types(self, db):
+        # A guard over author/name must not read publisher/title chunks.
+        db.store_document("a", FIG1A)
+        db.drop_cache()
+        index = db.index("a")
+        db.transform("a", "MORPH author [ name ]")
+        assert index._sequences.keys() == {
+            index.type_table.match_label("author")[0].type_id,
+            index.type_table.match_label("author.name")[0].type_id,
+        }
+
+    @settings(max_examples=15, deadline=None)
+    @given(xml_forests(max_roots=1, max_depth=3, max_children=3))
+    def test_random_roundtrip(self, tmp_path_factory, forest):
+        tmp = tmp_path_factory.mktemp("db")
+        with Database(str(tmp / "r.db")) as db:
+            db.store_document("doc", forest)
+            again = db.load_forest("doc")
+            assert again.canonical() == forest.canonical()

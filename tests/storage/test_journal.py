@@ -1,0 +1,125 @@
+"""Tests for the write-ahead journal and crash recovery."""
+
+import os
+
+import pytest
+
+from repro.storage import Database
+from repro.storage.journal import Journal
+from repro.storage.pages import PAGE_SIZE, BufferPool, PagedFile
+from repro.storage.stats import SystemStats
+
+from tests.conftest import FIG1A
+
+
+class TestJournalFile:
+    def test_roundtrip(self, tmp_path):
+        journal = Journal(str(tmp_path / "j"))
+        pages = {3: bytes([1]) * PAGE_SIZE, 7: bytes([2]) * PAGE_SIZE}
+        journal.write(pages)
+        assert journal.pending() == pages
+
+    def test_clear(self, tmp_path):
+        journal = Journal(str(tmp_path / "j"))
+        journal.write({0: bytes(PAGE_SIZE)})
+        journal.clear()
+        assert journal.pending() is None
+
+    def test_empty_batch_is_noop(self, tmp_path):
+        journal = Journal(str(tmp_path / "j"))
+        journal.write({})
+        assert journal.pending() is None
+
+    def test_unsealed_journal_discarded(self, tmp_path):
+        path = tmp_path / "j"
+        journal = Journal(str(path))
+        journal.write({1: bytes(PAGE_SIZE)})
+        # Simulate a crash mid-journal: truncate before the seal.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-2])
+        assert journal.pending() is None
+        assert not path.exists()  # discarded
+
+    def test_corrupt_magic_discarded(self, tmp_path):
+        path = tmp_path / "j"
+        path.write_bytes(b"NOPE" + bytes(100) + b"DONE")
+        assert Journal(str(path)).pending() is None
+
+    def test_wrong_size_entry_rejected(self, tmp_path):
+        journal = Journal(str(tmp_path / "j"))
+        with pytest.raises(ValueError):
+            journal.write({0: b"short"})
+
+
+class TestRecovery:
+    def test_replay_applies_pages(self, tmp_path):
+        stats = SystemStats()
+        file = PagedFile(str(tmp_path / "d.db"), stats)
+        file.allocate()
+        file.close()
+
+        # A sealed journal exists but was never applied (crash mid-apply).
+        journal = Journal(str(tmp_path / "d.db.journal"))
+        journal.write({0: bytes([9]) * PAGE_SIZE})
+
+        file = PagedFile(str(tmp_path / "d.db"), stats)
+        applied = journal.recover(file)
+        assert applied == 1
+        assert bytes(file.read_page(0)) == bytes([9]) * PAGE_SIZE
+        assert journal.pending() is None
+        file.close()
+
+    def test_replay_extends_file(self, tmp_path):
+        stats = SystemStats()
+        file = PagedFile(str(tmp_path / "e.db"), stats)
+        journal = Journal(str(tmp_path / "e.db.journal"))
+        journal.write({2: bytes([5]) * PAGE_SIZE})
+        journal.recover(file)
+        assert file.page_count == 3
+        assert bytes(file.read_page(2)) == bytes([5]) * PAGE_SIZE
+        file.close()
+
+
+class TestCrashSafeDatabase:
+    def test_simulated_crash_between_journal_and_apply(self, tmp_path):
+        path = str(tmp_path / "crash.db")
+        with Database(path) as db:
+            db.store_document("a", FIG1A)
+        # Take a sealed journal image of legitimate page contents, then
+        # corrupt the main file (as if the in-place apply never ran).
+        stats = SystemStats()
+        file = PagedFile(path, stats)
+        images = {
+            page_id: bytes(file.read_page(page_id))
+            for page_id in range(file.page_count)
+        }
+        # "Crash": clobber the data pages.
+        for page_id in range(1, file.page_count):
+            file.write_page(page_id, bytes(PAGE_SIZE))
+        file.close()
+        Journal(path + ".journal").write(images)
+
+        # Reopen: recovery must replay the journal and the data is back.
+        with Database(path) as again:
+            assert again.document_names() == ["a"]
+            assert again.load_forest("a").node_count() > 0
+
+    def test_flush_clears_journal(self, tmp_path):
+        path = str(tmp_path / "ok.db")
+        with Database(path) as db:
+            db.store_document("a", FIG1A)
+            db.flush()
+        assert not os.path.exists(path + ".journal")
+
+    def test_durable_false_skips_journal(self, tmp_path):
+        path = str(tmp_path / "nd.db")
+        with Database(path, durable=False) as db:
+            db.store_document("a", FIG1A)
+        assert not os.path.exists(path + ".journal")
+
+    def test_eviction_with_journal_is_consistent(self, tmp_path):
+        # A tiny pool forces journaled evictions mid-shred.
+        path = str(tmp_path / "tiny.db")
+        with Database(path, cache_pages=2) as db:
+            db.store_document("a", FIG1A)
+            assert db.load_forest("a").node_count() > 0

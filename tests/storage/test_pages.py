@@ -1,0 +1,132 @@
+"""Tests for the paged file and buffer pool."""
+
+import os
+
+import pytest
+
+from repro.errors import PageError
+from repro.storage.pages import PAGE_SIZE, BufferPool, PagedFile
+from repro.storage.stats import SystemStats
+
+
+@pytest.fixture
+def paged(tmp_path):
+    stats = SystemStats()
+    file = PagedFile(str(tmp_path / "t.db"), stats)
+    yield file, stats
+    file.close()
+
+
+class TestPagedFile:
+    def test_starts_empty(self, paged):
+        file, _ = paged
+        assert file.page_count == 0
+
+    def test_allocate_and_roundtrip(self, paged):
+        file, _ = paged
+        page = file.allocate()
+        payload = bytes([7]) * PAGE_SIZE
+        file.write_page(page, payload)
+        assert bytes(file.read_page(page)) == payload
+
+    def test_out_of_range_rejected(self, paged):
+        file, _ = paged
+        with pytest.raises(PageError):
+            file.read_page(0)
+        file.allocate()
+        with pytest.raises(PageError):
+            file.read_page(1)
+
+    def test_wrong_size_rejected(self, paged):
+        file, _ = paged
+        page = file.allocate()
+        with pytest.raises(PageError):
+            file.write_page(page, b"short")
+
+    def test_io_counted(self, paged):
+        file, stats = paged
+        page = file.allocate()  # one write
+        file.write_page(page, bytes(PAGE_SIZE))
+        file.read_page(page)
+        assert stats.blocks_out == 2
+        assert stats.blocks_in == 1
+        assert stats.io_seconds > 0
+
+    def test_reopen_preserves_pages(self, tmp_path):
+        stats = SystemStats()
+        path = str(tmp_path / "p.db")
+        file = PagedFile(path, stats)
+        page = file.allocate()
+        file.write_page(page, bytes([3]) * PAGE_SIZE)
+        file.close()
+        again = PagedFile(path, stats)
+        assert again.page_count == 1
+        assert bytes(again.read_page(0)) == bytes([3]) * PAGE_SIZE
+        again.close()
+
+    def test_misaligned_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.db"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(PageError):
+            PagedFile(str(path), SystemStats())
+
+
+class TestBufferPool:
+    def test_cached_read_is_free(self, paged):
+        file, stats = paged
+        pool = BufferPool(file, capacity=4)
+        page = pool.allocate()
+        baseline = stats.blocks_in
+        pool.get(page)
+        pool.get(page)
+        assert stats.blocks_in == baseline  # all hits
+
+    def test_eviction_writes_dirty_pages(self, paged):
+        file, stats = paged
+        pool = BufferPool(file, capacity=2)
+        pages = [pool.allocate() for _ in range(3)]  # evicts the first
+        buffer = pool.get(pages[0])  # reload, modify
+        buffer[0] = 42
+        pool.mark_dirty(pages[0])
+        pool.get(pages[1])
+        pool.get(pages[2])  # evicts pages[0], must write it back
+        assert file.read_page(pages[0])[0] == 42
+
+    def test_flush_persists(self, paged):
+        file, _ = paged
+        pool = BufferPool(file, capacity=4)
+        page = pool.allocate()
+        pool.get(page)[0] = 9
+        pool.mark_dirty(page)
+        pool.flush()
+        assert file.read_page(page)[0] == 9
+
+    def test_drop_cache_empties(self, paged):
+        file, stats = paged
+        pool = BufferPool(file, capacity=4)
+        page = pool.allocate()
+        pool.drop_cache()
+        assert pool.resident == 0
+        baseline = stats.blocks_in
+        pool.get(page)
+        assert stats.blocks_in == baseline + 1  # real read again
+
+    def test_memory_accounted(self, paged):
+        file, stats = paged
+        pool = BufferPool(file, capacity=8)
+        for _ in range(3):
+            pool.allocate()
+        assert stats.allocated == 3 * PAGE_SIZE
+
+    def test_capacity_validated(self, paged):
+        file, _ = paged
+        with pytest.raises(PageError):
+            BufferPool(file, capacity=0)
+
+    def test_mark_dirty_requires_residency(self, paged):
+        file, _ = paged
+        pool = BufferPool(file, capacity=1)
+        first = pool.allocate()
+        pool.allocate()  # evicts first
+        with pytest.raises(PageError):
+            pool.mark_dirty(first)

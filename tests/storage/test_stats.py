@@ -1,0 +1,88 @@
+"""Tests for the vmstat-analog statistics (the Figures 11–13 substrate)."""
+
+import pytest
+
+from repro.storage.stats import CostModel, SystemStats
+
+
+@pytest.fixture
+def stats():
+    return SystemStats(CostModel(block_seconds=1e-3, cpu_op_seconds=1e-6, total_memory=1000))
+
+
+class TestCharging:
+    def test_block_io(self, stats):
+        stats.block_read(3)
+        stats.block_write(2)
+        assert stats.blocks_in == 3
+        assert stats.blocks_out == 2
+        assert stats.cumulative_blocks == 5
+        assert stats.io_seconds == pytest.approx(5e-3)
+
+    def test_cpu(self, stats):
+        stats.charge_cpu(1000)
+        assert stats.cpu_seconds == pytest.approx(1e-3)
+
+    def test_simulated_seconds_sums(self, stats):
+        stats.block_read(1)
+        stats.charge_cpu(500)
+        assert stats.simulated_seconds == pytest.approx(1e-3 + 5e-4)
+
+
+class TestWaitPercent:
+    def test_zero_when_idle(self, stats):
+        assert stats.wait_percent == 0.0
+
+    def test_pure_io_is_hundred(self, stats):
+        stats.block_read(1)
+        assert stats.wait_percent == 100.0
+
+    def test_balanced(self, stats):
+        stats.block_read(1)  # 1 ms
+        stats.charge_cpu(1000)  # 1 ms
+        assert stats.wait_percent == pytest.approx(50.0)
+
+
+class TestMemoryAccounting:
+    def test_allocate_release(self, stats):
+        stats.allocate(600)
+        assert stats.available_memory == 400
+        stats.release(200)
+        assert stats.available_memory == 600
+        assert stats.peak_allocated == 600
+
+    def test_available_never_negative(self, stats):
+        stats.allocate(5000)
+        assert stats.available_memory == 0
+
+    def test_release_floor(self, stats):
+        stats.release(100)
+        assert stats.allocated == 0
+
+
+class TestSampling:
+    def test_sample_snapshot(self, stats):
+        stats.block_read(2)
+        stats.charge_cpu(100)
+        stats.allocate(300)
+        sample = stats.sample("midpoint")
+        assert sample.label == "midpoint"
+        assert sample.blocks_in == 2
+        assert sample.wait_percent == stats.wait_percent
+        assert sample.available_memory == 700
+        assert stats.samples == [sample]
+
+    def test_reset_clears_counters_not_model(self, stats):
+        stats.block_read(1)
+        stats.sample("x")
+        stats.reset()
+        assert stats.cumulative_blocks == 0
+        assert stats.samples == []
+        assert stats.model.block_seconds == 1e-3
+
+
+class TestCostModelDefaults:
+    def test_paper_era_defaults(self):
+        model = CostModel()
+        assert model.block_seconds == pytest.approx(1e-4)
+        assert model.total_memory == 3_500_000_000

@@ -1,0 +1,52 @@
+"""Hypothesis strategies shared by the property-based test suites.
+
+The core strategy generates small random XML forests over a tiny tag
+alphabet.  A small alphabet is deliberate: it maximizes the chance of
+repeated types, ambiguous labels and interesting closest relationships,
+which is where the closeness machinery earns its keep.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.xmltree.node import XmlForest, XmlNode, element
+
+TAGS = ["a", "b", "c", "d"]
+
+_VALUES = st.sampled_from(["", "x", "y", "hello", "42"])
+
+
+@st.composite
+def xml_trees(draw, max_depth: int = 4, max_children: int = 3) -> XmlNode:
+    """A random small element tree."""
+    name = draw(st.sampled_from(TAGS))
+    text = draw(_VALUES)
+    node = element(name, text=text)
+    if max_depth > 0:
+        count = draw(st.integers(min_value=0, max_value=max_children))
+        for _ in range(count):
+            node.append(draw(xml_trees(max_depth=max_depth - 1, max_children=max_children)))
+    return node
+
+
+@st.composite
+def xml_forests(draw, max_roots: int = 2, **tree_kwargs) -> XmlForest:
+    """A random renumbered forest of one or more small trees."""
+    count = draw(st.integers(min_value=1, max_value=max_roots))
+    forest = XmlForest([draw(xml_trees(**tree_kwargs)) for _ in range(count)])
+    return forest.renumber()
+
+
+@st.composite
+def documents(draw, **tree_kwargs) -> XmlForest:
+    """A random single-rooted document wrapped in a fixed root tag.
+
+    Wrapping in a constant root keeps every node reachable from one
+    root, which mirrors real documents and makes closest joins total.
+    """
+    root = element("r")
+    count = draw(st.integers(min_value=1, max_value=3))
+    for _ in range(count):
+        root.append(draw(xml_trees(**tree_kwargs)))
+    return XmlForest([root]).renumber()

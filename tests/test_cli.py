@@ -1,0 +1,143 @@
+"""Tests for the xmorph command-line tool."""
+
+import pytest
+
+from repro.cli import main
+
+from tests.conftest import FIG1A
+
+
+@pytest.fixture
+def doc(tmp_path):
+    path = tmp_path / "books.xml"
+    path.write_text(FIG1A)
+    return str(path)
+
+
+class TestCommands:
+    def test_shape(self, doc, capsys):
+        assert main(["shape", doc]) == 0
+        out = capsys.readouterr().out
+        assert "data" in out and "book" in out
+
+    def test_shape_stats(self, doc, capsys):
+        assert main(["shape", doc, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "types:" in out and "nodes:" in out
+
+    def test_check(self, doc, capsys):
+        assert main(["check", doc, "MORPH author [ name ]"]) == 0
+        assert "strongly-typed" in capsys.readouterr().out
+
+    def test_transform(self, doc, capsys):
+        assert main(["transform", doc, "MORPH author [ name ]"]) == 0
+        assert "<author>" in capsys.readouterr().out
+
+    def test_transform_reports(self, doc, capsys):
+        assert main(["transform", doc, "MORPH author [ name ]", "--reports"]) == 0
+        captured = capsys.readouterr()
+        assert "information loss" in captured.err
+        assert "label resolution" in captured.err
+        assert "target shape" in captured.err
+        assert "output schema (DTD)" in captured.err
+        assert "statistics" in captured.err
+
+    def test_query(self, doc, capsys):
+        code = main(
+            [
+                "query",
+                doc,
+                "--guard",
+                "MORPH author [ name book [ title ] ]",
+                "--query",
+                "for $a in /author return $a/book/title/text()",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "X" in out and "Y" in out
+
+    def test_db_stream_transform(self, doc, tmp_path, capsys):
+        db = str(tmp_path / "s.db")
+        out = str(tmp_path / "out.xml")
+        assert main(["shred", "--db", db, "books", doc]) == 0
+        assert main(["db-transform", "--db", db, "books", "MORPH author [ name ]", "-o", out]) == 0
+        assert "streamed" in capsys.readouterr().out
+        import repro
+
+        streamed = repro.parse_forest(open(out).read())
+        assert len(streamed.roots) == 2
+
+    def test_shred_ls_and_db_transform(self, doc, tmp_path, capsys):
+        db = str(tmp_path / "bib.db")
+        assert main(["shred", "--db", db, "books", doc]) == 0
+        assert main(["ls", "--db", db]) == 0
+        assert "books" in capsys.readouterr().out
+        assert main(["db-transform", "--db", db, "books", "MORPH title", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "<title>" in captured.out
+        assert "blocks" in captured.err
+
+
+class TestToolingCommands:
+    def test_dtd(self, doc, capsys):
+        assert main(["dtd", doc]) == 0
+        out = capsys.readouterr().out
+        assert "<!ELEMENT data (book+)>" in out
+
+    def test_dtd_of_guard_output(self, doc, capsys):
+        assert main(["dtd", doc, "--guard", "MORPH author [ name ]"]) == 0
+        assert "<!ELEMENT author (name)>" in capsys.readouterr().out
+
+    def test_infer(self, capsys):
+        code = main(["infer", "for $a in /data/author return $a/book/title"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "MORPH data [ author [ book [ title ] ] ]"
+
+    def test_infer_nothing(self, capsys):
+        assert main(["infer", "1 + 1"]) == 1
+
+    def test_quantify(self, doc, capsys):
+        assert main(["quantify", doc, "MUTATE data"]) == 0
+        out = capsys.readouterr().out
+        assert "loses 0.0%" in out and "manufactures 0.0%" in out
+
+    def test_diff(self, doc, tmp_path, capsys):
+        from tests.conftest import FIG1B
+
+        other = tmp_path / "b.xml"
+        other.write_text(FIG1B)
+        assert main(["diff", doc, str(other)]) == 0
+        assert "moved: publisher" in capsys.readouterr().out
+
+    def test_view(self, doc, capsys):
+        assert main(["view", doc, "MORPH author [ name ]"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("for $v1 in /data/book/author")
+
+    def test_explain(self, capsys):
+        assert main(["explain", "MORPH author [ name ]"]) == 0
+        out = capsys.readouterr().out
+        assert "ONLY these types" in out
+
+
+class TestErrors:
+    def test_bad_guard_reports_error(self, doc, capsys):
+        assert main(["check", doc, "MORPH ["]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_lossy_guard_blocked(self, tmp_path, capsys):
+        path = tmp_path / "c.xml"
+        from tests.conftest import FIG1C
+
+        path.write_text(FIG1C)
+        code = main(
+            ["transform", str(path), "MORPH author [ title publisher [ name ] ]"]
+        )
+        assert code == 1
+        assert "widening" in capsys.readouterr().err
+
+    def test_missing_document_in_db(self, tmp_path, capsys):
+        db = str(tmp_path / "empty.db")
+        assert main(["ls", "--db", db]) == 0
+        assert main(["db-transform", "--db", db, "nope", "MORPH x"]) == 1

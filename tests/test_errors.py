@@ -1,0 +1,97 @@
+"""Error-surface tests: every failure mode raises the right exception
+with an actionable message."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            errors.XmlParseError,
+            errors.GuardSyntaxError,
+            errors.TypeAnalysisError,
+            errors.LabelMismatchError,
+            errors.GuardTypeError,
+            errors.RenderError,
+            errors.QueryError,
+            errors.QuerySyntaxError,
+            errors.StorageError,
+            errors.PageError,
+            errors.DocumentNotFoundError,
+        ],
+    )
+    def test_all_derive_from_base(self, cls):
+        assert issubclass(cls, errors.XMorphError)
+
+    def test_catch_all(self, fig1a):
+        with pytest.raises(errors.XMorphError):
+            repro.transform(fig1a, "MORPH [")
+
+
+class TestMessages:
+    def test_xml_parse_location(self):
+        with pytest.raises(errors.XmlParseError) as info:
+            repro.parse_document("<a>\n<b>\n</a>")
+        assert "line 3" in str(info.value)
+
+    def test_guard_syntax_offset(self):
+        with pytest.raises(errors.GuardSyntaxError) as info:
+            repro.parse_guard("MORPH author ]")
+        assert "offset" in str(info.value)
+
+    def test_label_mismatch_names_label_and_fix(self, fig1a):
+        with pytest.raises(errors.LabelMismatchError) as info:
+            repro.transform(fig1a, "MORPH zebra")
+        message = str(info.value)
+        assert "zebra" in message
+        assert "TYPE-FILL" in message  # tells the user the escape hatch
+
+    def test_guard_type_error_names_verdict_and_fix(self, fig1c):
+        with pytest.raises(errors.GuardTypeError) as info:
+            repro.transform(fig1c, "MORPH author [ title publisher ]")
+        message = str(info.value)
+        assert "widening" in message
+        assert "CAST-WIDENING" in message
+        assert info.value.report is not None
+        assert info.value.report.findings
+
+    def test_query_error_names_function(self, fig1a):
+        from repro.xquery import evaluate, QueryContext
+
+        with pytest.raises(errors.QueryError) as info:
+            evaluate("bogus(1)", QueryContext.for_forest(fig1a))
+        assert "bogus" in str(info.value)
+
+    def test_document_not_found_names_document(self, tmp_path):
+        from repro.storage import Database
+
+        with Database(str(tmp_path / "x.db")) as db:
+            with pytest.raises(errors.DocumentNotFoundError) as info:
+                db.describe("missing")
+        assert "missing" in str(info.value)
+
+    def test_page_error_names_range(self, tmp_path):
+        from repro.storage.pages import PagedFile
+        from repro.storage.stats import SystemStats
+
+        file = PagedFile(str(tmp_path / "p.db"), SystemStats())
+        with pytest.raises(errors.PageError) as info:
+            file.read_page(5)
+        assert "5" in str(info.value)
+        file.close()
+
+    def test_entry_too_large_names_sizes(self, tmp_path):
+        from repro.storage.btree import BPlusTree
+        from repro.storage.pages import BufferPool, PagedFile
+        from repro.storage.stats import SystemStats
+
+        file = PagedFile(str(tmp_path / "t.db"), SystemStats())
+        tree = BPlusTree(BufferPool(file))
+        with pytest.raises(errors.StorageError) as info:
+            tree.put(b"k", b"x" * 10000)
+        assert "bytes" in str(info.value)
+        file.close()

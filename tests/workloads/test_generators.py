@@ -1,0 +1,107 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.closeness import DocumentIndex
+from repro.workloads import generate_dblp, generate_nasa, generate_xmark
+from repro.workloads.dblp import publications_for_megabytes
+from repro.xmltree import parse_forest, serialize
+
+
+class TestXMark:
+    def test_deterministic(self):
+        assert generate_xmark(0.001).canonical() == generate_xmark(0.001).canonical()
+
+    def test_seed_changes_content(self):
+        assert generate_xmark(0.001, seed=1).canonical() != generate_xmark(
+            0.001, seed=2
+        ).canonical()
+
+    def test_size_scales_with_factor(self):
+        small = generate_xmark(0.001).node_count()
+        large = generate_xmark(0.004).node_count()
+        assert 2.5 <= large / small <= 6
+
+    def test_schema_sections_present(self):
+        site = generate_xmark(0.001).roots[0]
+        assert site.name == "site"
+        assert [c.name for c in site.element_children()] == [
+            "regions",
+            "categories",
+            "catgraph",
+            "people",
+            "open_auctions",
+            "closed_auctions",
+        ]
+
+    def test_rich_type_population(self):
+        index = DocumentIndex(generate_xmark(0.003))
+        # The real XMark document has 471 distinct types; our generator
+        # must be in the same regime (hundreds).
+        assert len(index.types()) > 200
+
+    def test_serializes_and_reparses(self):
+        forest = generate_xmark(0.001)
+        again = parse_forest(serialize(forest))
+        assert again.canonical() == forest.canonical()
+
+    def test_mutate_site_is_strongly_typed(self):
+        import repro
+
+        report = repro.check(generate_xmark(0.001), "MUTATE site")
+        assert str(report.guard_type) == "strongly-typed"
+
+
+class TestDblp:
+    def test_deterministic(self):
+        assert generate_dblp(50).canonical() == generate_dblp(50).canonical()
+
+    def test_publication_count(self):
+        forest = generate_dblp(120)
+        assert len(forest.roots[0].element_children()) == 120
+
+    def test_fields_match_paper_guards(self):
+        """The Figure 14 guards must find their labels in the data."""
+        import repro
+
+        forest = generate_dblp(100)
+        for guard in [
+            "MORPH author",
+            "CAST-WIDENING MORPH author [title [year]]",
+            "CAST-WIDENING MORPH dblp [author [title [year [pages] url]]]",
+        ]:
+            result = repro.transform(forest, guard)
+            assert result.forest.node_count() > 0
+
+    def test_slice_sizing_helper(self):
+        assert publications_for_megabytes(134) > publications_for_megabytes(67)
+
+    def test_flat_root_shape(self):
+        index = DocumentIndex(generate_dblp(80))
+        root_types = {t.dotted for t in index.types() if t.level == 1}
+        assert root_types <= {"dblp.article", "dblp.inproceedings", "dblp.phdthesis"}
+
+
+class TestNasa:
+    def test_deterministic(self):
+        assert generate_nasa(20).canonical() == generate_nasa(20).canonical()
+
+    def test_long_text_content(self):
+        forest = generate_nasa(30)
+        paragraphs = forest.find_named("para")
+        assert paragraphs
+        average = sum(len(p.text) for p in paragraphs) / len(paragraphs)
+        # Figure 15: the NASA data's element content is large.
+        assert average > 300
+
+    def test_text_density_exceeds_dblp(self):
+        nasa = generate_nasa(30)
+        dblp = generate_dblp(30 * 8)
+        nasa_density = sum(len(n.text) for n in nasa.iter_nodes()) / nasa.node_count()
+        dblp_density = sum(len(n.text) for n in dblp.iter_nodes()) / dblp.node_count()
+        assert nasa_density > 2 * dblp_density
+
+    def test_schema_shape(self):
+        dataset = generate_nasa(5).roots[0].element_children()[0]
+        names = {c.name for c in dataset.element_children()}
+        assert {"title", "abstract", "keywords", "reference", "tableHead"} <= names

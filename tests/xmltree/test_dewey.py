@@ -1,0 +1,138 @@
+"""Unit and property tests for Dewey identifiers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xmltree import Dewey
+
+parts_lists = st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=6)
+
+
+class TestConstruction:
+    def test_root(self):
+        assert Dewey.root().parts == (1,)
+        assert Dewey.root(3).parts == (3,)
+
+    def test_parse_roundtrip(self):
+        ident = Dewey.parse("1.1.3")
+        assert str(ident) == "1.1.3"
+        assert ident.parts == (1, 1, 3)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Dewey.parse("1.x.3")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Dewey(())
+
+    def test_nonpositive_component_rejected(self):
+        with pytest.raises(ValueError):
+            Dewey((1, 0))
+
+    def test_child(self):
+        assert Dewey.root().child(2).parts == (1, 2)
+
+
+class TestStructure:
+    def test_level(self):
+        assert Dewey.root().level == 0
+        assert Dewey.parse("1.1.2.1").level == 3
+
+    def test_parent(self):
+        assert Dewey.parse("1.2.3").parent == Dewey.parse("1.2")
+        assert Dewey.root().parent is None
+
+    def test_ancestor_at_level(self):
+        ident = Dewey.parse("1.2.3.4")
+        assert ident.ancestor_at_level(0) == Dewey.root()
+        assert ident.ancestor_at_level(2) == Dewey.parse("1.2.3")
+        with pytest.raises(ValueError):
+            ident.ancestor_at_level(9)
+
+    def test_ancestry(self):
+        root = Dewey.root()
+        deep = Dewey.parse("1.2.3")
+        assert root.is_ancestor_of(deep)
+        assert not deep.is_ancestor_of(root)
+        assert not deep.is_ancestor_of(deep)
+        assert deep.is_ancestor_or_self_of(deep)
+
+
+class TestDistance:
+    """The Section VII worked example, verbatim from the paper."""
+
+    def test_paper_example_close_pair(self):
+        # publisher 1.1.3 vs title 1.1.1: shared prefix 1.1 -> distance 2.
+        publisher = Dewey.parse("1.1.3")
+        first_title = Dewey.parse("1.1.1")
+        assert publisher.distance(first_title) == 2
+
+    def test_paper_example_far_pair(self):
+        # publisher 1.1.3 vs title 1.2.1: shared prefix 1 -> distance 4.
+        publisher = Dewey.parse("1.1.3")
+        second_title = Dewey.parse("1.2.1")
+        assert publisher.distance(second_title) == 4
+
+    def test_lca(self):
+        assert Dewey.parse("1.1.3").lca(Dewey.parse("1.1.1")) == Dewey.parse("1.1")
+        assert Dewey.parse("1.1").lca(Dewey.parse("2.1")) is None
+
+    def test_distance_across_roots_is_none(self):
+        assert Dewey.parse("1.1").distance(Dewey.parse("2.1")) is None
+
+    def test_ancestor_distance(self):
+        assert Dewey.parse("1.1.1").distance(Dewey.parse("1")) == 2
+        assert Dewey.parse("1").distance(Dewey.parse("1.1.1")) == 2
+
+    def test_self_distance(self):
+        assert Dewey.parse("1.2").distance(Dewey.parse("1.2")) == 0
+
+
+class TestOrdering:
+    def test_document_order(self):
+        order = [Dewey.parse(s) for s in ["1", "1.1", "1.1.1", "1.1.2", "1.2", "2"]]
+        assert sorted(order) == order
+
+    def test_hash_and_eq(self):
+        assert Dewey.parse("1.2") == Dewey.parse("1.2")
+        assert hash(Dewey.parse("1.2")) == hash(Dewey.parse("1.2"))
+        assert Dewey.parse("1.2") != Dewey.parse("1.2.1")
+
+
+class TestProperties:
+    @given(parts_lists, parts_lists)
+    def test_distance_symmetric(self, first, second):
+        a, b = Dewey(tuple(first)), Dewey(tuple(second))
+        assert a.distance(b) == b.distance(a)
+
+    @given(parts_lists)
+    def test_distance_to_self_is_zero(self, parts):
+        ident = Dewey(tuple(parts))
+        assert ident.distance(ident) == 0
+
+    @given(parts_lists, parts_lists)
+    def test_common_prefix_commutes(self, first, second):
+        a, b = Dewey(tuple(first)), Dewey(tuple(second))
+        assert a.common_prefix_length(b) == b.common_prefix_length(a)
+
+    @given(parts_lists)
+    def test_parent_distance_is_one(self, parts):
+        ident = Dewey(tuple(parts) + (1,))
+        assert ident.distance(ident.parent) == 1
+
+    @given(parts_lists, parts_lists)
+    def test_distance_via_lca_levels(self, first, second):
+        a, b = Dewey(tuple(first)), Dewey(tuple(second))
+        meet = a.lca(b)
+        if meet is None:
+            assert a.distance(b) is None
+        else:
+            expected = (a.level - meet.level) + (b.level - meet.level)
+            assert a.distance(b) == expected
+
+    @given(parts_lists, parts_lists)
+    def test_order_matches_tuple_order(self, first, second):
+        a, b = Dewey(tuple(first)), Dewey(tuple(second))
+        assert (a < b) == (tuple(first) < tuple(second))

@@ -1,0 +1,159 @@
+"""Tests for the XQuery-lite extensions: order by and the aggregate /
+string function library."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.xquery import QueryContext, evaluate
+from repro.xmltree import parse_document
+
+SHOP = """
+<shop>
+  <item><name>pen</name><price>3</price></item>
+  <item><name>ink</name><price>12</price></item>
+  <item><name>nib</name><price>7</price></item>
+</shop>
+"""
+
+
+@pytest.fixture
+def ctx():
+    return QueryContext.for_forest(parse_document(SHOP))
+
+
+class TestOrderBy:
+    def test_ascending_numeric(self, ctx):
+        result = evaluate(
+            "for $i in /shop/item order by number($i/price) return $i/name/text()",
+            ctx,
+        )
+        assert result == ["pen", "nib", "ink"]
+
+    def test_descending(self, ctx):
+        result = evaluate(
+            "for $i in /shop/item order by number($i/price) descending "
+            "return $i/name/text()",
+            ctx,
+        )
+        assert result == ["ink", "nib", "pen"]
+
+    def test_string_ordering(self, ctx):
+        result = evaluate(
+            "for $i in /shop/item order by $i/name return $i/name/text()",
+            ctx,
+        )
+        assert result == ["ink", "nib", "pen"]
+
+    def test_explicit_ascending_keyword(self, ctx):
+        result = evaluate(
+            "for $i in /shop/item order by $i/name ascending return $i/name/text()",
+            ctx,
+        )
+        assert result == ["ink", "nib", "pen"]
+
+    def test_order_with_where(self, ctx):
+        result = evaluate(
+            "for $i in /shop/item where number($i/price) > 3 "
+            "order by $i/name return $i/name/text()",
+            ctx,
+        )
+        assert result == ["ink", "nib"]
+
+    def test_multiple_keys(self):
+        forest = parse_document(
+            "<r><p><g>b</g><n>2</n></p><p><g>a</g><n>9</n></p>"
+            "<p><g>b</g><n>1</n></p></r>"
+        )
+        context = QueryContext.for_forest(forest)
+        result = evaluate(
+            "for $p in /r/p order by $p/g, number($p/n) return "
+            "concat($p/g/text(), $p/n/text())",
+            context,
+        )
+        assert result == ["a9", "b1", "b2"]
+
+
+class TestAggregates:
+    def test_sum(self, ctx):
+        assert evaluate("sum(/shop/item/price)", ctx) == [22.0]
+
+    def test_avg(self, ctx):
+        result = evaluate("avg(/shop/item/price)", ctx)
+        assert result == pytest.approx([22 / 3])
+
+    def test_min_max(self, ctx):
+        assert evaluate("min(/shop/item/price)", ctx) == [3.0]
+        assert evaluate("max(/shop/item/price)", ctx) == [12.0]
+
+    def test_empty_aggregates(self, ctx):
+        assert evaluate("sum(/shop/nope)", ctx) == [0.0]
+        assert evaluate("avg(/shop/nope)", ctx) == []
+        assert evaluate("min(/shop/nope)", ctx) == []
+
+    def test_non_numeric_rejected(self, ctx):
+        with pytest.raises(QueryError):
+            evaluate("sum(/shop/item/name)", ctx)
+
+
+class TestQuantifiers:
+    def test_some(self, ctx):
+        assert evaluate(
+            "some $i in /shop/item satisfies number($i/price) > 10", ctx
+        ) == [True]
+        assert evaluate(
+            "some $i in /shop/item satisfies number($i/price) > 100", ctx
+        ) == [False]
+
+    def test_every(self, ctx):
+        assert evaluate(
+            "every $i in /shop/item satisfies number($i/price) > 1", ctx
+        ) == [True]
+        assert evaluate(
+            "every $i in /shop/item satisfies number($i/price) > 5", ctx
+        ) == [False]
+
+    def test_empty_source(self, ctx):
+        assert evaluate("some $x in /shop/nope satisfies 1 = 1", ctx) == [False]
+        assert evaluate("every $x in /shop/nope satisfies 1 = 2", ctx) == [True]
+
+    def test_in_where_clause(self, ctx):
+        result = evaluate(
+            "for $s in /shop where some $i in $s/item satisfies $i/name = 'ink' "
+            "return count($s/item)",
+            ctx,
+        )
+        assert result == [3.0]
+
+    def test_bare_names_not_quantifiers(self, ctx):
+        # `some` followed by a non-variable is an ordinary path step.
+        forest = parse_document("<r><some>x</some></r>")
+        context = QueryContext.for_forest(forest)
+        assert evaluate("/r/some/text()", context) == ["x"]
+
+
+class TestStringFunctions:
+    def test_string_length(self, ctx):
+        assert evaluate("string-length('hello')", ctx) == [5.0]
+
+    def test_substring(self, ctx):
+        assert evaluate("substring('bibliography', 1, 4)", ctx) == ["bibl"]
+        assert evaluate("substring('bibliography', 8)", ctx) == ["raphy"]
+
+    def test_starts_and_ends_with(self, ctx):
+        assert evaluate("starts-with('query guard', 'query')", ctx) == [True]
+        assert evaluate("ends-with('query guard', 'guard')", ctx) == [True]
+        assert evaluate("starts-with('query', 'guard')", ctx) == [False]
+
+    def test_normalize_space(self, ctx):
+        assert evaluate("normalize-space('  a   b  ')", ctx) == ["a b"]
+
+    def test_round(self, ctx):
+        assert evaluate("round(avg(/shop/item/price))", ctx) == [7.0]
+
+    def test_in_guard_pipeline(self, ctx):
+        result = evaluate(
+            "for $i in /shop/item where starts-with($i/name, 'n') "
+            "return $i/name/text()",
+            ctx,
+        )
+        assert result == ["nib"]

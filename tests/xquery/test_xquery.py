@@ -1,0 +1,206 @@
+"""Tests for the XQuery-lite engine."""
+
+import pytest
+
+import repro
+from repro.errors import QueryError, QuerySyntaxError
+from repro.xquery import QueryContext, evaluate, parse_query
+from repro.xquery.evaluator import boolean_value, string_value
+from repro.xmltree import parse_document
+
+
+@pytest.fixture
+def ctx(fig1a):
+    return QueryContext.for_forest(fig1a)
+
+
+class TestPaths:
+    def test_rooted_path(self, ctx):
+        assert [n.name for n in evaluate("/data/book", ctx)] == ["book", "book"]
+
+    def test_descendant_axis(self, ctx):
+        names = evaluate("//name", ctx)
+        assert len(names) == 4  # 2 author names + 2 publisher names
+
+    def test_wildcard(self, ctx):
+        kids = evaluate("/data/*", ctx)
+        assert [n.name for n in kids] == ["book", "book"]
+
+    def test_text_step(self, ctx):
+        assert evaluate("/data/book/title/text()", ctx) == ["X", "Y"]
+
+    def test_attribute_step(self):
+        forest = parse_document('<r><a id="1"/><a id="2"/></r>')
+        context = QueryContext.for_forest(forest)
+        assert [n.text for n in evaluate("/r/a/@id", context)] == ["1", "2"]
+
+    def test_predicate_comparison(self, ctx):
+        books = evaluate("/data/book[title = 'X']", ctx)
+        assert len(books) == 1
+        assert books[0].find("title").text == "X"
+
+    def test_positional_predicate(self, ctx):
+        second = evaluate("/data/book[2]/title/text()", ctx)
+        assert second == ["Y"]
+
+    def test_chained_predicates(self, ctx):
+        result = evaluate("/data/book[title][publisher/name = 'V']/title/text()", ctx)
+        assert result == ["Y"]
+
+    def test_doc_function(self, fig1a):
+        context = QueryContext.for_forest(fig1a, "books")
+        assert len(evaluate("doc('books')/data/book", context)) == 2
+
+    def test_unknown_doc_raises(self, fig1a):
+        context = QueryContext(documents={"a": fig1a, "b": fig1a})
+        with pytest.raises(QueryError):
+            evaluate("doc('missing')/x", context)
+
+
+class TestFlwor:
+    def test_for_return(self, ctx):
+        result = evaluate(
+            "for $b in /data/book return $b/title/text()", ctx
+        )
+        assert result == ["X", "Y"]
+
+    def test_let_binding(self, ctx):
+        result = evaluate(
+            "let $books := /data/book return count($books)", ctx
+        )
+        assert result == [2.0]
+
+    def test_where_clause(self, ctx):
+        result = evaluate(
+            "for $b in /data/book where $b/publisher/name = 'W' "
+            "return $b/title/text()",
+            ctx,
+        )
+        assert result == ["X"]
+
+    def test_nested_for(self, ctx):
+        result = evaluate(
+            "for $b in /data/book, $t in $b/title return $t/text()", ctx
+        )
+        assert result == ["X", "Y"]
+
+    def test_undefined_variable(self, ctx):
+        with pytest.raises(QueryError):
+            evaluate("$nope", ctx)
+
+
+class TestConstructors:
+    def test_empty_element(self, ctx):
+        (node,) = evaluate("<out/>", ctx)
+        assert node.name == "out" and not node.children
+
+    def test_embedded_expression(self, ctx):
+        (node,) = evaluate("<out>{/data/book/title}</out>", ctx)
+        assert [c.name for c in node.children] == ["title", "title"]
+
+    def test_copies_not_aliases(self, ctx, fig1a):
+        (node,) = evaluate("<out>{/data/book/title}</out>", ctx)
+        node.children[0].text = "changed"
+        assert fig1a.find_named("title")[0].text == "X"
+
+    def test_literal_text(self, ctx):
+        (node,) = evaluate("<out>hello</out>", ctx)
+        assert node.text == "hello"
+
+    def test_attribute_template(self, ctx):
+        (node,) = evaluate('<out n="{count(/data/book)}"/>', ctx)
+        assert node.attribute("n").text == "2"
+
+    def test_nested_constructors(self, ctx):
+        (node,) = evaluate("<a><b>{/data/book[1]/title/text()}</b></a>", ctx)
+        assert node.find("b").text == "X"
+
+    def test_paper_dump_query(self, ctx):
+        # The paper's eXist query shape: wrap the document root.
+        result = evaluate(
+            'for $b in doc("xmark.xml")/data return <data>{$b}</data>', ctx
+        )
+        assert len(result) == 1
+        inner = result[0].children[0]
+        assert inner.name == "data"
+        assert len(inner.element_children()) == 2
+
+
+class TestOperatorsAndFunctions:
+    def test_arithmetic(self, ctx):
+        assert evaluate("1 + 2 * 3", ctx) == [7.0]
+        assert evaluate("(1 + 2) * 3", ctx) == [9.0]
+        assert evaluate("10 - 4", ctx) == [6.0]
+
+    def test_comparisons_numeric_and_string(self, ctx):
+        assert evaluate("2 > 1", ctx) == [True]
+        assert evaluate("'abc' < 'abd'", ctx) == [True]
+        assert evaluate("count(//book) = 2", ctx) == [True]
+
+    def test_general_comparison_existential(self, ctx):
+        # Some title equals 'X' even though there are two titles.
+        assert evaluate("//title = 'X'", ctx) == [True]
+        assert evaluate("//title = 'Z'", ctx) == [False]
+
+    def test_and_or(self, ctx):
+        assert evaluate("1 = 1 and 2 = 2", ctx) == [True]
+        assert evaluate("1 = 2 or 2 = 2", ctx) == [True]
+
+    def test_if_then_else(self, ctx):
+        assert evaluate("if (//title = 'X') then 'yes' else 'no'", ctx) == ["yes"]
+
+    def test_distinct_values(self, ctx):
+        assert evaluate("distinct-values(//author/name)", ctx) == ["A"]
+
+    def test_string_functions(self, ctx):
+        assert evaluate("concat('a', 'b', 'c')", ctx) == ["abc"]
+        assert evaluate("contains('hello', 'ell')", ctx) == [True]
+        assert evaluate("string(//title[1])", ctx) == ["X"]
+        assert evaluate("name(/data)", ctx) == ["data"]
+
+    def test_empty_and_exists(self, ctx):
+        assert evaluate("empty(//nope)", ctx) == [True]
+        assert evaluate("exists(//title)", ctx) == [True]
+
+    def test_not(self, ctx):
+        assert evaluate("not(//title = 'Z')", ctx) == [True]
+
+    def test_sequences(self, ctx):
+        assert evaluate("(1, 2, 3)", ctx) == [1.0, 2.0, 3.0]
+        assert evaluate("()", ctx) == []
+
+    def test_unknown_function(self, ctx):
+        with pytest.raises(QueryError):
+            evaluate("frobnicate(1)", ctx)
+
+
+class TestValueModel:
+    def test_string_value_concatenates_descendants(self, fig1a):
+        book = fig1a.roots[0].children[0]
+        assert string_value(book) == "XAW"
+
+    def test_boolean_value_rules(self, fig1a):
+        assert boolean_value([fig1a.roots[0]])
+        assert not boolean_value([])
+        assert boolean_value(["x"]) and not boolean_value([""])
+        assert boolean_value([1.0]) and not boolean_value([0.0])
+
+    def test_number_formatting(self, ctx):
+        assert evaluate("string(count(//book))", ctx) == ["2"]
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "for $x return 1",  # missing 'in'
+            "let $x = 1 return $x",  # '=' instead of ':='
+            "/data/book[",  # unterminated predicate
+            "<a>{1}</b>",  # mismatched constructor tags
+            "1 +",  # dangling operator
+            "'unterminated",
+        ],
+    )
+    def test_rejects(self, query):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(query)
