@@ -6,15 +6,22 @@ the paper's methodology (shredding is reported separately, Section IX).
 
 Every bench registers its paper-style series table here; the tables are
 printed and written to ``bench_results/`` at session end, so they
-survive ``--benchmark-only`` runs and feed EXPERIMENTS.md.
+survive ``--benchmark-only`` runs and feed EXPERIMENTS.md.  Alongside
+the tables, every measured phase (one span per ``measured_*`` call,
+with wall seconds, simulated seconds and blocks) is written to
+``bench_results/trace.jsonl`` so the perf trajectory is machine-readable.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.baseline import ExistStore
+from repro.bench.harness import session_tracer
 from repro.bench.reporting import SeriesTable, write_report
+from repro.obs import write_json_lines
 from repro.storage import Database
 from repro.workloads import generate_dblp, generate_nasa, generate_xmark
 
@@ -40,6 +47,11 @@ def register_chart(key: str, chart) -> None:
 
 
 def pytest_sessionfinish(session, exitstatus):
+    tracer = session_tracer()
+    if tracer.roots:
+        os.makedirs("bench_results", exist_ok=True)
+        path = write_json_lines(tracer, os.path.join("bench_results", "trace.jsonl"))
+        print(f"\nper-phase trace: {path} ({len(tracer.roots)} phases)")
     if not _TABLES and not _CHARTS:
         return
     print("\n")

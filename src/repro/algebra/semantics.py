@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import LabelMismatchError, TypeAnalysisError
+from repro.obs import tracer as obs
 from repro.algebra.context import DerivedShapeContext, ShapeContext, fresh_from
 from repro.algebra.operators import (
     ChildrenOp,
@@ -129,7 +130,9 @@ class Evaluator:
         for index, part in enumerate(parts):
             part = _unwrap(part)
             self._stage = index
-            shape = self._eval_stage(part, context)
+            with obs.span(f"algebra.{type(part).__name__}", stage=index) as stage_span:
+                shape = self._eval_stage(part, context)
+            stage_span.annotate(types=len(shape.types()))
             stage_shapes.append(shape)
             context = DerivedShapeContext(shape)
             is_morph = isinstance(part, MorphOp)

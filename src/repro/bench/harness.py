@@ -1,4 +1,13 @@
-"""Measured operations: run a system step and capture wall + model costs."""
+"""Measured operations: run a system step and capture wall + model costs.
+
+Every measurement is also recorded as a span on a benchmark-session
+tracer (label, wall seconds, simulated seconds, blocks), so the per-phase
+numbers behind ``bench_results/*.txt`` are available machine-readably;
+``benchmarks/conftest.py`` writes them to ``bench_results/trace.jsonl``
+at session end.  The session tracer is *not* installed as the current
+tracer — the code under measurement runs with tracing disabled, exactly
+as in production, so recording costs one span per measured phase.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +15,16 @@ import time
 from dataclasses import dataclass
 
 from repro.baseline.existdb import ExistStore
+from repro.obs import Tracer
 from repro.storage.database import Database
+
+#: Collects one span per measured phase across the whole bench session.
+_SESSION_TRACER = Tracer()
+
+
+def session_tracer() -> Tracer:
+    """The tracer holding every phase measured so far this session."""
+    return _SESSION_TRACER
 
 
 @dataclass(frozen=True, slots=True)
@@ -25,17 +43,23 @@ class Measurement:
         return units / self.simulated_seconds
 
 
-def _measure(stats, operation) -> Measurement:
+def _measure(stats, operation, label: str = "operation", **attrs) -> Measurement:
     wall_start = time.perf_counter()
     sim_start = stats.simulated_seconds
     blocks_start = stats.cumulative_blocks
-    result = operation()
-    return Measurement(
+    with _SESSION_TRACER.span(label, **attrs) as phase:
+        result = operation()
+    measurement = Measurement(
         wall_seconds=time.perf_counter() - wall_start,
         simulated_seconds=stats.simulated_seconds - sim_start,
         blocks=stats.cumulative_blocks - blocks_start,
         result=result,
     )
+    phase.annotate(
+        simulated_seconds=measurement.simulated_seconds,
+        blocks=measurement.blocks,
+    )
+    return measurement
 
 
 def measured_transform(db: Database, name: str, guard: str, cold: bool = True) -> Measurement:
@@ -43,23 +67,41 @@ def measured_transform(db: Database, name: str, guard: str, cold: bool = True) -
     matching the paper's methodology)."""
     if cold:
         db.drop_cache()
-    return _measure(db.stats, lambda: db.transform(name, guard))
+    return _measure(
+        db.stats,
+        lambda: db.transform(name, guard),
+        label=f"transform:{name}",
+        guard=guard,
+        cold=cold,
+    )
 
 
 def measured_compile(db: Database, name: str, guard: str, cold: bool = True) -> Measurement:
     if cold:
         db.drop_cache()
         db.index(name)  # shape load is part of a cold compile
-    return _measure(db.stats, lambda: db.compile(name, guard))
+    return _measure(
+        db.stats,
+        lambda: db.compile(name, guard),
+        label=f"compile:{name}",
+        guard=guard,
+        cold=cold,
+    )
 
 
 def measured_dump(store: ExistStore, name: str, cold: bool = True) -> Measurement:
     if cold:
         store.drop_cache()
-    return _measure(store.stats, lambda: store.dump(name))
+    return _measure(store.stats, lambda: store.dump(name), label=f"dump:{name}", cold=cold)
 
 
 def measured_query(store: ExistStore, name: str, query: str, cold: bool = True) -> Measurement:
     if cold:
         store.drop_cache()
-    return _measure(store.stats, lambda: store.query(name, query))
+    return _measure(
+        store.stats,
+        lambda: store.query(name, query),
+        label=f"query:{name}",
+        query=query,
+        cold=cold,
+    )

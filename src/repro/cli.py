@@ -13,6 +13,8 @@ Examples::
         --query "for $a in /author return $a/name/text()"
     xmorph shred --db bib.db dblp dblp.xml
     xmorph db-transform --db bib.db dblp "MORPH author"
+    xmorph run books.xml "MORPH author [ name ]" --profile
+    xmorph trace --db bib.db dblp "MORPH author" --json
 """
 
 from __future__ import annotations
@@ -51,6 +53,47 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("document")
     check.add_argument("guard")
     check.set_defaults(handler=_cmd_check)
+
+    run = commands.add_parser(
+        "run",
+        help="run a guard through the full pipeline, optionally profiled",
+        description=(
+            "Transform a document with a guard, like 'transform', but with "
+            "first-class observability: --profile prints an EXPLAIN "
+            "ANALYZE-style plan (actual per-operator row counts and "
+            "timings) instead of the XML, and --profile-json writes the "
+            "span/metric trace as JSON lines.  With --db the document is "
+            "a stored name; otherwise it is an XML file, shredded into a "
+            "throwaway store so the trace covers the whole pipeline."
+        ),
+    )
+    run.add_argument("document", help="XML file, or stored name with --db")
+    run.add_argument("guard")
+    run.add_argument("--db", default=None, help="run against a stored document")
+    run.add_argument("--indent", type=int, default=None, help="pretty-print width")
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the annotated plan (EXPLAIN ANALYZE) instead of the XML",
+    )
+    run.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        default=None,
+        help="write the JSON-lines trace to PATH ('-' for stdout)",
+    )
+    run.set_defaults(handler=_cmd_run)
+
+    trace = commands.add_parser(
+        "trace", help="run a guard and print its span trace"
+    )
+    trace.add_argument("document", help="XML file, or stored name with --db")
+    trace.add_argument("guard")
+    trace.add_argument("--db", default=None, help="trace against a stored document")
+    trace.add_argument(
+        "--json", action="store_true", help="emit JSON lines instead of the tree"
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     transform = commands.add_parser("transform", help="transform a document with a guard")
     transform.add_argument("document")
@@ -142,6 +185,41 @@ def _cmd_shape(arguments) -> int:
 def _cmd_check(arguments) -> int:
     report = repro.check(_read(arguments.document), arguments.guard)
     print(report.pretty())
+    return 0
+
+
+def _profile_report(arguments):
+    from repro.engine.profile import profile_db_transform, profile_document
+
+    if arguments.db is not None:
+        with Database(arguments.db) as db:
+            return profile_db_transform(db, arguments.document, arguments.guard)
+    return profile_document(_read(arguments.document), arguments.guard)
+
+
+def _cmd_run(arguments) -> int:
+    report = _profile_report(arguments)
+    if arguments.profile:
+        print(report.pretty())
+    else:
+        print(report.result.xml(indent=arguments.indent))
+    if arguments.profile_json is not None:
+        trace_text = report.trace_json()
+        if arguments.profile_json == "-":
+            print(trace_text)
+        else:
+            with open(arguments.profile_json, "w", encoding="utf-8") as handle:
+                handle.write(trace_text + "\n")
+            print(f"trace written to {arguments.profile_json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(arguments) -> int:
+    report = _profile_report(arguments)
+    if arguments.json:
+        print(report.trace_json())
+    else:
+        print(report.span_tree())
     return 0
 
 

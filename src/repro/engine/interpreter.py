@@ -9,9 +9,10 @@ adorned shape, never the data.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
+
+from repro.obs import tracer as obs
 
 from repro.algebra.build import Enforcement, build_operator
 from repro.algebra.context import DocumentShapeContext
@@ -74,17 +75,17 @@ class Interpreter:
 
     def compile(self, guard: str) -> TransformResult:
         """Run every stage *except* rendering (the paper's 'compile')."""
-        started = time.perf_counter()
-        operator, enforcement = self._parse(guard)
-        evaluation, loss = self._analyze(operator, enforcement)
-        enforce(loss, enforcement)
-        elapsed = time.perf_counter() - started
+        with obs.span("pipeline.compile") as compile_span:
+            operator, enforcement = self._parse(guard)
+            evaluation, loss = self._analyze(operator, enforcement)
+            with obs.span("typing.enforce"):
+                enforce(loss, enforcement)
         return TransformResult(
             guard=guard,
             target_shape=evaluation.shape,
             loss=loss,
             evaluation=evaluation,
-            compile_seconds=elapsed,
+            compile_seconds=compile_span.duration,
         )
 
     def check(self, guard: str) -> LossReport:
@@ -96,20 +97,25 @@ class Interpreter:
     def transform(self, guard: str) -> TransformResult:
         """Compile, enforce, and render a guard (Ψ⟦P⟧ = render(G, ξ⟦P⟧(S)))."""
         result = self.compile(guard)
-        started = time.perf_counter()
-        result.rendered = render(result.target_shape, self.index)
-        result.render_seconds = time.perf_counter() - started
+        with obs.span("pipeline.render") as render_span:
+            result.rendered = render(result.target_shape, self.index)
+        result.render_seconds = render_span.duration
         return result
 
     # -- stages ---------------------------------------------------------------
 
     def _parse(self, guard: str) -> tuple[Operator, Enforcement]:
-        return build_operator(parse_guard(guard))
+        with obs.span("lang.parse"):
+            return build_operator(parse_guard(guard))
 
     def _analyze(
         self, operator: Operator, enforcement: Enforcement
     ) -> tuple[EvaluationResult, LossReport]:
         context = DocumentShapeContext(self.index)
-        evaluation = Evaluator(type_fill=enforcement.type_fill).run(operator, context)
-        loss = analyze_loss(self.index.shape, evaluation.shape, self.index.shape_vertex)
+        with obs.span("typing.type-analysis"):
+            evaluation = Evaluator(type_fill=enforcement.type_fill).run(operator, context)
+        with obs.span("typing.loss"):
+            loss = analyze_loss(
+                self.index.shape, evaluation.shape, self.index.shape_vertex
+            )
         return evaluation, loss

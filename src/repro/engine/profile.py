@@ -1,0 +1,197 @@
+"""``EXPLAIN ANALYZE`` for XMorph: the plan, annotated with actuals.
+
+A profile runs a guard under an enabled tracer and combines three views
+of the same evaluation:
+
+* the **target-shape plan** — the shape the algebra produced, one line
+  per type, annotated with the *actual* number of instances the render
+  algorithm emitted for it (``rows=``) and its source type;
+* the **span tree** — wall-clock timings for every pipeline stage
+  (parse, per-operator type analysis, loss check, render, shred);
+* the **storage actuals** — block I/O, buffer hit ratio, B+tree page
+  reads and the modelled (vmstat-analog) costs, taken from the same
+  :class:`~repro.storage.stats.SystemStats` charges that drive the
+  paper's Figures 11–13.
+
+Entry points: :func:`profile_transform` for an in-memory forest or
+index, :func:`profile_db_transform` for a stored document, and
+:func:`profile_document` which shreds XML text into a throwaway store so
+even a single file gets the full pipeline trace.  All are surfaced by
+``xmorph run --profile`` and ``xmorph trace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import obs
+from repro.engine.interpreter import Interpreter, TransformResult
+from repro.shape.types import ShapeType
+
+#: Span names whose durations headline the timing summary, in pipeline order.
+_PIPELINE_SPANS = (
+    "storage.shred",
+    "pipeline.compile",
+    "lang.parse",
+    "typing.type-analysis",
+    "typing.loss",
+    "typing.enforce",
+    "pipeline.render",
+)
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled guard evaluation produced."""
+
+    guard: str
+    result: TransformResult
+    tracer: obs.Tracer
+    #: Snapshot of the storage cost model deltas (None for pure in-memory runs).
+    storage: Optional[dict] = None
+
+    # -- structured accessors ----------------------------------------------
+
+    def span_duration(self, name: str) -> Optional[float]:
+        span = self.tracer.find(name)
+        return span.duration if span is not None else None
+
+    def plan_rows(self) -> list[tuple[int, str, int, str]]:
+        """(depth, output name, actual rows, source label) per plan line."""
+        rendered = self.result.rendered
+        rows: list[tuple[int, str, int, str]] = []
+
+        def visit(vertex: ShapeType, depth: int) -> None:
+            actual = rendered.rows_for(vertex) if rendered is not None else 0
+            rows.append((depth, vertex.out_name, actual, _source_label(vertex)))
+            for child in self.result.target_shape.children(vertex):
+                visit(child, depth + 1)
+
+        for root in self.result.target_shape.roots():
+            visit(root, 0)
+        return rows
+
+    def trace_json(self) -> str:
+        """The run as a JSON-lines trace (spans + metrics)."""
+        return obs.to_json_lines(self.tracer)
+
+    # -- rendering ----------------------------------------------------------
+
+    def pretty(self) -> str:
+        lines = ["EXPLAIN ANALYZE", f"guard: {self.guard}", ""]
+        lines.append("plan (target shape; rows = instances actually rendered):")
+        for depth, name, actual, source in self.plan_rows():
+            lines.append(f"{'  ' * (depth + 1)}{name}  rows={actual}  {source}")
+        if self.result.rendered is None:
+            lines.append("  (not rendered: compile-only profile)")
+
+        lines.append("")
+        lines.append("timings:")
+        for name in _PIPELINE_SPANS:
+            duration = self.span_duration(name)
+            if duration is not None:
+                lines.append(f"  {name}  {obs.format_duration(duration)}")
+        for span in self.tracer.iter_spans():
+            if span.name.startswith("algebra."):
+                stage = span.attrs.get("stage", "?")
+                lines.append(
+                    f"    stage {stage}: {span.name.removeprefix('algebra.')}"
+                    f"  {obs.format_duration(span.duration)}"
+                    f"  types={span.attrs.get('types', '?')}"
+                )
+
+        rendered = self.result.rendered
+        if rendered is not None:
+            lines.append("")
+            lines.append(
+                "render: "
+                f"nodes_emitted={rendered.nodes_written} "
+                f"nodes_read={rendered.nodes_read} "
+                f"joins={rendered.joins}"
+            )
+        metric_lines = obs.render_metrics(self.tracer.metrics)
+        if metric_lines:
+            lines.append("")
+            lines.extend(metric_lines)
+        if self.storage is not None:
+            lines.append("")
+            lines.append(
+                "storage (modelled): "
+                f"blocks={self.storage['blocks']} "
+                f"simulated={self.storage['simulated_seconds']:.4f}s "
+                f"wait={self.storage['wait_percent']:.0f}% "
+                f"buffer_hit_ratio={self.storage['buffer_hit_ratio']:.2f}"
+            )
+        return "\n".join(lines)
+
+    def span_tree(self) -> str:
+        return obs.render_tree(self.tracer)
+
+
+def _source_label(vertex: ShapeType) -> str:
+    if vertex.source is not None:
+        return f"(from {vertex.source.dotted})"
+    if vertex.synthesized:
+        return "(synthesized)"
+    return "(new element)"
+
+
+# -- entry points ----------------------------------------------------------
+
+
+def profile_transform(source, guard: str) -> ProfileReport:
+    """Profile a guard over an in-memory forest or document index."""
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        result = Interpreter(source).transform(guard)
+    return ProfileReport(guard=guard, result=result, tracer=tracer)
+
+
+def profile_db_transform(database, name: str, guard: str) -> ProfileReport:
+    """Profile a guard over a stored document, with storage actuals."""
+    tracer = obs.Tracer()
+    stats = database.stats
+    blocks_before = stats.cumulative_blocks
+    simulated_before = stats.simulated_seconds
+    with obs.tracing(tracer), database.observed(tracer):
+        result = database.transform(name, guard)
+    return ProfileReport(
+        guard=guard,
+        result=result,
+        tracer=tracer,
+        storage={
+            "blocks": stats.cumulative_blocks - blocks_before,
+            "simulated_seconds": stats.simulated_seconds - simulated_before,
+            "wait_percent": stats.wait_percent,
+            "available_memory": stats.available_memory,
+            "buffer_hit_ratio": database.pool.hit_ratio,
+        },
+    )
+
+
+def profile_document(xml_text: str, guard: str) -> ProfileReport:
+    """Profile XML text end to end: shred into a throwaway store, then
+    transform — so the trace includes shredding and storage actuals."""
+    import os
+    import tempfile
+
+    from repro.storage.database import Database
+
+    tracer = obs.Tracer()
+    with tempfile.TemporaryDirectory(prefix="xmorph-profile-") as scratch:
+        database = Database(os.path.join(scratch, "profile.db"), durable=False)
+        try:
+            with obs.tracing(tracer), database.observed(tracer):
+                database.store_document("document", xml_text)
+                result = database.transform("document", guard)
+            storage = {
+                "blocks": database.stats.cumulative_blocks,
+                "simulated_seconds": database.stats.simulated_seconds,
+                "wait_percent": database.stats.wait_percent,
+                "available_memory": database.stats.available_memory,
+                "buffer_hit_ratio": database.pool.hit_ratio,
+            }
+        finally:
+            database.close()
+    return ProfileReport(guard=guard, result=result, tracer=tracer, storage=storage)

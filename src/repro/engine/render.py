@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.closeness.index import DocumentIndex, closest_join
+from repro.obs import tracer as obs
 from repro.shape.shape import Shape
 from repro.shape.types import ShapeType
 from repro.xmltree.node import NodeKind, XmlForest, XmlNode
@@ -44,9 +45,15 @@ class RenderResult:
     nodes_written: int = 0
     nodes_read: int = 0
     joins: int = 0
+    #: id(shape type) -> number of output instances ("actual rows").
+    rows_by_type: dict[int, int] = field(default_factory=dict)
 
     def source_of(self, node: XmlNode) -> Optional[XmlNode]:
         return self.provenance.get(id(node))
+
+    def rows_for(self, shape_type: ShapeType) -> int:
+        """Actual output instances of one target shape type."""
+        return self.rows_by_type.get(id(shape_type), 0)
 
 
 @dataclass
@@ -76,19 +83,29 @@ class _Renderer:
             if instances:
                 self._attach_children(root, instances)
         self.result.forest.renumber()
+        obs.count("render.nodes_emitted", self.result.nodes_written)
+        obs.count("render.nodes_read", self.result.nodes_read)
+        obs.count("render.joins", self.result.joins)
         return self.result
 
     # -- instance construction ------------------------------------------------
+
+    def _tally(self, shape_type: ShapeType) -> None:
+        rows = self.result.rows_by_type
+        key = id(shape_type)
+        rows[key] = rows.get(key, 0) + 1
 
     def _make(self, shape_type: ShapeType, source: XmlNode) -> _Instance:
         out = XmlNode(shape_type.out_name, source.kind, source.text)
         self.result.provenance[id(out)] = source
         self.result.nodes_written += 1
+        self._tally(shape_type)
         return _Instance(out, source)
 
     def _make_new(self, shape_type: ShapeType, anchor: Optional[XmlNode]) -> _Instance:
         out = XmlNode(shape_type.out_name, NodeKind.ELEMENT)
         self.result.nodes_written += 1
+        self._tally(shape_type)
         return _Instance(out, anchor)
 
     def _source_nodes(self, shape_type: ShapeType) -> list[XmlNode]:
@@ -168,25 +185,34 @@ class _Renderer:
         if not anchors or not candidates:
             return {}
         self.result.joins += 1
-        # If every anchor has the same type (the normal case) one join
-        # level serves all; otherwise group anchors per type.
-        pair_map: dict[int, list[XmlNode]] = {}
-        by_type: dict[int, list[XmlNode]] = {}
-        for anchor in anchors:
-            by_type.setdefault(self.index.type_of(anchor).type_id, []).append(anchor)
-        for type_id, typed_anchors in by_type.items():
-            anchor_type = self.index.type_table.by_id(type_id)
-            if anchor_type is child_type.source:
-                # Wrapping a node of the same type: the anchor is its own
-                # closest partner.
-                for anchor in typed_anchors:
-                    pair_map.setdefault(id(anchor), []).append(anchor)
-                continue
-            level = self.index.closest_lca_level(anchor_type, child_type.source)
-            if level is None:
-                continue
-            for anchor, node in closest_join(typed_anchors, candidates, level):
-                pair_map.setdefault(id(anchor), []).append(node)
+        with obs.span("render.join", child=child_type.out_name) as join_span:
+            # If every anchor has the same type (the normal case) one join
+            # level serves all; otherwise group anchors per type.
+            pair_map: dict[int, list[XmlNode]] = {}
+            by_type: dict[int, list[XmlNode]] = {}
+            for anchor in anchors:
+                by_type.setdefault(self.index.type_of(anchor).type_id, []).append(anchor)
+            for type_id, typed_anchors in by_type.items():
+                anchor_type = self.index.type_table.by_id(type_id)
+                if anchor_type is child_type.source:
+                    # Wrapping a node of the same type: the anchor is its own
+                    # closest partner.
+                    for anchor in typed_anchors:
+                        pair_map.setdefault(id(anchor), []).append(anchor)
+                    continue
+                level = self.index.closest_lca_level(anchor_type, child_type.source)
+                if level is None:
+                    continue
+                for anchor, node in closest_join(typed_anchors, candidates, level):
+                    pair_map.setdefault(id(anchor), []).append(node)
+        if obs.enabled():
+            # The merge pass touches each input sequence once (Section VII).
+            obs.count("join.comparisons", len(anchors) + len(candidates))
+            pairs = sum(len(matched) for matched in pair_map.values())
+            obs.observe("join.pairs", pairs)
+            join_span.annotate(
+                anchors=len(anchors), candidates=len(candidates), pairs=pairs
+            )
         return pair_map
 
     def _attach_new(self, child_type: ShapeType, parents: list[_Instance]) -> None:
@@ -240,6 +266,7 @@ class _Renderer:
         for parent in parents:
             instance = _Instance(XmlNode(child_type.out_name, NodeKind.ELEMENT), parent.anchor)
             self.result.nodes_written += 1
+            self._tally(child_type)
             parent.out.append(instance.out)
             produced.append(instance)
         if produced:

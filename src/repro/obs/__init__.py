@@ -1,0 +1,73 @@
+"""``repro.obs`` — unified observability for the query pipeline.
+
+Three pieces, one import:
+
+* **spans** (:mod:`repro.obs.tracer`): nested timed regions covering
+  every pipeline stage — parse, per-operator type analysis, loss check,
+  render, shred — reported to a module-global current tracer that is a
+  near-zero-cost no-op by default;
+* **metrics** (:mod:`repro.obs.metrics`): counters, gauges and
+  histograms (``btree.page_reads``, ``join.comparisons``,
+  ``buffer.hit_ratio``, ``render.nodes_emitted``...), fed both by call
+  sites and by the :class:`~repro.storage.stats.SystemStats` cost model
+  so simulated figures and real traces share one source of truth;
+* **exporters** (:mod:`repro.obs.export`): a human-readable tree and a
+  lossless JSON-lines format.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        repro.transform(forest, "MORPH author [ name ]")
+    print(obs.render_tree(tracer))
+
+See ``docs/OBSERVABILITY.md`` for the span and metric catalogues.
+"""
+
+from repro.obs.export import (
+    SpanRecord,
+    TraceRecord,
+    format_duration,
+    from_json_lines,
+    render_metrics,
+    render_tree,
+    to_json_lines,
+    write_json_lines,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    DISABLED,
+    Span,
+    Tracer,
+    count,
+    enabled,
+    get_tracer,
+    observe,
+    set_tracer,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "DISABLED",
+    "span",
+    "count",
+    "observe",
+    "enabled",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "TraceRecord",
+    "render_tree",
+    "render_metrics",
+    "format_duration",
+    "to_json_lines",
+    "from_json_lines",
+    "write_json_lines",
+]

@@ -1,0 +1,175 @@
+"""Trace exporters: human-readable span tree and JSON lines.
+
+Two views of the same tracer:
+
+* :func:`render_tree` — an indented tree with durations and attributes,
+  followed by the metric catalogue, for terminals (``xmorph trace``).
+* :func:`to_json_lines` / :func:`from_json_lines` — one JSON object per
+  line (a header, every span depth-first, then the metrics), the
+  machine-readable form the benchmarks persist and ``--profile-json``
+  emits.  The round trip is lossless for names, timings, attributes and
+  metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+FORMAT_VERSION = 1
+
+
+def format_duration(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+# -- human-readable tree ---------------------------------------------------
+
+
+def render_tree(tracer: Tracer) -> str:
+    """The span tree plus metrics as indented text."""
+    lines: list[str] = []
+    for root in tracer.roots:
+        for span, depth in root.walk():
+            attrs = " ".join(f"{key}={value}" for key, value in span.attrs.items())
+            line = f"{'  ' * depth}{span.name}  {format_duration(span.duration)}"
+            if attrs:
+                line += f"  [{attrs}]"
+            lines.append(line)
+    lines.extend(render_metrics(tracer.metrics))
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: MetricsRegistry) -> list[str]:
+    lines: list[str] = []
+    if metrics.counters:
+        lines.append("counters:")
+        for name in sorted(metrics.counters):
+            lines.append(f"  {name} = {metrics.counters[name]}")
+    if metrics.gauges:
+        lines.append("gauges:")
+        for name in sorted(metrics.gauges):
+            lines.append(f"  {name} = {metrics.gauges[name]:.4g}")
+    if metrics.histograms:
+        lines.append("histograms:")
+        for name in sorted(metrics.histograms):
+            histogram = metrics.histograms[name]
+            lines.append(
+                f"  {name}: count={histogram.count} mean={histogram.mean:.4g}"
+                f" min={histogram.minimum:.4g} max={histogram.maximum:.4g}"
+            )
+    return lines
+
+
+# -- JSON lines ------------------------------------------------------------
+
+
+def to_json_lines(tracer: Tracer) -> str:
+    """Serialize a tracer: header line, span lines (depth-first), metrics."""
+    epoch = min((root.started for root in tracer.roots), default=0.0)
+    records: list[dict] = [{"type": "trace", "version": FORMAT_VERSION}]
+    next_id = 1
+
+    def emit(span: Span, parent_id: Optional[int]) -> None:
+        nonlocal next_id
+        span_id = next_id
+        next_id += 1
+        records.append(
+            {
+                "type": "span",
+                "id": span_id,
+                "parent": parent_id,
+                "name": span.name,
+                "start": span.started - epoch,
+                "duration": span.duration,
+                "attrs": span.attrs,
+            }
+        )
+        for child in span.children:
+            emit(child, span_id)
+
+    for root in tracer.roots:
+        emit(root, None)
+    records.append({"type": "metrics", **tracer.metrics.as_dict()})
+    return "\n".join(json.dumps(record, default=str) for record in records)
+
+
+@dataclass
+class SpanRecord:
+    """A deserialized span (tree-shaped, like the live :class:`Span`)."""
+
+    name: str
+    start: float
+    duration: float
+    attrs: dict
+    children: list["SpanRecord"] = field(default_factory=list)
+
+
+@dataclass
+class TraceRecord:
+    """A deserialized trace: span forest plus metrics."""
+
+    roots: list[SpanRecord]
+    metrics: MetricsRegistry
+
+    def find(self, name: str) -> Optional[SpanRecord]:
+        stack = list(reversed(self.roots))
+        while stack:
+            record = stack.pop()
+            if record.name == name:
+                return record
+            stack.extend(reversed(record.children))
+        return None
+
+    def span_names(self) -> list[str]:
+        names: list[str] = []
+        stack = list(reversed(self.roots))
+        while stack:
+            record = stack.pop()
+            names.append(record.name)
+            stack.extend(reversed(record.children))
+        return names
+
+
+def from_json_lines(text: str) -> TraceRecord:
+    """Parse :func:`to_json_lines` output back into a span forest."""
+    roots: list[SpanRecord] = []
+    by_id: dict[int, SpanRecord] = {}
+    metrics = MetricsRegistry()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        kind = data.get("type")
+        if kind == "span":
+            record = SpanRecord(
+                name=data["name"],
+                start=data["start"],
+                duration=data["duration"],
+                attrs=data.get("attrs", {}),
+            )
+            by_id[data["id"]] = record
+            parent = data.get("parent")
+            if parent is None:
+                roots.append(record)
+            else:
+                by_id[parent].children.append(record)
+        elif kind == "metrics":
+            metrics = MetricsRegistry.from_dict(data)
+    return TraceRecord(roots=roots, metrics=metrics)
+
+
+def write_json_lines(tracer: Tracer, path: str) -> str:
+    """Persist a tracer's JSONL trace to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json_lines(tracer) + "\n")
+    return path

@@ -1,0 +1,139 @@
+"""Counters, gauges and histograms for the query pipeline.
+
+The registry is deliberately tiny: a counter is an integer that only
+goes up (``btree.page_reads``, ``render.nodes_emitted``), a gauge is a
+last-write-wins float (``buffer.hit_ratio``), and a histogram keeps the
+streaming summary (count/sum/min/max) of an observed distribution
+(``join.pairs``).  Metric names are dotted strings; the catalogue lives
+in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Histogram:
+    """Streaming summary of an observed distribution."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        histogram = cls()
+        histogram.count = data["count"]
+        histogram.total = data["total"]
+        histogram.minimum = data["min"]
+        histogram.maximum = data["max"]
+        return histogram
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """All counters/gauges/histograms of one tracer."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- updates -----------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # -- reads -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self.histograms.get(name)
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+    # -- aggregation / serialization ---------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counters add, gauges
+        overwrite, histograms combine)."""
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        self.gauges.update(other.gauges)
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.count += histogram.count
+            mine.total += histogram.total
+            for bound in (histogram.minimum, histogram.maximum):
+                if bound is None:
+                    continue
+                if mine.minimum is None or bound < mine.minimum:
+                    mine.minimum = bound
+                if mine.maximum is None or bound > mine.maximum:
+                    mine.maximum = bound
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        registry = cls()
+        registry.counters.update(data.get("counters", {}))
+        registry.gauges.update(data.get("gauges", {}))
+        for name, summary in data.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_dict(summary)
+        return registry
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

@@ -212,6 +212,10 @@ class BPlusTree:
             page_id = node.child_for(key)
             path.append(page_id)
             node = _read_node(self.pool, page_id)
+        metrics = self.pool.stats.metrics
+        if metrics is not None:
+            # Logical page reads (the pool decides physical vs cached).
+            metrics.inc("btree.page_reads", len(path))
         return node, path
 
     def _insert(self, page_id: int, key: bytes, value: bytes) -> list[tuple[bytes, int]]:
@@ -243,6 +247,9 @@ class BPlusTree:
             _write_node(self.pool, page_id, node)
             return []
         groups = _partition(node)
+        metrics = self.pool.stats.metrics
+        if metrics is not None:
+            metrics.inc("btree.splits")
         promotions: list[tuple[bytes, int]] = []
         if node.kind == _LEAF:
             pages = [page_id] + [self.pool.allocate() for _ in groups[1:]]

@@ -13,7 +13,8 @@ which are typically tiny relative to the size of the data, are needed."
 from __future__ import annotations
 
 import json
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from repro.closeness.index import BaseIndex
 from repro.engine.interpreter import Interpreter, TransformResult
@@ -200,6 +201,28 @@ class Database:
         self._indexes.pop(name, None)
         self.pool.flush()
         return deleted + 1
+
+    # -- observability ---------------------------------------------------------------
+
+    @contextmanager
+    def observed(self, tracer) -> Iterator["Database"]:
+        """Mirror this database's cost-model charges into a tracer.
+
+        While the block runs, every :class:`SystemStats` charge (block
+        I/O, CPU ops, allocation) also feeds the tracer's metric
+        counters, and buffer/btree counters activate; on exit the
+        buffer pool's hit ratio is recorded as a gauge.  Used by
+        ``EXPLAIN ANALYZE`` (:mod:`repro.engine.profile`) and
+        ``xmorph run --profile``.
+        """
+        previous = self.stats.metrics
+        self.stats.metrics = tracer.metrics if tracer.enabled else None
+        try:
+            yield self
+        finally:
+            self.stats.metrics = previous
+            if tracer.enabled:
+                tracer.metrics.gauge("buffer.hit_ratio", self.pool.hit_ratio)
 
     # -- maintenance ----------------------------------------------------------------
 

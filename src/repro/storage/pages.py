@@ -88,10 +88,19 @@ class BufferPool:
         self.journal = journal
         self._pages: OrderedDict[int, bytearray] = OrderedDict()
         self._dirty: set[int] = set()
+        #: Cache accounting (feeds the ``buffer.hit_ratio`` metric).
+        self.hits = 0
+        self.misses = 0
 
     @property
     def stats(self) -> SystemStats:
         return self.file.stats
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of :meth:`get` calls served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def allocate(self) -> int:
         page_id = self.file.allocate()
@@ -101,9 +110,16 @@ class BufferPool:
     def get(self, page_id: int) -> bytearray:
         """The page's buffer (cached); mutations need :meth:`mark_dirty`."""
         cached = self._pages.get(page_id)
+        metrics = self.stats.metrics
         if cached is not None:
+            self.hits += 1
+            if metrics is not None:
+                metrics.inc("buffer.hits")
             self._pages.move_to_end(page_id)
             return cached
+        self.misses += 1
+        if metrics is not None:
+            metrics.inc("buffer.misses")
         data = self.file.read_page(page_id)
         self._install(page_id, data)
         return data

@@ -9,8 +9,7 @@ excludes it from the transformation timings, as do our benchmarks.
 
 from __future__ import annotations
 
-import time
-
+from repro.obs import tracer as obs
 from repro.shape.dataguide import DataGuideBuilder
 from repro.storage.btree import BPlusTree
 from repro.storage import tables
@@ -20,32 +19,38 @@ from repro.xmltree.node import XmlForest
 
 def shred(tree: BPlusTree, doc_id: int, name: str, forest: XmlForest) -> dict:
     """Write a forest's tables; returns the catalog descriptor."""
-    started = time.perf_counter()
-    builder = DataGuideBuilder().build(forest)
+    with obs.span("storage.shred", document=name) as shred_span:
+        builder = DataGuideBuilder().build(forest)
 
-    by_type: dict[int, list[NodeRecord]] = {}
-    node_count = 0
-    text_bytes = 0
-    for node in forest.iter_nodes():
-        data_type = builder.type_of[id(node)]
-        text_bytes += len(node.text)
-        inline, overflow = tables.write_text(tree, doc_id, node.dewey, node.text)
-        record = NodeRecord(node.dewey, data_type.type_id, node.kind, inline, overflow)
-        tree.put(tables.node_key(doc_id, node.dewey), tables.encode_node_value(record))
-        by_type.setdefault(data_type.type_id, []).append(record)
-        node_count += 1
-    tree.pool.stats.charge_cpu(node_count * 4)
+        by_type: dict[int, list[NodeRecord]] = {}
+        node_count = 0
+        text_bytes = 0
+        with obs.span("storage.shred.nodes"):
+            for node in forest.iter_nodes():
+                data_type = builder.type_of[id(node)]
+                text_bytes += len(node.text)
+                inline, overflow = tables.write_text(tree, doc_id, node.dewey, node.text)
+                record = NodeRecord(node.dewey, data_type.type_id, node.kind, inline, overflow)
+                tree.put(tables.node_key(doc_id, node.dewey), tables.encode_node_value(record))
+                by_type.setdefault(data_type.type_id, []).append(record)
+                node_count += 1
+        tree.pool.stats.charge_cpu(node_count * 4)
 
-    for type_id, records in by_type.items():
-        for chunk_no, chunk in enumerate(tables.pack_sequence(records)):
-            tree.put(tables.sequence_key(doc_id, type_id, chunk_no), chunk)
-        # GroupedSequence: the same nodes keyed for per-parent grouping.
-        # For root-path types document order already groups children
-        # under their parent, so the payload is the (parent, node) pair
-        # stream in that order.
-        grouped = _pack_grouped(records)
-        for chunk_no, chunk in enumerate(grouped):
-            tree.put(tables.grouped_key(doc_id, type_id, chunk_no), chunk)
+        with obs.span("storage.shred.sequences"):
+            for type_id, records in by_type.items():
+                for chunk_no, chunk in enumerate(tables.pack_sequence(records)):
+                    tree.put(tables.sequence_key(doc_id, type_id, chunk_no), chunk)
+                # GroupedSequence: the same nodes keyed for per-parent grouping.
+                # For root-path types document order already groups children
+                # under their parent, so the payload is the (parent, node) pair
+                # stream in that order.
+                grouped = _pack_grouped(records)
+                for chunk_no, chunk in enumerate(grouped):
+                    tree.put(tables.grouped_key(doc_id, type_id, chunk_no), chunk)
+
+        obs.count("shred.nodes", node_count)
+        obs.count("shred.text_bytes", text_bytes)
+        shred_span.annotate(nodes=node_count, text_bytes=text_bytes)
 
     descriptor = {
         "doc_id": doc_id,
@@ -53,7 +58,7 @@ def shred(tree: BPlusTree, doc_id: int, name: str, forest: XmlForest) -> dict:
         "nodes": node_count,
         "text_bytes": text_bytes,
         "shape": _shape_descriptor(builder),
-        "shred_seconds": time.perf_counter() - started,
+        "shred_seconds": shred_span.duration,
     }
     shape_chunks = tables.encode_shape(descriptor["shape"])
     for chunk_no, chunk in enumerate(shape_chunks):

@@ -18,11 +18,22 @@ figures are reproducible on any machine:
 of the run the (single) CPU would have been blocked.  Benchmarks call
 :meth:`SystemStats.sample` at progress points to build the time series
 the paper plots.
+
+When a :class:`~repro.obs.metrics.MetricsRegistry` is attached via
+:attr:`SystemStats.metrics`, every charge is mirrored into the metric
+counters (``storage.blocks_read``, ``storage.blocks_written``,
+``storage.cpu_ops``), so ``EXPLAIN ANALYZE`` traces and the Figure
+11–13 series are fed by the same charging calls.  The attribute is
+``None`` by default: the unobserved hot path pays one ``is None`` test.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is standalone)
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,26 +75,38 @@ class SystemStats:
     allocated: int = 0
     peak_allocated: int = 0
     samples: list[StatSample] = field(default_factory=list)
+    #: Optional metrics sink; when set, charges also bump trace counters.
+    metrics: Optional["MetricsRegistry"] = None
 
     # -- charging ---------------------------------------------------------
 
     def block_read(self, count: int = 1) -> None:
         self.blocks_in += count
         self.io_seconds += count * self.model.block_seconds
+        if self.metrics is not None:
+            self.metrics.inc("storage.blocks_read", count)
 
     def block_write(self, count: int = 1) -> None:
         self.blocks_out += count
         self.io_seconds += count * self.model.block_seconds
+        if self.metrics is not None:
+            self.metrics.inc("storage.blocks_written", count)
 
     def charge_cpu(self, operations: int) -> None:
         self.cpu_seconds += operations * self.model.cpu_op_seconds
+        if self.metrics is not None:
+            self.metrics.inc("storage.cpu_ops", operations)
 
     def allocate(self, size: int) -> None:
         self.allocated += size
         self.peak_allocated = max(self.peak_allocated, self.allocated)
+        if self.metrics is not None:
+            self.metrics.gauge("storage.allocated_bytes", self.allocated)
 
     def release(self, size: int) -> None:
         self.allocated = max(0, self.allocated - size)
+        if self.metrics is not None:
+            self.metrics.gauge("storage.allocated_bytes", self.allocated)
 
     # -- derived quantities ---------------------------------------------------
 

@@ -68,3 +68,30 @@ class TestMeasuredOperations:
         m = measured_query(exist, "a", "count(//book)")
         assert m.result == [2.0]
         assert m.simulated_seconds > 0
+
+
+class TestSessionTrace:
+    def test_measurements_recorded_as_phases(self, db):
+        from repro.bench.harness import session_tracer
+        from repro.obs import from_json_lines, to_json_lines
+
+        before = len(session_tracer().roots)
+        measurement = measured_transform(db, "a", "MORPH author [ name ]")
+        phases = session_tracer().roots[before:]
+        assert [span.name for span in phases] == ["transform:a"]
+        phase = phases[0]
+        assert phase.attrs["guard"] == "MORPH author [ name ]"
+        assert phase.attrs["simulated_seconds"] == measurement.simulated_seconds
+        assert phase.attrs["blocks"] == measurement.blocks
+        assert phase.duration >= 0.0
+        # The session trace serializes to the JSONL the benchmarks persist.
+        trace = from_json_lines(to_json_lines(session_tracer()))
+        assert "transform:a" in trace.span_names()
+
+    def test_measured_code_runs_with_tracing_disabled(self, db):
+        """The session tracer records phases without becoming current —
+        production code under measurement stays untraced."""
+        from repro import obs
+
+        measured_transform(db, "a", "MORPH author [ name ]")
+        assert obs.get_tracer().enabled is False

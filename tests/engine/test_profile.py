@@ -1,0 +1,136 @@
+"""Tests for pipeline tracing and EXPLAIN ANALYZE (repro.engine.profile)."""
+
+import json
+
+import pytest
+
+import repro
+from repro import obs
+from repro.engine.profile import (
+    profile_db_transform,
+    profile_document,
+    profile_transform,
+)
+from repro.storage import Database
+
+from tests.conftest import FIG1A
+
+GUARD = "MORPH author [ name book [ title ] ]"
+
+
+@pytest.fixture
+def forest():
+    return repro.parse_forest(FIG1A)
+
+
+class TestPipelineSpans:
+    def test_transform_emits_stage_spans(self, forest):
+        with obs.tracing() as tracer:
+            repro.transform(forest, GUARD)
+        names = tracer.span_names()
+        for expected in (
+            "pipeline.compile",
+            "lang.parse",
+            "typing.type-analysis",
+            "typing.loss",
+            "typing.enforce",
+            "pipeline.render",
+        ):
+            assert expected in names
+        assert any(name.startswith("algebra.") for name in names)
+
+    def test_result_seconds_match_spans(self, forest):
+        with obs.tracing() as tracer:
+            result = repro.transform(forest, GUARD)
+        assert result.compile_seconds == tracer.find("pipeline.compile").duration
+        assert result.render_seconds == tracer.find("pipeline.render").duration
+
+    def test_seconds_populated_when_disabled(self, forest):
+        """Backward compatibility: timings survive without a tracer."""
+        result = repro.transform(forest, GUARD)
+        assert result.compile_seconds > 0.0
+        assert result.render_seconds > 0.0
+
+    def test_render_counters(self, forest):
+        with obs.tracing() as tracer:
+            result = repro.transform(forest, GUARD)
+        counters = tracer.metrics.counters
+        assert counters["render.nodes_emitted"] == result.rendered.nodes_written
+        assert counters["render.joins"] == result.rendered.joins
+        assert counters["join.comparisons"] > 0
+        assert tracer.metrics.histogram("join.pairs").count == result.rendered.joins
+
+    def test_rows_by_type_tallies_every_output_node(self, forest):
+        result = repro.transform(forest, GUARD)
+        assert sum(result.rendered.rows_by_type.values()) == result.rendered.nodes_written
+        for root in result.target_shape.roots():
+            assert result.rendered.rows_for(root) == 2  # two authors
+
+
+class TestProfileTransform:
+    def test_plan_rows_annotated(self, forest):
+        report = profile_transform(forest, GUARD)
+        rows = report.plan_rows()
+        assert [(depth, name, actual) for depth, name, actual, _ in rows] == [
+            (0, "author", 2),
+            (1, "name", 2),
+            (1, "book", 2),
+            (2, "title", 2),
+        ]
+
+    def test_pretty_contains_plan_and_timings(self, forest):
+        text = profile_transform(forest, GUARD).pretty()
+        assert "EXPLAIN ANALYZE" in text
+        assert "rows=2" in text
+        assert "lang.parse" in text
+        assert "typing.type-analysis" in text
+        assert "pipeline.render" in text
+        assert "stage 0: MorphOp" in text
+        assert "nodes_emitted=" in text
+
+    def test_trace_json_is_valid(self, forest):
+        for line in profile_transform(forest, GUARD).trace_json().splitlines():
+            json.loads(line)
+
+
+class TestProfileDatabase:
+    def test_db_profile_has_storage_actuals(self, tmp_path):
+        with Database(str(tmp_path / "p.db")) as db:
+            db.store_document("books", FIG1A)
+            db.drop_cache()
+            report = profile_db_transform(db, "books", GUARD)
+        assert report.storage is not None
+        assert report.storage["blocks"] >= 0
+        assert 0.0 <= report.storage["buffer_hit_ratio"] <= 1.0
+        counters = report.tracer.metrics.counters
+        assert counters["btree.page_reads"] > 0
+        assert counters["storage.cpu_ops"] > 0
+        assert "buffer.hit_ratio" in report.tracer.metrics.gauges
+
+    def test_db_profile_leaves_metrics_detached(self, tmp_path):
+        with Database(str(tmp_path / "q.db")) as db:
+            db.store_document("books", FIG1A)
+            profile_db_transform(db, "books", GUARD)
+            assert db.stats.metrics is None
+
+    def test_profile_document_covers_whole_pipeline(self):
+        report = profile_document(FIG1A, GUARD)
+        names = report.tracer.span_names()
+        for expected in (
+            "storage.shred",
+            "lang.parse",
+            "typing.type-analysis",
+            "pipeline.render",
+        ):
+            assert expected in names
+        assert report.storage["blocks"] > 0
+        assert "storage (modelled):" in report.pretty()
+        # Same output as the plain in-memory transform.
+        direct = repro.transform(repro.parse_forest(FIG1A), GUARD)
+        assert report.result.xml() == direct.xml()
+
+    def test_trace_round_trips_with_storage_counters(self):
+        report = profile_document(FIG1A, GUARD)
+        trace = obs.from_json_lines(report.trace_json())
+        assert trace.find("storage.shred") is not None
+        assert trace.metrics.counter("storage.blocks_written") > 0

@@ -1,0 +1,180 @@
+"""Tests for the span tracer: nesting, disabled no-op mode, metrics."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestSpanNesting:
+    def test_children_nest_under_open_parent(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == ["inner", "sibling"]
+        assert [child.name for child in outer.children[0].children] == ["leaf"]
+
+    def test_sequential_roots(self):
+        tracer = obs.Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_durations_monotonic(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_annotate_and_attrs(self):
+        tracer = obs.Tracer()
+        with tracer.span("work", phase="render") as span:
+            span.annotate(rows=7)
+        assert span.attrs == {"phase": "render", "rows": 7}
+
+    def test_exception_still_closes_span(self):
+        tracer = obs.Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        assert [root.name for root in tracer.roots] == ["fails"]
+        assert tracer.roots[0].ended is not None
+
+    def test_find_and_span_names(self):
+        tracer = obs.Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.find("b").name == "b"
+        assert tracer.find("zzz") is None
+        assert tracer.span_names() == ["a", "b"]
+
+
+class TestDisabledMode:
+    def test_default_tracer_is_disabled(self):
+        assert obs.get_tracer().enabled is False
+
+    def test_disabled_span_records_nothing(self):
+        tracer = obs.Tracer(enabled=False)
+        with tracer.span("invisible"):
+            pass
+        assert tracer.roots == []
+        assert not tracer.metrics
+
+    def test_disabled_span_still_times(self):
+        """Coarse call sites rely on durations even when disabled
+        (``render_seconds`` must stay populated)."""
+        tracer = obs.Tracer(enabled=False)
+        with tracer.span("timed") as span:
+            sum(range(1000))
+        assert span.duration > 0.0
+
+    def test_disabled_metrics_are_noops(self):
+        tracer = obs.Tracer(enabled=False)
+        tracer.count("c", 5)
+        tracer.observe("h", 1.0)
+        tracer.gauge("g", 2.0)
+        assert not tracer.metrics
+
+    def test_module_level_calls_default_to_noop(self):
+        obs.count("module.counter", 3)
+        obs.observe("module.histogram", 1.5)
+        assert not obs.get_tracer().metrics
+        assert obs.enabled() is False
+
+
+class TestCurrentTracer:
+    def test_tracing_installs_and_restores(self):
+        before = obs.get_tracer()
+        with obs.tracing() as tracer:
+            assert obs.get_tracer() is tracer
+            assert tracer.enabled
+            with obs.span("via-module"):
+                obs.count("hits", 2)
+        assert obs.get_tracer() is before
+        assert tracer.span_names() == ["via-module"]
+        assert tracer.metrics.counter("hits") == 2
+
+    def test_tracing_restores_on_error(self):
+        before = obs.get_tracer()
+        with pytest.raises(RuntimeError):
+            with obs.tracing():
+                raise RuntimeError
+        assert obs.get_tracer() is before
+
+    def test_set_tracer_returns_previous(self):
+        mine = obs.Tracer()
+        previous = obs.set_tracer(mine)
+        try:
+            assert obs.get_tracer() is mine
+        finally:
+            obs.set_tracer(previous)
+
+
+class TestMetricsAggregation:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("btree.page_reads")
+        registry.inc("btree.page_reads", 4)
+        assert registry.counter("btree.page_reads") == 5
+        assert registry.counter("absent") == 0
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (2.0, 8.0, 5.0):
+            registry.observe("join.pairs", value)
+        histogram = registry.histogram("join.pairs")
+        assert histogram.count == 3
+        assert histogram.total == 15.0
+        assert histogram.minimum == 2.0
+        assert histogram.maximum == 8.0
+        assert histogram.mean == pytest.approx(5.0)
+
+    def test_gauges_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("buffer.hit_ratio", 0.5)
+        registry.gauge("buffer.hit_ratio", 0.9)
+        assert registry.gauges["buffer.hit_ratio"] == 0.9
+
+    def test_merge(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.inc("c", 2)
+        right.inc("c", 3)
+        right.inc("only-right")
+        left.observe("h", 1.0)
+        right.observe("h", 9.0)
+        right.gauge("g", 7.0)
+        left.merge(right)
+        assert left.counter("c") == 5
+        assert left.counter("only-right") == 1
+        histogram = left.histogram("h")
+        assert histogram.count == 2
+        assert histogram.minimum == 1.0 and histogram.maximum == 9.0
+        assert left.gauges["g"] == 7.0
+
+    def test_dict_round_trip(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.observe("h", 3.5)
+        registry.gauge("g", 0.25)
+        clone = MetricsRegistry.from_dict(registry.as_dict())
+        assert clone.as_dict() == registry.as_dict()
+
+    def test_reset_clears_everything(self):
+        tracer = obs.Tracer()
+        with tracer.span("s"):
+            tracer.count("c")
+        tracer.reset()
+        assert tracer.roots == []
+        assert not tracer.metrics

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.stats import CostModel, SystemStats
 
 
@@ -81,8 +82,86 @@ class TestSampling:
         assert stats.model.block_seconds == 1e-3
 
 
+    def test_sample_ordering_preserved(self, stats):
+        """Samples append in call order — the Figures 11–13 time series."""
+        for step in range(5):
+            stats.block_read()
+            stats.sample(f"step-{step}")
+        assert [sample.label for sample in stats.samples] == [
+            f"step-{step}" for step in range(5)
+        ]
+        blocks = [sample.blocks_in for sample in stats.samples]
+        assert blocks == sorted(blocks) == [1, 2, 3, 4, 5]
+        io = [sample.io_seconds for sample in stats.samples]
+        assert io == sorted(io)
+
+    def test_wait_percent_monotonic_under_pure_io(self, stats):
+        stats.charge_cpu(1000)
+        series = []
+        for _ in range(3):
+            stats.block_read()
+            series.append(stats.sample("io").wait_percent)
+        assert series == sorted(series)
+        assert 0.0 < series[0] < series[-1] < 100.0
+
+
 class TestCostModelDefaults:
     def test_paper_era_defaults(self):
         model = CostModel()
         assert model.block_seconds == pytest.approx(1e-4)
         assert model.total_memory == 3_500_000_000
+
+    def test_charging_scales_with_model(self):
+        cheap = SystemStats(CostModel(block_seconds=1e-5, cpu_op_seconds=1e-8))
+        dear = SystemStats(CostModel(block_seconds=1e-3, cpu_op_seconds=1e-6))
+        for stats in (cheap, dear):
+            stats.block_read(10)
+            stats.charge_cpu(10)
+        assert dear.io_seconds == pytest.approx(cheap.io_seconds * 100)
+        assert dear.cpu_seconds == pytest.approx(cheap.cpu_seconds * 100)
+
+
+class TestMetricsFeed:
+    """With a registry attached, charges mirror into trace counters."""
+
+    def test_block_io_feeds_counters(self, stats):
+        stats.metrics = MetricsRegistry()
+        stats.block_read(3)
+        stats.block_write(2)
+        assert stats.metrics.counter("storage.blocks_read") == 3
+        assert stats.metrics.counter("storage.blocks_written") == 2
+
+    def test_cpu_feeds_counter(self, stats):
+        stats.metrics = MetricsRegistry()
+        stats.charge_cpu(250)
+        assert stats.metrics.counter("storage.cpu_ops") == 250
+
+    def test_allocation_feeds_gauge(self, stats):
+        stats.metrics = MetricsRegistry()
+        stats.allocate(600)
+        assert stats.metrics.gauges["storage.allocated_bytes"] == 600
+        stats.release(200)
+        assert stats.metrics.gauges["storage.allocated_bytes"] == 400
+
+    def test_detached_by_default(self, stats):
+        assert stats.metrics is None
+        stats.block_read()  # must not raise
+
+    def test_model_figures_unchanged_by_mirroring(self, stats):
+        """Attaching metrics must not perturb the cost model's numbers."""
+        mirrored = SystemStats(stats.model, metrics=MetricsRegistry())
+        for target in (stats, mirrored):
+            target.block_read(4)
+            target.block_write(1)
+            target.charge_cpu(100)
+        assert mirrored.io_seconds == stats.io_seconds
+        assert mirrored.cpu_seconds == stats.cpu_seconds
+        assert mirrored.wait_percent == stats.wait_percent
+
+    def test_reset_keeps_registry_attached(self, stats):
+        stats.metrics = MetricsRegistry()
+        stats.block_read()
+        stats.reset()
+        assert stats.metrics is not None
+        stats.block_write()
+        assert stats.metrics.counter("storage.blocks_written") == 1

@@ -79,6 +79,75 @@ class TestCommands:
         assert "blocks" in captured.err
 
 
+class TestRunAndTrace:
+    def test_run_prints_xml_by_default(self, doc, capsys):
+        assert main(["run", doc, "MORPH author [ name ]"]) == 0
+        assert "<author>" in capsys.readouterr().out
+
+    def test_run_profile_prints_annotated_plan(self, doc, capsys):
+        assert main(["run", doc, "MORPH author [ name ]", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "author  rows=2" in out
+        assert "name  rows=2" in out
+        assert "lang.parse" in out
+        assert "typing.type-analysis" in out
+        assert "pipeline.render" in out
+        assert "storage (modelled):" in out
+
+    def test_run_profile_json_is_valid_and_complete(self, doc, tmp_path, capsys):
+        import json
+
+        trace_path = str(tmp_path / "trace.jsonl")
+        code = main(
+            ["run", doc, "MORPH author [ name ]", "--profile", "--profile-json", trace_path]
+        )
+        assert code == 0
+        names, metrics = [], None
+        with open(trace_path) as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record["type"] == "span":
+                    names.append(record["name"])
+                elif record["type"] == "metrics":
+                    metrics = record
+        for expected in ("lang.parse", "typing.type-analysis", "pipeline.render"):
+            assert expected in names
+        assert any(key.startswith("storage.") for key in metrics["counters"])
+
+    def test_run_profile_json_stdout(self, doc, capsys):
+        assert main(["run", doc, "MORPH author [ name ]", "--profile-json", "-"]) == 0
+        assert '"type": "trace"' in capsys.readouterr().out
+
+    def test_run_against_database(self, doc, tmp_path, capsys):
+        db = str(tmp_path / "run.db")
+        assert main(["shred", "--db", db, "books", doc]) == 0
+        capsys.readouterr()
+        assert main(["run", "--db", db, "books", "MORPH author [ name ]", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "storage (modelled):" in out
+
+    def test_trace_prints_span_tree(self, doc, capsys):
+        assert main(["trace", doc, "MORPH author [ name ]"]) == 0
+        out = capsys.readouterr().out
+        assert "storage.shred" in out
+        assert "pipeline.compile" in out
+        assert "  lang.parse" in out
+        assert "counters:" in out
+
+    def test_trace_json(self, doc, capsys):
+        import json
+
+        assert main(["trace", doc, "MORPH author [ name ]", "--json"]) == 0
+        for line in capsys.readouterr().out.strip().splitlines():
+            json.loads(line)
+
+    def test_run_bad_guard_reports_error(self, doc, capsys):
+        assert main(["run", doc, "MORPH [", "--profile"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestToolingCommands:
     def test_dtd(self, doc, capsys):
         assert main(["dtd", doc]) == 0
