@@ -46,6 +46,7 @@ from repro.lang import parse_guard
 from repro.typing import GuardType, LossReport, analyze_loss
 from repro.engine import GuardedQuery, GuardOutcome, Interpreter, TransformResult
 from repro.xquery import QueryContext, evaluate, parse_query
+from repro.analysis import AnalysisResult, Diagnostic, Severity, analyze
 
 __version__ = "2.0.0"
 
@@ -92,6 +93,11 @@ __all__ = [
     "parse_query",
     "evaluate",
     "QueryContext",
+    # static analysis
+    "analyze",
+    "AnalysisResult",
+    "Diagnostic",
+    "Severity",
 ]
 
 

@@ -202,7 +202,17 @@ class Evaluator:
                     LabelResolution(op.label, (fresh.out_name,), self._stage, False, True)
                 )
                 return Shape.single(fresh)
-            raise LabelMismatchError(op.label)
+            # Deferred import: repro.analysis depends on the language
+            # front end, so importing it lazily avoids a module cycle.
+            from repro.analysis.suggest import did_you_mean
+
+            candidates: set[str] = set()
+            for vertex in ctx.source_shape.types():
+                candidates.add(vertex.out_name)
+                if vertex.source is not None:
+                    candidates.add(vertex.source.name)
+                    candidates.add(vertex.source.dotted)
+            raise LabelMismatchError(op.label, suggestion=did_you_mean(op.label, candidates))
         self._resolutions.append(
             LabelResolution(
                 op.label,

@@ -1,0 +1,50 @@
+"""Static analysis of XMorph guards: the diagnostics engine and linter.
+
+The paper's central claim is that guards are *statically checkable* —
+the two-stage type analysis (Section VIII) and the loss theorems
+(Section V) decide before execution whether a transformation loses or
+manufactures data.  This package surfaces that power as a developer
+tool: :func:`analyze` runs the compile half of the pipeline and returns
+:class:`Diagnostic` objects with stable ``XMnnn`` codes, severities,
+and source spans, rendered as caret-underlined excerpts or JSON lines.
+
+Quickstart::
+
+    import repro
+    from repro.analysis import analyze
+
+    result = analyze(open("books.xml").read(), "MORPH athor [ name ]")
+    print(result.render_text())   # <guard>:1:7: error[XM201]: ... did you mean 'author'?
+    print(result.exit_code())     # 1
+
+See ``docs/DIAGNOSTICS.md`` for the full code catalogue.
+"""
+
+from repro.analysis.checker import (
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_WARNINGS_STRICT,
+    AnalysisResult,
+    analyze,
+    analyze_index,
+)
+from repro.analysis.diagnostics import CODES, Diagnostic, Severity
+from repro.analysis.render import render_diagnostic, render_json, render_text
+from repro.analysis.suggest import did_you_mean, edit_distance
+
+__all__ = [
+    "AnalysisResult",
+    "analyze",
+    "analyze_index",
+    "CODES",
+    "Diagnostic",
+    "Severity",
+    "render_diagnostic",
+    "render_json",
+    "render_text",
+    "did_you_mean",
+    "edit_distance",
+    "EXIT_CLEAN",
+    "EXIT_ERRORS",
+    "EXIT_WARNINGS_STRICT",
+]

@@ -1,0 +1,84 @@
+"""Guard ↔ query compatibility (XM404).
+
+A guarded query's XQuery-lite component runs against the guard's
+*output*, so every path the query navigates must be producible by the
+guard's target shape.  We reuse the guard-inference walker
+(:mod:`repro.engine.inference`) to extract the query's navigation trie,
+then check each trie path against the target shape's output-name tree —
+the static cousin of running the query and finding it returns nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.suggest import did_you_mean
+from repro.errors import QuerySyntaxError
+from repro.lang.span import Span
+from repro.shape.shape import Shape
+
+
+def query_syntax_diagnostic(error: QuerySyntaxError, query: str) -> Diagnostic:
+    """Re-express a query parse failure as an XM103 diagnostic."""
+    span: Optional[Span] = error.span
+    if span is None and error.position is not None:
+        span = Span.at(query, error.position, min(error.position + 1, len(query)))
+    return Diagnostic(
+        "XM103",
+        Severity.ERROR,
+        error.raw_message if hasattr(error, "raw_message") else str(error),
+        span=span,
+        source_name="<query>",
+    )
+
+
+def check_query_compat(query: str, target_shape: Shape) -> list[Diagnostic]:
+    """XM404 warnings for query paths the target shape cannot produce."""
+    from repro.engine.inference import _collect, _Trie
+    from repro.xquery.parser import parse_query
+
+    try:
+        expr = parse_query(query)
+    except QuerySyntaxError as error:
+        return [query_syntax_diagnostic(error, query)]
+
+    root = _Trie()
+    _collect(expr, {}, root, root)
+
+    diagnostics: list[Diagnostic] = []
+    _check_trie(root, list(target_shape.roots()), (), target_shape, diagnostics)
+    return diagnostics
+
+
+def _check_trie(node, vertices, path, shape: Shape, out: list[Diagnostic]) -> None:
+    available = {}
+    for vertex in vertices:
+        available.setdefault(vertex.out_name.lower(), []).append(vertex)
+    for name, child in node.children.items():
+        matches = available.get(name.lower())
+        if not matches:
+            here = "/".join(path + (name,))
+            names = sorted({v.out_name for v in vertices})
+            suggestion = did_you_mean(name, names)
+            if suggestion is not None:
+                hint = f"did you mean {suggestion!r}?"
+            elif names:
+                hint = f"the shape offers here: {', '.join(names[:6])}"
+            else:
+                hint = None
+            out.append(
+                Diagnostic(
+                    "XM404",
+                    Severity.WARNING,
+                    f"the query navigates '/{here}' but the guard's target "
+                    "shape cannot produce it (the query would find nothing)",
+                    hint=hint,
+                    source_name="<query>",
+                )
+            )
+            continue
+        next_vertices = [
+            grandchild for vertex in matches for grandchild in shape.children(vertex)
+        ]
+        _check_trie(child, next_vertices, path + (name,), shape, out)

@@ -1,0 +1,112 @@
+"""Diagnostic objects: stable codes, severities, and source spans.
+
+Every finding the static analyzer can produce is a :class:`Diagnostic`
+with a stable ``XMnnn`` code, so tooling can filter and suppress by
+code, and a :class:`~repro.lang.span.Span` pointing at the guard (or
+query) text responsible.  The code space mirrors the pipeline:
+
+* ``XM1xx`` — syntax (lexing/parsing of guards and queries)
+* ``XM2xx`` — type analysis (Section VIII's two-stage analysis)
+* ``XM3xx`` — information loss (Section V's theorems)
+* ``XM4xx`` — lint (style and dead-code findings)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lang.span import Span
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; orders ``error > warning > info``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+#: Stable catalogue of every diagnostic code (see docs/DIAGNOSTICS.md).
+CODES: dict[str, str] = {
+    # XM1xx — syntax
+    "XM101": "unexpected character while tokenizing a guard",
+    "XM102": "guard parse error (unexpected or missing token)",
+    "XM103": "query parse error in the companion XQuery-lite query",
+    # XM2xx — type analysis
+    "XM201": "guard label matches no type in the source shape",
+    "XM202": "guard label is ambiguous (matches several types)",
+    "XM203": "invalid guard stage (must be MORPH, MUTATE or TRANSLATE)",
+    # XM3xx — information loss
+    "XM301": "transformation may lose data (narrowing) without permission",
+    "XM302": "transformation may manufacture data (widening) without permission",
+    "XM303": "source types omitted by the guard (trivially discarded)",
+    "XM304": "information loss accepted by a ! marker",
+    "XM305": "types synthesized by TYPE-FILL",
+    # XM4xx — lint
+    "XM401": "duplicate or shadowed target label",
+    "XM402": "redundant ! accept marker (no loss at this label)",
+    "XM403": "dead DROP/RESTRICT clause (matches nothing)",
+    "XM404": "query references types the guard's target shape cannot produce",
+    "XM405": "redundant CAST wrapper (the guard does not need it)",
+    "XM406": "redundant TYPE-FILL wrapper (no labels were synthesized)",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One coded, source-spanned analysis finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Optional[Span] = None
+    hint: Optional[str] = None
+    #: Which source text the span points into (``<guard>`` or ``<query>``).
+    source_name: str = "<guard>"
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def location(self) -> str:
+        """``<guard>:1:7``-style location prefix."""
+        if self.span is None:
+            return self.source_name
+        return f"{self.source_name}:{self.span.line}:{self.span.column}"
+
+    def to_dict(self) -> dict:
+        """The machine-readable (JSON) form of this diagnostic."""
+        payload: dict = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "source": self.source_name,
+            "span": self.span.to_dict() if self.span is not None else None,
+        }
+        if self.hint is not None:
+            payload["hint"] = self.hint
+        return payload
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.severity}[{self.code}]: {self.message}"
+
+
+def sort_key(diagnostic: Diagnostic):
+    """Stable presentation order: guard first, then position, then severity."""
+    return (
+        diagnostic.source_name,
+        diagnostic.span.start if diagnostic.span is not None else 1 << 30,
+        diagnostic.severity.rank,
+        diagnostic.code,
+        diagnostic.message,
+    )

@@ -1,0 +1,69 @@
+"""Rendering diagnostics: caret-underlined excerpts and JSON lines.
+
+The text form follows the familiar compiler convention::
+
+    <guard>:1:7: error[XM201]: label 'athor' matches no type in the source shape
+      |
+    1 | MORPH athor [ name ]
+      |       ^^^^^
+      = help: did you mean 'author'?
+
+The JSON form emits one object per diagnostic (JSON lines), each with
+``code``, ``severity``, ``message``, ``span`` and optional ``hint`` —
+ready for editors and CI annotators.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.lang.span import Span
+
+
+def _excerpt(source: str, span: Span) -> list[str]:
+    """The caret-underlined source excerpt for one span."""
+    lines = source.splitlines() or [""]
+    index = min(span.line, len(lines)) - 1
+    text = lines[index]
+    gutter = str(span.line)
+    pad = " " * len(gutter)
+    start = max(span.column - 1, 0)
+    if span.end_line == span.line:
+        width = max(span.end_column - span.column, 1)
+    else:
+        width = max(len(text) - start, 1)  # multi-line: underline to EOL
+    start = min(start, len(text))
+    carets = " " * start + "^" * width
+    out = [
+        f"  {pad} |",
+        f"  {gutter} | {text}",
+        f"  {pad} | {carets}",
+    ]
+    if span.end_line > span.line:
+        out.append(f"  {pad} | ... (continues to line {span.end_line})")
+    return out
+
+
+def render_diagnostic(diagnostic: Diagnostic, sources: Mapping[str, str]) -> str:
+    """One diagnostic as location line + excerpt + optional help line."""
+    lines = [str(diagnostic)]
+    source = sources.get(diagnostic.source_name)
+    if diagnostic.span is not None and source is not None:
+        lines.extend(_excerpt(source, diagnostic.span))
+    if diagnostic.hint is not None:
+        lines.append(f"  = help: {diagnostic.hint}")
+    return "\n".join(lines)
+
+
+def render_text(diagnostics: Iterable[Diagnostic], sources: Mapping[str, str]) -> str:
+    """All diagnostics in text form, blank-line separated."""
+    return "\n".join(render_diagnostic(d, sources) for d in diagnostics)
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """JSON lines: one compact JSON object per diagnostic."""
+    return "\n".join(
+        json.dumps(d.to_dict(), separators=(", ", ": ")) for d in diagnostics
+    )

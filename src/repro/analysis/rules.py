@@ -1,0 +1,347 @@
+"""Rule-based lints over guard ASTs and their stage contexts.
+
+Two passes live here:
+
+* :func:`collect_sites` walks a guard's AST and lists every label
+  occurrence (a :class:`LabelSite`) with its span, guard stage, and
+  whether it sits under a ``DROP``/``RESTRICT`` head — plus structural
+  lints that need no shape (duplicate target labels, XM401).
+
+* :func:`check_labels` resolves each site against the shape context its
+  stage evaluates in, producing unknown-label diagnostics with
+  did-you-mean suggestions (XM201), ambiguity notes (XM202), dead
+  ``DROP``/``RESTRICT`` clause warnings (XM403), and the
+  ``source path → span`` map the loss stage uses to anchor XM3xx
+  findings at the offending target label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.suggest import did_you_mean
+from repro.lang import ast
+from repro.lang.span import Span
+
+
+@dataclass
+class LabelSite:
+    """One occurrence of a label in a guard pattern."""
+
+    label: str
+    span: Optional[Span]
+    stage: int
+    bang: bool = False
+    dead_head: Optional[str] = None  # "DROP" / "RESTRICT" when under one
+    resolved: tuple[str, ...] = ()   # dotted source paths once resolved
+
+
+@dataclass
+class SiteCollection:
+    """Everything :func:`collect_sites` finds in one guard."""
+
+    stages: list[ast.Guard] = field(default_factory=list)
+    sites: list[LabelSite] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: ``CAST`` / ``TYPE-FILL`` wrapper nodes, outermost first.
+    wrappers: list[ast.Guard] = field(default_factory=list)
+
+
+def unwrap_stages(guard: ast.Guard) -> tuple[list[ast.Guard], list[ast.Guard]]:
+    """Split a guard into its wrapper chain and its stage list."""
+    wrappers: list[ast.Guard] = []
+    node = guard
+    while isinstance(node, (ast.Cast, ast.TypeFill)):
+        wrappers.append(node)
+        node = node.guard
+    stages = list(node.parts) if isinstance(node, ast.Compose) else [node]
+    return wrappers, stages
+
+
+def collect_sites(guard: ast.Guard) -> SiteCollection:
+    """Walk the AST: label sites, wrappers, and structural lints."""
+    out = SiteCollection()
+    out.wrappers, out.stages = unwrap_stages(guard)
+    for stage, part in enumerate(out.stages):
+        _collect_stage(part, stage, out)
+    return out
+
+
+def _collect_stage(part: ast.Guard, stage: int, out: SiteCollection) -> None:
+    while isinstance(part, (ast.Cast, ast.TypeFill)):
+        part = part.guard  # inner wrappers still contribute labels
+    if isinstance(part, ast.Compose):
+        for sub in part.parts:  # nested compose: same stage context
+            _collect_stage(sub, stage, out)
+        return
+    if isinstance(part, (ast.Morph, ast.Mutate)):
+        _walk_group(part.pattern.terms, stage, None, out)
+        return
+    if isinstance(part, ast.Translate):
+        _walk_translate(part, stage, out)
+        return
+
+
+def _walk_translate(node: ast.Translate, stage: int, out: SiteCollection) -> None:
+    seen: dict[str, Span | None] = {}
+    pair_spans: Sequence[Optional[Span]] = node.pair_spans or (None,) * len(node.mapping)
+    for (old, _new), span in zip(node.mapping, pair_spans):
+        out.sites.append(LabelSite(old, span, stage))
+        key = old.lower()
+        if key in seen:
+            out.diagnostics.append(
+                Diagnostic(
+                    "XM401",
+                    Severity.WARNING,
+                    f"duplicate TRANSLATE source label {old!r}; "
+                    "the earlier mapping wins",
+                    span=span,
+                )
+            )
+        else:
+            seen[key] = span
+
+
+def _walk_group(
+    terms: Sequence[ast.Term],
+    stage: int,
+    dead_head: Optional[str],
+    out: SiteCollection,
+) -> None:
+    """One bracket group (or top-level juxtaposition) of sibling terms."""
+    seen: dict[str, Span | None] = {}
+    for term in terms:
+        name = _target_name(term.head)
+        if name is not None:
+            key = name.lower()
+            if key in seen:
+                out.diagnostics.append(
+                    Diagnostic(
+                        "XM401",
+                        Severity.WARNING,
+                        f"duplicate target label {name!r} in the same group; "
+                        "a shape is a forest, so the duplicate shadows the "
+                        "first occurrence",
+                        span=term.head.span or term.span,
+                    )
+                )
+            else:
+                seen[key] = term.span
+        _walk_term(term, stage, dead_head, out)
+
+
+def _walk_term(
+    term: ast.Term, stage: int, dead_head: Optional[str], out: SiteCollection
+) -> None:
+    _walk_head(term.head, stage, dead_head, out)
+    if term.children:
+        _walk_group(term.children, stage, dead_head, out)
+
+
+def _walk_head(
+    head: ast.Head, stage: int, dead_head: Optional[str], out: SiteCollection
+) -> None:
+    if isinstance(head, ast.Label):
+        out.sites.append(
+            LabelSite(head.name, head.span, stage, bang=head.bang, dead_head=dead_head)
+        )
+    elif isinstance(head, ast.Drop):
+        _walk_term(head.term, stage, dead_head or "DROP", out)
+    elif isinstance(head, ast.Restrict):
+        _walk_term(head.term, stage, dead_head or "RESTRICT", out)
+    elif isinstance(head, ast.Clone):
+        _walk_term(head.term, stage, dead_head, out)
+    elif isinstance(head, ast.Group):
+        _walk_term(head.term, stage, dead_head, out)
+    # ast.New introduces a name; nothing to resolve.
+
+
+def _target_name(head: ast.Head) -> Optional[str]:
+    """The output element name a head contributes to its group, if fixed."""
+    if isinstance(head, ast.Label):
+        return head.name.split(".")[-1]
+    if isinstance(head, ast.New):
+        return head.label
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Resolution against shape contexts
+# ---------------------------------------------------------------------------
+
+
+def _vocabulary(context) -> list[str]:
+    """Candidate labels for did-you-mean: names and dotted source paths."""
+    names: dict[str, None] = {}
+    for vertex in context.source_shape.types():
+        names.setdefault(vertex.out_name, None)
+        if vertex.source is not None:
+            names.setdefault(vertex.source.name, None)
+            names.setdefault(vertex.source.dotted, None)
+    return list(names)
+
+
+def check_labels(
+    sites: list[LabelSite],
+    contexts: Sequence,
+    type_fill: bool,
+) -> tuple[list[Diagnostic], dict[str, Span]]:
+    """Resolve every site; return diagnostics + source-path → span map.
+
+    ``contexts[i]`` is the shape context guard stage ``i`` evaluates
+    against; sites in stages without a context (an earlier stage failed
+    to evaluate) are skipped.  With ``type_fill`` the guard synthesizes
+    unknown labels instead of failing, so unknown-label findings soften
+    from errors to warnings.
+    """
+    diagnostics: list[Diagnostic] = []
+    label_spans: dict[str, Span] = {}
+    vocabularies: dict[int, list[str]] = {}
+    for site in sites:
+        if site.stage >= len(contexts):
+            continue
+        context = contexts[site.stage]
+        matches = context.match_label(site.label)
+        site.resolved = tuple(
+            vertex.source.dotted for vertex in matches if vertex.source is not None
+        )
+        for dotted in site.resolved:
+            if site.span is not None and not site.dead_head:
+                label_spans.setdefault(dotted, site.span)
+        if not matches:
+            vocabulary = vocabularies.setdefault(site.stage, _vocabulary(context))
+            suggestion = did_you_mean(site.label, vocabulary)
+            hint_parts = []
+            if suggestion is not None:
+                hint_parts.append(f"did you mean {suggestion!r}?")
+            if site.dead_head is not None:
+                diagnostics.append(
+                    Diagnostic(
+                        "XM403",
+                        Severity.WARNING if type_fill else Severity.ERROR,
+                        f"dead {site.dead_head} clause: label {site.label!r} "
+                        "matches nothing, so the clause has no effect",
+                        span=site.span,
+                        hint="; ".join(hint_parts) or None,
+                    )
+                )
+            else:
+                if not type_fill:
+                    hint_parts.append(
+                        "wrap the guard in TYPE-FILL to synthesize missing types"
+                    )
+                    message = (
+                        f"label {site.label!r} does not match any type in the "
+                        "source shape"
+                    )
+                else:
+                    message = (
+                        f"label {site.label!r} matches nothing and will be "
+                        "synthesized by TYPE-FILL"
+                    )
+                diagnostics.append(
+                    Diagnostic(
+                        "XM201",
+                        Severity.WARNING if type_fill else Severity.ERROR,
+                        message,
+                        span=site.span,
+                        hint="; ".join(hint_parts) or None,
+                    )
+                )
+        elif len(matches) > 1:
+            shown = ", ".join(site.resolved[:4]) or str(len(matches))
+            diagnostics.append(
+                Diagnostic(
+                    "XM202",
+                    Severity.INFO,
+                    f"label {site.label!r} is ambiguous: matches {shown}"
+                    + (", …" if len(matches) > 4 else ""),
+                    span=site.span,
+                    hint="disambiguate with a dotted suffix such as "
+                    f"'{site.resolved[0]}'" if site.resolved else None,
+                )
+            )
+    return diagnostics, label_spans
+
+
+def redundant_bangs(sites: list[LabelSite], findings) -> list[Diagnostic]:
+    """XM402: a ``!`` marker at a label no loss finding touches."""
+    touched: set[str] = set()
+    for finding in findings:
+        touched.add(finding.source_type)
+        touched.add(finding.target_type)
+    out: list[Diagnostic] = []
+    for site in sites:
+        if not site.bang or not site.resolved:
+            continue
+        if not any(path in touched for path in site.resolved):
+            out.append(
+                Diagnostic(
+                    "XM402",
+                    Severity.WARNING,
+                    f"redundant '!' on {site.label!r}: the transformation "
+                    "neither loses nor manufactures data at this label",
+                    span=site.span,
+                    hint="remove the ! marker",
+                )
+            )
+    return out
+
+
+def _keyword_span(node: ast.Guard, keyword: str) -> Optional[Span]:
+    """The span of just a wrapper's keyword (not the wrapped guard)."""
+    span = node.span
+    if span is None:
+        return None
+    return Span(
+        span.start,
+        span.start + len(keyword),
+        span.line,
+        span.column,
+        span.line,
+        span.column + len(keyword),
+    )
+
+
+def redundant_wrappers(wrappers, report) -> list[Diagnostic]:
+    """XM405/XM406: CAST / TYPE-FILL wrappers that permit nothing."""
+    from repro.lang.ast import Cast, CastMode, TypeFill
+    from repro.typing.loss import LossKind
+
+    unaccepted = report.unaccepted()
+    lost = any(f.kind is LossKind.LOST for f in unaccepted)
+    added = any(f.kind is LossKind.ADDED for f in unaccepted)
+    out: list[Diagnostic] = []
+    for node in wrappers:
+        if isinstance(node, Cast):
+            keyword = node.mode.value
+            needed = {
+                CastMode.NARROWING: lost,
+                CastMode.WIDENING: added,
+                CastMode.ANY: lost or added,
+            }[node.mode]
+            if not needed:
+                out.append(
+                    Diagnostic(
+                        "XM405",
+                        Severity.WARNING,
+                        f"redundant {keyword}: the guard is "
+                        f"{report.guard_type} and does not need the cast",
+                        span=_keyword_span(node, keyword),
+                        hint=f"remove the {keyword} wrapper",
+                    )
+                )
+        elif isinstance(node, TypeFill) and not report.synthesized_types:
+            out.append(
+                Diagnostic(
+                    "XM406",
+                    Severity.WARNING,
+                    "redundant TYPE-FILL: every guard label matches the "
+                    "source shape, nothing was synthesized",
+                    span=_keyword_span(node, "TYPE-FILL"),
+                    hint="remove the TYPE-FILL wrapper",
+                )
+            )
+    return out

@@ -1,0 +1,73 @@
+"""Did-you-mean suggestions for unknown guard labels.
+
+A plain Damerau–Levenshtein distance over the candidate label
+vocabulary of the source DataGuide (element names plus dotted
+suffixes), with a length-scaled acceptance threshold so short labels
+only match near-exact candidates while long dotted paths tolerate a
+couple of edits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+def edit_distance(a: str, b: str, limit: int = 4) -> int:
+    """Damerau–Levenshtein distance (adjacent transpositions count 1).
+
+    Bails out early with ``limit + 1`` when the distance must exceed
+    ``limit`` — label vocabularies can be large and we only care about
+    near misses.
+    """
+    if a == b:
+        return 0
+    if abs(len(a) - len(b)) > limit:
+        return limit + 1
+    previous2: list[int] = []
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        best = i
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            value = min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost, # substitution
+            )
+            if (
+                i > 1
+                and j > 1
+                and ca == b[j - 2]
+                and a[i - 2] == cb
+            ):
+                value = min(value, previous2[j - 2] + 1)  # transposition
+            current.append(value)
+            best = min(best, value)
+        if best > limit:
+            return limit + 1
+        previous2, previous = previous, current
+    return previous[-1]
+
+
+def did_you_mean(label: str, candidates: Iterable[str]) -> Optional[str]:
+    """The closest candidate to ``label``, or ``None`` when nothing is close.
+
+    Matching is case-insensitive; the threshold scales with label length
+    (1 edit for short labels, up to 3 for long dotted paths).
+    """
+    wanted = label.lower()
+    threshold = max(1, min(3, len(wanted) // 3))
+    best: Optional[str] = None
+    best_distance = threshold + 1
+    for candidate in candidates:
+        if candidate.lower() == wanted:
+            continue  # an exact (case-insensitive) match is not a typo
+        distance = edit_distance(wanted, candidate.lower(), limit=threshold)
+        if distance < best_distance:
+            best, best_distance = candidate, distance
+        elif distance == best_distance and best is not None:
+            # Deterministic tie-break: prefer the shorter, then lexical.
+            if (len(candidate), candidate) < (len(best), best):
+                best = candidate
+    return best

@@ -8,6 +8,7 @@ Examples::
 
     xmorph shape books.xml
     xmorph check books.xml "MORPH author [ name book [ title ] ]"
+    xmorph check books.xml "MORPH athor [ name ]" --format=json --strict
     xmorph transform books.xml "MORPH author [ name ]" --indent 2
     xmorph query books.xml --guard "MORPH author [ name ]" \
         --query "for $a in /author return $a/name/text()"
@@ -49,9 +50,33 @@ def _build_parser() -> argparse.ArgumentParser:
     shape.add_argument("--stats", action="store_true", help="also print statistics")
     shape.set_defaults(handler=_cmd_shape)
 
-    check = commands.add_parser("check", help="type-check a guard (loss report)")
+    check = commands.add_parser(
+        "check",
+        help="statically analyze a guard (coded, source-spanned diagnostics)",
+        description=(
+            "Run the static analyzer: syntax (XM1xx), type analysis "
+            "(XM2xx), information-loss (XM3xx) and lint (XM4xx) findings, "
+            "each with a stable code, a severity, and a caret-underlined "
+            "source excerpt.  Exit code 0 when clean, 1 on errors, 2 on "
+            "warnings under --strict."
+        ),
+    )
     check.add_argument("document")
     check.add_argument("guard")
+    check.add_argument(
+        "--query",
+        default=None,
+        help="companion XQuery-lite query to check against the guard's output shape",
+    )
+    check.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="text (caret excerpts) or json (one JSON object per diagnostic)",
+    )
+    check.add_argument(
+        "--strict", action="store_true", help="treat warnings as failures (exit 2)"
+    )
     check.set_defaults(handler=_cmd_check)
 
     run = commands.add_parser(
@@ -183,9 +208,19 @@ def _cmd_shape(arguments) -> int:
 
 
 def _cmd_check(arguments) -> int:
-    report = repro.check(_read(arguments.document), arguments.guard)
-    print(report.pretty())
-    return 0
+    from repro.analysis import analyze
+
+    result = analyze(_read(arguments.document), arguments.guard, arguments.query)
+    if arguments.format == "json":
+        rendered = result.render_json()
+        if rendered:
+            print(rendered)
+    else:
+        rendered = result.render_text()
+        if rendered:
+            print(rendered)
+        print(result.summary())
+    return result.exit_code(strict=arguments.strict)
 
 
 def _profile_report(arguments):
@@ -197,8 +232,36 @@ def _profile_report(arguments):
     return profile_document(_read(arguments.document), arguments.guard)
 
 
+def _diagnose_failure(arguments) -> bool:
+    """After a pipeline error in ``run``, retry as a static analysis.
+
+    Returns True when the analyzer reproduced the failure as spanned
+    diagnostics (printed to stderr), so the caller can skip the bare
+    exception message.  Only for the file case — stored documents keep
+    the plain error path.
+    """
+    if arguments.db is not None:
+        return False
+    from repro.analysis import analyze
+
+    try:
+        result = analyze(_read(arguments.document), arguments.guard)
+    except XMorphError:
+        return False
+    if result.ok:
+        return False
+    print(result.render_text(), file=sys.stderr)
+    print(result.summary(), file=sys.stderr)
+    return True
+
+
 def _cmd_run(arguments) -> int:
-    report = _profile_report(arguments)
+    try:
+        report = _profile_report(arguments)
+    except XMorphError:
+        if _diagnose_failure(arguments):
+            return 1
+        raise
     if arguments.profile:
         print(report.pretty())
     else:

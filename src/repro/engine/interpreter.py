@@ -94,6 +94,20 @@ class Interpreter:
         _evaluation, loss = self._analyze(operator, enforcement)
         return loss
 
+    def diagnose(self, guard: str, query: str | None = None):
+        """Statically analyze a guard: spanned, coded diagnostics.
+
+        Returns a :class:`repro.analysis.AnalysisResult`.  Unlike
+        :meth:`check`, this never raises for guard problems — syntax,
+        type, and loss findings all come back as diagnostics with
+        source spans, and an optional companion query is checked for
+        compatibility with the guard's target shape.
+        """
+        from repro.analysis import analyze_index
+
+        with obs.span("analysis.diagnose"):
+            return analyze_index(self.index, guard, query)
+
     def transform(self, guard: str) -> TransformResult:
         """Compile, enforce, and render a guard (Ψ⟦P⟧ = render(G, ξ⟦P⟧(S)))."""
         result = self.compile(guard)

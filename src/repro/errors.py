@@ -10,8 +10,60 @@ loss enforcement), rendering, and the storage layer.
 from __future__ import annotations
 
 
+def _line_column(source: str, offset: int) -> tuple[int, int]:
+    """The 1-based (line, column) of a character offset in ``source``."""
+    offset = max(0, min(offset, len(source)))
+    line = source.count("\n", 0, offset) + 1
+    line_start = source.rfind("\n", 0, offset) + 1
+    return line, offset - line_start + 1
+
+
 class XMorphError(Exception):
     """Base class for all errors raised by this library."""
+
+    #: Optional :class:`repro.lang.span.Span` pinpointing the error in
+    #: its source text; populated by the language front end.
+    span = None
+
+
+class _LocatedSyntaxErrorMixin:
+    """Shared machinery for syntax errors that point into source text.
+
+    Errors are raised with whichever location is at hand — a raw
+    character ``position``, 1-based ``line``/``column``, or a full
+    ``span`` — and render the most precise form available.  A raiser
+    that only knows the offset can upgrade the error to line:column
+    later via :meth:`locate` once the source text is in scope.
+    """
+
+    def _init_location(self, message, position=None, line=None, column=None, span=None):
+        if span is not None:
+            position = span.start if position is None else position
+            line = span.line if line is None else line
+            column = span.column if column is None else column
+        self.raw_message = message
+        self.position = position
+        self.line = line
+        self.column = column
+        self.span = span
+        return self._format()
+
+    def _format(self) -> str:
+        if self.line is not None:
+            where = f" (at line {self.line}"
+            if self.column is not None:
+                where += f", column {self.column}"
+            return f"{self.raw_message}{where})"
+        if self.position is not None:
+            return f"{self.raw_message} (at offset {self.position})"
+        return self.raw_message
+
+    def locate(self, source: str):
+        """Fill in line/column from ``position`` against ``source``."""
+        if self.line is None and self.position is not None:
+            self.line, self.column = _line_column(source, self.position)
+            self.args = (self._format(),)
+        return self
 
 
 class XmlParseError(XMorphError):
@@ -32,13 +84,23 @@ class XmlParseError(XMorphError):
         self.column = column
 
 
-class GuardSyntaxError(XMorphError):
-    """Raised when an XMorph guard program cannot be tokenized or parsed."""
+class GuardSyntaxError(_LocatedSyntaxErrorMixin, XMorphError):
+    """Raised when an XMorph guard program cannot be tokenized or parsed.
 
-    def __init__(self, message: str, position: int | None = None):
-        suffix = f" (at offset {position})" if position is not None else ""
-        super().__init__(f"{message}{suffix}")
-        self.position = position
+    Reports 1-based ``line``/``column`` (matching :class:`XmlParseError`)
+    and keeps the raw character ``position`` and, when the lexer/parser
+    knows it, the full ``span`` of the offending text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        line: int | None = None,
+        column: int | None = None,
+        span=None,
+    ):
+        super().__init__(self._init_location(message, position, line, column, span))
 
 
 class TypeAnalysisError(XMorphError):
@@ -56,12 +118,15 @@ class LabelMismatchError(TypeAnalysisError):
     hard error unless the guard is wrapped in ``TYPE-FILL``.
     """
 
-    def __init__(self, label: str):
+    def __init__(self, label: str, suggestion: str | None = None, span=None):
+        hint = f"; did you mean {suggestion!r}?" if suggestion else ""
         super().__init__(
             f"label {label!r} does not match any type in the source shape "
-            "(wrap the guard in TYPE-FILL to synthesize missing types)"
+            f"(wrap the guard in TYPE-FILL to synthesize missing types){hint}"
         )
         self.label = label
+        self.suggestion = suggestion
+        self.span = span
 
 
 class GuardTypeError(XMorphError):
@@ -86,13 +151,22 @@ class QueryError(XMorphError):
     """Raised by the XQuery-lite engine for syntax or evaluation errors."""
 
 
-class QuerySyntaxError(QueryError):
-    """Raised when an XQuery-lite query cannot be tokenized or parsed."""
+class QuerySyntaxError(_LocatedSyntaxErrorMixin, QueryError):
+    """Raised when an XQuery-lite query cannot be tokenized or parsed.
 
-    def __init__(self, message: str, position: int | None = None):
-        suffix = f" (at offset {position})" if position is not None else ""
-        super().__init__(f"{message}{suffix}")
-        self.position = position
+    Like :class:`GuardSyntaxError`, reports 1-based line/column; the
+    parser entry point upgrades offset-only raises via :meth:`locate`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        line: int | None = None,
+        column: int | None = None,
+        span=None,
+    ):
+        super().__init__(self._init_location(message, position, line, column, span))
 
 
 class StorageError(XMorphError):

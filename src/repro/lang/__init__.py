@@ -37,8 +37,12 @@ from repro.lang.ast import (
 )
 from repro.lang.lexer import Token, TokenType, tokenize
 from repro.lang.parser import parse_guard
+from repro.lang.span import Span, line_column, merge_spans
 
 __all__ = [
+    "Span",
+    "line_column",
+    "merge_spans",
     "CastMode",
     "Cast",
     "Compose",

@@ -13,8 +13,10 @@ parser/printer pair round-trips, which the tests rely on.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Union
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.lang.span import Span
 
 
 class CastMode(enum.Enum):
@@ -36,6 +38,7 @@ class Label:
 
     name: str
     bang: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"!{self.name}" if self.bang else self.name
@@ -46,6 +49,7 @@ class New:
     """``NEW label`` — introduce a brand new type."""
 
     label: str
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"NEW {self.label}"
@@ -56,6 +60,7 @@ class Drop:
     """``DROP term`` — remove the types matched by the term."""
 
     term: "Term"
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"DROP {self.term}"
@@ -66,6 +71,7 @@ class Clone:
     """``CLONE term`` — a distinct copy of the matched shape."""
 
     term: "Term"
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"CLONE {self.term}"
@@ -76,6 +82,7 @@ class Restrict:
     """``RESTRICT term`` — keep the term's roots, hide the filter below."""
 
     term: "Term"
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"RESTRICT {self.term}"
@@ -86,6 +93,7 @@ class Group:
     """A parenthesized sub-term used as a head."""
 
     term: "Term"
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"({self.term})"
@@ -102,6 +110,7 @@ class Term:
     children: tuple["Term", ...] = ()
     star_children: bool = False
     star_descendants: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         inner: list[str] = []
@@ -126,6 +135,7 @@ class Pattern:
     """A juxtaposition of terms (Section VI's ``p0 p1 ... pn``)."""
 
     terms: tuple[Term, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return " ".join(str(term) for term in self.terms)
@@ -141,6 +151,7 @@ class Morph:
     """``MORPH pattern`` — the output uses only the specified types."""
 
     pattern: Pattern
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"MORPH {self.pattern}"
@@ -151,6 +162,7 @@ class Mutate:
     """``MUTATE pattern`` — rearrange the full shape as specified."""
 
     pattern: Pattern
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"MUTATE {self.pattern}"
@@ -161,6 +173,9 @@ class Translate:
     """``TRANSLATE old -> new, ...`` — rename types by base label."""
 
     mapping: tuple[tuple[str, str], ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
+    #: Span of each ``old -> new`` pair, aligned with ``mapping``.
+    pair_spans: tuple[Optional[Span], ...] = field(default=(), compare=False, repr=False)
 
     def __str__(self) -> str:
         pairs = ", ".join(f"{old} -> {new}" for old, new in self.mapping)
@@ -172,6 +187,7 @@ class Compose:
     """``g1 | g2 | ...`` — pipe each guard's output into the next."""
 
     parts: tuple["Guard", ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return " | ".join(str(part) for part in self.parts)
@@ -183,6 +199,7 @@ class Cast:
 
     mode: CastMode
     guard: "Guard"
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"{self.mode.value} ({self.guard})"
@@ -193,6 +210,7 @@ class TypeFill:
     """``TYPE-FILL`` wrapper — synthesize labels missing from the source."""
 
     guard: "Guard"
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"TYPE-FILL ({self.guard})"

@@ -12,6 +12,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.errors import GuardSyntaxError
+from repro.lang.span import Span
 
 
 class TokenType(enum.Enum):
@@ -76,6 +77,22 @@ class Token:
     type: TokenType
     text: str
     position: int
+    line: int = 1
+    column: int = 1
+
+    @property
+    def end(self) -> int:
+        return self.position + len(self.text)
+
+    @property
+    def span(self) -> Span:
+        # Tokens never contain a newline, so the end coordinates stay
+        # on the start line.
+        return Span(
+            self.position, self.end,
+            self.line, self.column,
+            self.line, self.column + len(self.text),
+        )
 
     def __str__(self) -> str:
         return f"{self.type.name}({self.text!r})"
@@ -86,33 +103,52 @@ def _is_word_char(char: str) -> bool:
 
 
 def tokenize(source: str) -> list[Token]:
-    """Tokenize a guard; always ends with an END token."""
+    """Tokenize a guard; always ends with an END token.
+
+    Every token carries its character offset *and* 1-based line/column,
+    so the parser and the diagnostics engine can point at the exact
+    guard text responsible for a finding.
+    """
     tokens: list[Token] = []
     pos = 0
     length = len(source)
+    line = 1
+    line_start = 0
+
+    def emit(token_type: TokenType, text: str, start: int) -> None:
+        tokens.append(Token(token_type, text, start, line, start - line_start + 1))
+
     while pos < length:
         char = source[pos]
         if char in " \t\r\n":
+            if char == "\n":
+                line += 1
+                line_start = pos + 1
             pos += 1
             continue
         if char == "#":  # line comment (a convenience extension)
             newline = source.find("\n", pos)
-            pos = length if newline == -1 else newline + 1
+            if newline == -1:
+                pos = length
+            else:
+                pos = newline + 1
+                line += 1
+                line_start = pos
             continue
         if char == "*":
             if source.startswith("**", pos):
-                tokens.append(Token(TokenType.DOUBLE_STAR, "**", pos))
+                emit(TokenType.DOUBLE_STAR, "**", pos)
                 pos += 2
             else:
-                tokens.append(Token(TokenType.STAR, "*", pos))
+                emit(TokenType.STAR, "*", pos)
                 pos += 1
             continue
         if source.startswith("->", pos):
-            tokens.append(Token(TokenType.ARROW, "->", pos))
+            emit(TokenType.ARROW, "->", pos)
             pos += 2
             continue
         if char in _PUNCT:
-            tokens.append(Token(_PUNCT[char], char, pos))
+            emit(_PUNCT[char], char, pos)
             pos += 1
             continue
         if char.isalnum() or char in "_·:":
@@ -122,13 +158,16 @@ def tokenize(source: str) -> list[Token]:
                     break  # an arrow glued to a word: stop the word
                 pos += 1
             word = source[start:pos]
-            # A trailing hyphen belongs to a following arrow, never a word.
-            while word.endswith("-"):
-                word = word[:-1]
-                pos -= 1
+            # XML names allow trailing hyphens, and the arrow check above
+            # already cuts `->` out of a hyphenated word, so the hyphen
+            # stays in the label (`foo- bar` is the two labels `foo-`
+            # and `bar`, not a syntax error).
             token_type = _KEYWORDS.get(word.upper(), TokenType.LABEL)
-            tokens.append(Token(token_type, word, start))
+            emit(token_type, word, start)
             continue
-        raise GuardSyntaxError(f"unexpected character {char!r}", position=pos)
-    tokens.append(Token(TokenType.END, "", length))
+        raise GuardSyntaxError(
+            f"unexpected character {char!r}",
+            span=Span.at(source, pos, pos + 1),
+        )
+    tokens.append(Token(TokenType.END, "", length, line, length - line_start + 1))
     return tokens

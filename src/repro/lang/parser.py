@@ -7,6 +7,12 @@ is the same construct with explicit grouping.  The parser therefore
 attaches bracketed items as the children of their head term, and a
 top-level juxtaposition becomes a multi-term :class:`Pattern` with the
 identical meaning.
+
+Every AST node is annotated with its source :class:`~repro.lang.span.Span`
+(running from its first to its last token), which the diagnostics engine
+(:mod:`repro.analysis`) uses to point findings at the exact guard text
+responsible.  Spans are carried in ``compare=False`` fields, so ASTs
+still compare equal regardless of where they were parsed from.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from repro.lang.ast import (
     TypeFill,
 )
 from repro.lang.lexer import Token, TokenType, tokenize
+from repro.lang.span import Span, merge_spans
 
 _CAST_MODES = {
     TokenType.CAST: CastMode.ANY,
@@ -60,10 +67,17 @@ def parse_guard(source: str) -> Guard:
     return guard
 
 
+def _spanned(node, span: Span | None):
+    if span is None:
+        return node
+    return dataclasses.replace(node, span=span)
+
+
 class _Parser:
     def __init__(self, tokens: list[Token]):
         self.tokens = tokens
         self.pos = 0
+        self.last: Token | None = None  # last consumed token
 
     # -- guard level -------------------------------------------------------
 
@@ -74,16 +88,22 @@ class _Parser:
             parts.append(self.parse_unit())
         if len(parts) == 1:
             return parts[0]
-        return Compose(tuple(parts))
+        return Compose(
+            tuple(parts), span=merge_spans(*(part.span for part in parts))
+        )
 
     def parse_unit(self) -> Guard:
         token = self.peek()
         if token.type in _CAST_MODES:
             self.advance()
-            return Cast(_CAST_MODES[token.type], self.parse_unit())
+            inner = self.parse_unit()
+            return Cast(
+                _CAST_MODES[token.type], inner, span=token.span.merge(inner.span)
+            )
         if token.type is TokenType.TYPE_FILL:
             self.advance()
-            return TypeFill(self.parse_unit())
+            inner = self.parse_unit()
+            return TypeFill(inner, span=token.span.merge(inner.span))
         if token.type is TokenType.LPAREN:
             self.advance()
             inner = self.parse_compose()
@@ -91,13 +111,20 @@ class _Parser:
             return inner
         if token.type is TokenType.MORPH:
             self.advance()
-            return Morph(self.parse_pattern())
+            pattern = self.parse_pattern()
+            return Morph(pattern, span=token.span.merge(pattern.span))
         if token.type is TokenType.MUTATE:
             self.advance()
-            return Mutate(self.parse_pattern())
+            pattern = self.parse_pattern()
+            return Mutate(pattern, span=token.span.merge(pattern.span))
         if token.type is TokenType.TRANSLATE:
             self.advance()
-            return Translate(self.parse_translate_pairs())
+            mapping, pair_spans = self.parse_translate_pairs()
+            return Translate(
+                mapping,
+                span=token.span.merge(self.last_span()),
+                pair_spans=pair_spans,
+            )
         if token.type is TokenType.COMPOSE:
             self.advance()
             parts = [self.parse_unit()]
@@ -107,14 +134,14 @@ class _Parser:
             if len(parts) < 2:
                 raise GuardSyntaxError(
                     "COMPOSE needs at least two comma-separated guards",
-                    position=token.position,
+                    span=token.span,
                 )
-            return Compose(tuple(parts))
-        raise GuardSyntaxError(
-            f"expected a guard, found {token}", position=token.position
-        )
+            return Compose(tuple(parts), span=token.span.merge(self.last_span()))
+        raise GuardSyntaxError(f"expected a guard, found {token}", span=token.span)
 
-    def parse_translate_pairs(self) -> tuple[tuple[str, str], ...]:
+    def parse_translate_pairs(
+        self,
+    ) -> tuple[tuple[tuple[str, str], ...], tuple[Span, ...]]:
         pairs = [self.parse_translate_pair()]
         # A following comma continues the dictionary only when the next
         # tokens look like another `label -> label` pair; otherwise the
@@ -126,13 +153,13 @@ class _Parser:
         ):
             self.advance()
             pairs.append(self.parse_translate_pair())
-        return tuple(pairs)
+        return tuple(pair for pair, _ in pairs), tuple(span for _, span in pairs)
 
-    def parse_translate_pair(self) -> tuple[str, str]:
-        old = self.expect(TokenType.LABEL).text
+    def parse_translate_pair(self) -> tuple[tuple[str, str], Span]:
+        old = self.expect(TokenType.LABEL)
         self.expect(TokenType.ARROW)
-        new = self.expect(TokenType.LABEL).text
-        return (old, new)
+        new = self.expect(TokenType.LABEL)
+        return (old.text, new.text), old.span.merge(new.span)
 
     # -- pattern level -------------------------------------------------------
 
@@ -140,29 +167,42 @@ class _Parser:
         terms = [self.parse_term()]
         while self.peek().type in _TERM_START:
             terms.append(self.parse_term())
-        return Pattern(tuple(terms))
+        return Pattern(tuple(terms), span=merge_spans(*(t.span for t in terms)))
 
     def parse_term(self) -> Term:
         token = self.peek()
         if token.type is TokenType.CHILDREN:
             self.advance()
-            return dataclasses.replace(self.parse_term(), star_children=True)
+            inner = self.parse_term()
+            return dataclasses.replace(
+                inner, star_children=True, span=token.span.merge(inner.span)
+            )
         if token.type is TokenType.DESCENDANTS:
             self.advance()
-            return dataclasses.replace(self.parse_term(), star_descendants=True)
+            inner = self.parse_term()
+            return dataclasses.replace(
+                inner, star_descendants=True, span=token.span.merge(inner.span)
+            )
         if token.type is TokenType.DROP:
             self.advance()
-            return Term(Drop(self.parse_term()))
+            inner = self.parse_term()
+            span = token.span.merge(inner.span)
+            return Term(Drop(inner, span=span), span=span)
         if token.type is TokenType.CLONE:
             self.advance()
-            return Term(Clone(self.parse_term()))
+            inner = self.parse_term()
+            span = token.span.merge(inner.span)
+            return Term(Clone(inner, span=span), span=span)
         if token.type is TokenType.RESTRICT:
             self.advance()
-            return Term(Restrict(self.parse_term()))
+            inner = self.parse_term()
+            span = token.span.merge(inner.span)
+            return Term(Restrict(inner, span=span), span=span)
         if token.type is TokenType.NEW:
             self.advance()
-            name = self.expect(TokenType.LABEL).text
-            return self.attach_bracket(Term(New(name)))
+            name = self.expect(TokenType.LABEL)
+            span = token.span.merge(name.span)
+            return self.attach_bracket(Term(New(name.text, span=span), span=span))
         if token.type is TokenType.LPAREN:
             # Parentheses are grouping only: `(DROP x) [ y ]` attaches
             # the bracket to the parenthesized term itself.  (Closest
@@ -170,16 +210,22 @@ class _Parser:
             # semantics.)
             self.advance()
             inner = self.parse_term()
-            self.expect(TokenType.RPAREN)
+            close = self.expect(TokenType.RPAREN)
+            inner = _spanned(inner, token.span.merge(close.span))
             return self.attach_bracket(inner)
         if token.type is TokenType.BANG:
             self.advance()
-            name = self.expect(TokenType.LABEL).text
-            return self.attach_bracket(Term(Label(name, bang=True)))
+            name = self.expect(TokenType.LABEL)
+            span = token.span.merge(name.span)
+            return self.attach_bracket(
+                Term(Label(name.text, bang=True, span=span), span=span)
+            )
         if token.type is TokenType.LABEL:
             self.advance()
-            return self.attach_bracket(Term(Label(token.text)))
-        raise GuardSyntaxError(f"expected a term, found {token}", position=token.position)
+            return self.attach_bracket(
+                Term(Label(token.text, span=token.span), span=token.span)
+            )
+        raise GuardSyntaxError(f"expected a term, found {token}", span=token.span)
 
     def attach_bracket(self, term: Term) -> Term:
         if self.peek().type is not TokenType.LBRACKET:
@@ -200,14 +246,15 @@ class _Parser:
                 children.append(self.parse_term())
             else:
                 raise GuardSyntaxError(
-                    f"unexpected {token} inside [ ]", position=token.position
+                    f"unexpected {token} inside [ ]", span=token.span
                 )
-        self.expect(TokenType.RBRACKET)
+        close = self.expect(TokenType.RBRACKET)
         return dataclasses.replace(
             term,
             children=term.children + tuple(children),
             star_children=star_children,
             star_descendants=star_descendants,
+            span=(term.span or close.span).merge(close.span),
         )
 
     # -- machinery --------------------------------------------------------------
@@ -220,12 +267,16 @@ class _Parser:
         token = self.tokens[self.pos]
         if token.type is not TokenType.END:
             self.pos += 1
+        self.last = token
         return token
+
+    def last_span(self) -> Span | None:
+        return self.last.span if self.last is not None else None
 
     def expect(self, token_type: TokenType) -> Token:
         token = self.peek()
         if token.type is not token_type:
             raise GuardSyntaxError(
-                f"expected {token_type.name}, found {token}", position=token.position
+                f"expected {token_type.name}, found {token}", span=token.span
             )
         return self.advance()

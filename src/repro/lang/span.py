@@ -1,0 +1,83 @@
+"""Source spans: where a token or AST node lives in the guard text.
+
+A :class:`Span` carries both the raw character offsets (half-open
+``[start, end)``) and the human-facing 1-based line/column coordinates
+of its endpoints.  Offsets drive excerpt extraction; line/column drive
+the rendered diagnostics (``<guard>:1:7``), matching the convention of
+:class:`~repro.errors.XmlParseError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def line_column(source: str, offset: int) -> tuple[int, int]:
+    """The 1-based (line, column) of a character offset in ``source``."""
+    offset = max(0, min(offset, len(source)))
+    line = source.count("\n", 0, offset) + 1
+    line_start = source.rfind("\n", 0, offset) + 1
+    return line, offset - line_start + 1
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A half-open source range with 1-based line/column endpoints."""
+
+    start: int
+    end: int
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    @classmethod
+    def at(cls, source: str, start: int, end: int | None = None) -> "Span":
+        """Build a span over ``source[start:end]`` (a point span if no end)."""
+        if end is None:
+            end = start
+        line, column = line_column(source, start)
+        end_line, end_column = line_column(source, end)
+        return cls(start, end, line, column, end_line, end_column)
+
+    def merge(self, other: "Span | None") -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        if other is None:
+            return self
+        first, last = (self, other) if self.start <= other.start else (other, self)
+        if last.end <= first.end:  # containment
+            return first
+        return Span(
+            first.start, last.end,
+            first.line, first.column,
+            last.end_line, last.end_column,
+        )
+
+    @property
+    def label(self) -> str:
+        """Compact human form, ``line:col`` or ``line:col-line:col``."""
+        if (self.line, self.column) == (self.end_line, self.end_column):
+            return f"{self.line}:{self.column}"
+        if self.line == self.end_line:
+            return f"{self.line}:{self.column}-{self.end_column}"
+        return f"{self.line}:{self.column}-{self.end_line}:{self.end_column}"
+
+    def to_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
+
+def merge_spans(*spans: Span | None) -> Span | None:
+    """Merge any number of optional spans; ``None`` when all are ``None``."""
+    result: Span | None = None
+    for span in spans:
+        if span is None:
+            continue
+        result = span if result is None else result.merge(span)
+    return result

@@ -22,22 +22,22 @@ def enforce(report: LossReport, enforcement: Enforcement) -> None:
     if lost and added and not enforcement.allow_weak:
         raise GuardTypeError(
             "guard is weakly-typed (the transformation may both lose and "
-            "manufacture data); wrap it in CAST to allow this",
+            "manufacture data) [XM301, XM302]; wrap it in CAST to allow this",
             report=report,
         )
     if lost and not enforcement.allow_narrowing:
         detail = "; ".join(str(f) for f in lost[:3])
         raise GuardTypeError(
-            f"guard is narrowing (the transformation may lose data): {detail}; "
-            "wrap it in CAST-NARROWING to allow this, or mark the lossy "
-            "labels with !",
+            f"guard is narrowing (the transformation may lose data) [XM301]: "
+            f"{detail}; wrap it in CAST-NARROWING to allow this, or mark the "
+            "lossy labels with !",
             report=report,
         )
     if added and not enforcement.allow_widening:
         detail = "; ".join(str(f) for f in added[:3])
         raise GuardTypeError(
-            f"guard is widening (the transformation may manufacture data): {detail}; "
-            "wrap it in CAST-WIDENING to allow this, or mark the lossy "
-            "labels with !",
+            f"guard is widening (the transformation may manufacture data) "
+            f"[XM302]: {detail}; wrap it in CAST-WIDENING to allow this, or "
+            "mark the lossy labels with !",
             report=report,
         )

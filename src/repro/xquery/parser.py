@@ -15,12 +15,18 @@ from repro.xquery.lexer import KEYWORDS, QTok, Token, name_char, name_start, sca
 
 
 def parse_query(source: str) -> ast.Expr:
-    parser = _Parser(source)
-    expr = parser.parse_sequence()
-    token = parser.peek()
-    if token.type is not QTok.END:
-        raise QuerySyntaxError(f"unexpected {token} after expression", token.position)
-    return expr
+    try:
+        parser = _Parser(source)
+        expr = parser.parse_sequence()
+        token = parser.peek()
+        if token.type is not QTok.END:
+            raise QuerySyntaxError(f"unexpected {token} after expression", token.position)
+        return expr
+    except QuerySyntaxError as error:
+        # Internal raises carry only a character offset; upgrade to the
+        # 1-based line:column form here, where the source is in scope.
+        error.locate(source)
+        raise
 
 
 class _Parser:

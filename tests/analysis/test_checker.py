@@ -1,0 +1,218 @@
+"""End-to-end tests for the static analysis driver (`analyze`).
+
+Each test drives a whole guard through the analyzer and asserts on the
+coded diagnostics — the same surface `xmorph check` prints.
+"""
+
+import pytest
+
+from repro.analysis import Severity, analyze
+from tests.conftest import FIG1A, FIG1A_OPTIONAL_NAME, FIG1C
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+def find(result, code):
+    matches = [d for d in result.diagnostics if d.code == code]
+    assert matches, f"expected a {code} in {codes(result)}"
+    return matches[0]
+
+
+class TestSyntax:
+    def test_clean_guard(self):
+        result = analyze(FIG1A, "MORPH author [ name book [ title ] ]")
+        assert result.ok
+        assert result.exit_code() == 0
+        assert str(result.guard_type) == "strongly-typed"
+
+    def test_parse_error_is_spanned_xm102(self):
+        result = analyze(FIG1A, "MORPH author [ name")
+        d = find(result, "XM102")
+        assert d.severity is Severity.ERROR
+        assert d.span is not None
+        assert result.exit_code() == 1
+
+    def test_unexpected_character_is_xm101(self):
+        result = analyze(FIG1A, "MORPH auth%or")
+        d = find(result, "XM101")
+        assert d.span is not None
+        guard = "MORPH auth%or"
+        assert guard[d.span.start : d.span.end] == "%"
+
+    def test_syntax_error_stops_analysis(self):
+        result = analyze(FIG1A, "MORPH [")
+        assert codes(result) == ["XM102"]
+
+
+class TestLabels:
+    def test_unknown_label_with_suggestion(self):
+        result = analyze(FIG1A, "MORPH athor [ name ]")
+        d = find(result, "XM201")
+        assert d.severity is Severity.ERROR
+        assert "athor" in d.message
+        assert "did you mean 'author'" in d.hint
+        # The span covers exactly the misspelled label.
+        assert "MORPH athor [ name ]"[d.span.start : d.span.end] == "athor"
+        assert result.exit_code() == 1
+
+    def test_unknown_label_under_type_fill_is_warning(self):
+        result = analyze(FIG1A, "TYPE-FILL (MORPH athor [ name ])")
+        d = find(result, "XM201")
+        assert d.severity is Severity.WARNING
+        assert result.exit_code() == 0
+        assert result.exit_code(strict=True) == 2
+
+    def test_ambiguous_label_is_info(self):
+        result = analyze(FIG1A, "MORPH book [ name ]")
+        d = find(result, "XM202")
+        assert d.severity is Severity.INFO
+        assert "data.book.author.name" in d.message
+        assert "data.book.publisher.name" in d.message
+
+    def test_dotted_label_disambiguates(self):
+        result = analyze(FIG1A, "MORPH book [ author.name ]")
+        assert "XM202" not in codes(result)
+
+
+class TestLoss:
+    WIDENING = "MORPH author [ title name publisher [ name ] ]"
+
+    def test_widening_without_cast_is_error(self):
+        result = analyze(FIG1C, self.WIDENING)
+        d = find(result, "XM302")
+        assert d.severity is Severity.ERROR
+        assert "CAST-WIDENING" in d.hint
+        # Spanned at one of the labels selecting the lossy pair's types.
+        assert d.span is not None
+        assert self.WIDENING[d.span.start : d.span.end] in {
+            "title",
+            "publisher",
+            "name",
+        }
+        assert result.exit_code() == 1
+
+    def test_cast_widening_downgrades_to_info(self):
+        result = analyze(FIG1C, f"CAST-WIDENING ({self.WIDENING})")
+        d = find(result, "XM302")
+        assert d.severity is Severity.INFO
+        assert result.exit_code() == 0
+
+    def test_bang_accepts_loss_as_xm304(self):
+        result = analyze(FIG1C, "MORPH author [ !title name publisher [ name ] ]")
+        assert "XM302" not in codes(result)
+        assert find(result, "XM304").severity is Severity.INFO
+        assert result.exit_code() == 0
+
+    def test_narrowing_without_cast_is_spanned_error(self):
+        guard = "MUTATE author.name [ author ]"
+        result = analyze(FIG1A_OPTIONAL_NAME, guard)
+        d = find(result, "XM301")
+        assert d.severity is Severity.ERROR
+        assert "CAST-NARROWING" in d.hint
+        assert guard[d.span.start : d.span.end] in {"author.name", "author"}
+        assert result.exit_code() == 1
+
+    def test_omitted_types_reported_as_info(self):
+        result = analyze(FIG1A, "MORPH author [ name ]")
+        d = find(result, "XM303")
+        assert d.severity is Severity.INFO
+        assert "data.book.title" in d.message
+
+    def test_type_fill_synthesis_reported(self):
+        result = analyze(FIG1A, "TYPE-FILL (MORPH author [ name isbn ])")
+        d = find(result, "XM305")
+        assert "isbn" in d.message
+
+
+class TestLints:
+    def test_duplicate_target_label(self):
+        result = analyze(FIG1A, "MORPH author [ name name ]")
+        d = find(result, "XM401")
+        assert d.severity is Severity.WARNING
+        assert result.exit_code() == 0
+        assert result.exit_code(strict=True) == 2
+
+    def test_redundant_bang(self):
+        result = analyze(FIG1A, "MORPH author [ !name ]")
+        d = find(result, "XM402")
+        assert d.severity is Severity.WARNING
+        assert "MORPH author [ !name ]"[d.span.start : d.span.end].startswith("!")
+
+    def test_needed_bang_not_flagged(self):
+        result = analyze(FIG1C, "MORPH author [ !title name publisher [ name ] ]")
+        assert "XM402" not in codes(result)
+
+    def test_dead_drop_clause(self):
+        result = analyze(FIG1A, "MUTATE (DROP isbn)")
+        d = find(result, "XM403")
+        assert d.severity is Severity.ERROR  # the interpreter would raise too
+
+    def test_live_drop_not_flagged(self):
+        result = analyze(FIG1A, "MUTATE (DROP title)")
+        assert "XM403" not in codes(result)
+
+    def test_redundant_cast(self):
+        result = analyze(FIG1A, "CAST (MORPH author [ name ])")
+        d = find(result, "XM405")
+        assert d.severity is Severity.WARNING
+        assert "CAST" in "CAST (MORPH author [ name ])"[d.span.start : d.span.end]
+
+    def test_needed_cast_not_flagged(self):
+        result = analyze(
+            FIG1C, "CAST-WIDENING (MORPH author [ title name publisher [ name ] ])"
+        )
+        assert "XM405" not in codes(result)
+
+    def test_redundant_type_fill(self):
+        result = analyze(FIG1A, "TYPE-FILL (MORPH author [ name ])")
+        assert find(result, "XM406").severity is Severity.WARNING
+
+
+class TestQueryCompat:
+    def test_query_over_produced_types_is_clean(self):
+        result = analyze(
+            FIG1A,
+            "MORPH author [ name ]",
+            query="for $a in /author return $a/name/text()",
+        )
+        assert "XM404" not in codes(result)
+
+    def test_query_over_dropped_type_warns(self):
+        result = analyze(
+            FIG1A,
+            "MORPH author [ name ]",
+            query="for $a in /author return $a/title/text()",
+        )
+        d = find(result, "XM404")
+        assert d.severity is Severity.WARNING
+        assert d.source_name == "<query>"
+        assert "title" in d.message
+
+    def test_query_syntax_error_is_xm103(self):
+        result = analyze(FIG1A, "MORPH author [ name ]", query="for $a in")
+        d = find(result, "XM103")
+        assert d.severity is Severity.ERROR
+        assert d.source_name == "<query>"
+
+
+class TestResultSurface:
+    def test_sources_mapping(self):
+        result = analyze(FIG1A, "MORPH author [ name ]", query="/author")
+        assert set(result.sources) == {"<guard>", "<query>"}
+
+    def test_render_text_includes_summary_counts(self):
+        result = analyze(FIG1A, "MORPH athor [ name ]")
+        assert "1 error(s)" in result.summary()
+
+    def test_diagnostics_sorted_by_position(self):
+        result = analyze(FIG1A, "MORPH athor [ naem ]")
+        spans = [d.span.start for d in result.diagnostics if d.span is not None]
+        assert spans == sorted(spans)
+
+    def test_interpreter_diagnose_entry_point(self, fig1a):
+        import repro
+
+        result = repro.Interpreter(fig1a).diagnose("MORPH athor [ name ]")
+        assert "XM201" in codes(result)

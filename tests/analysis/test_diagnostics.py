@@ -1,0 +1,136 @@
+"""Tests for Diagnostic objects, spans, and the text/JSON renderers."""
+
+import json
+
+import pytest
+
+from repro.analysis import CODES, Diagnostic, Severity, render_json, render_text
+from repro.analysis.diagnostics import sort_key
+from repro.lang.span import Span, line_column, merge_spans
+
+GUARD = "MORPH athor [ name ]"
+
+
+def diag(code="XM201", severity=Severity.ERROR, span=None, hint=None, **kw):
+    return Diagnostic(
+        code, severity, CODES[code], span=span, hint=hint, **kw
+    )
+
+
+class TestSpan:
+    def test_line_column_basics(self):
+        source = "ab\ncd"
+        assert line_column(source, 0) == (1, 1)
+        assert line_column(source, 1) == (1, 2)
+        assert line_column(source, 3) == (2, 1)
+        assert line_column(source, 4) == (2, 2)
+
+    def test_line_column_clamps(self):
+        assert line_column("ab", 99) == (1, 3)
+        assert line_column("ab", -5) == (1, 1)
+
+    def test_at(self):
+        span = Span.at(GUARD, 6, 11)
+        assert (span.line, span.column) == (1, 7)
+        assert (span.end_line, span.end_column) == (1, 12)
+        assert GUARD[span.start : span.end] == "athor"
+
+    def test_at_multiline(self):
+        source = "MORPH a [\n  b\n]"
+        span = Span.at(source, 12, 15)
+        assert (span.line, span.column) == (2, 3)
+        assert span.end_line == 3
+
+    def test_merge(self):
+        a = Span.at(GUARD, 0, 5)
+        b = Span.at(GUARD, 6, 11)
+        merged = a.merge(b)
+        assert (merged.start, merged.end) == (0, 11)
+        assert merged.column == 1 and merged.end_column == 12
+        # Order-independent.
+        assert b.merge(a) == merged
+
+    def test_merge_containment(self):
+        outer = Span.at(GUARD, 0, 20)
+        inner = Span.at(GUARD, 6, 11)
+        assert outer.merge(inner) == outer
+
+    def test_merge_spans_skips_none(self):
+        span = Span.at(GUARD, 6, 11)
+        assert merge_spans(None, span, None) == span
+        assert merge_spans(None, None) is None
+
+    def test_label(self):
+        assert Span.at(GUARD, 6, 11).label == "1:7-12"
+        assert Span.at(GUARD, 6, 6).label == "1:7"
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic("XM999", Severity.ERROR, "nope")
+
+    def test_every_code_has_a_description(self):
+        for code, description in CODES.items():
+            assert code.startswith("XM") and len(code) == 5
+            assert description
+
+    def test_location_with_span(self):
+        d = diag(span=Span.at(GUARD, 6, 11))
+        assert d.location == "<guard>:1:7"
+        assert str(d).startswith("<guard>:1:7: error[XM201]:")
+
+    def test_location_without_span(self):
+        assert diag().location == "<guard>"
+
+    def test_to_dict(self):
+        d = diag(span=Span.at(GUARD, 6, 11), hint="did you mean 'author'?")
+        payload = d.to_dict()
+        assert payload["code"] == "XM201"
+        assert payload["severity"] == "error"
+        assert payload["span"]["column"] == 7
+        assert payload["hint"] == "did you mean 'author'?"
+
+    def test_severity_rank_orders(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+    def test_sort_key_position_before_severity(self):
+        early_info = diag("XM303", Severity.INFO, span=Span.at(GUARD, 0, 5))
+        late_error = diag("XM201", Severity.ERROR, span=Span.at(GUARD, 6, 11))
+        spanless = diag("XM303", Severity.INFO)
+        ordered = sorted([spanless, late_error, early_info], key=sort_key)
+        assert ordered == [early_info, late_error, spanless]
+
+
+class TestRender:
+    def test_text_has_gutter_and_carets(self):
+        d = diag(span=Span.at(GUARD, 6, 11), hint="did you mean 'author'?")
+        text = render_text([d], {"<guard>": GUARD})
+        assert "  1 | MORPH athor [ name ]" in text
+        assert "    |       ^^^^^" in text
+        assert "  = help: did you mean 'author'?" in text
+
+    def test_text_multiline_span_notes_continuation(self):
+        source = "MORPH a [\n  b\n]"
+        d = diag(span=Span.at(source, 0, len(source)))
+        text = render_text([d], {"<guard>": source})
+        assert "... (continues to line 3)" in text
+
+    def test_text_without_span_is_just_the_message(self):
+        text = render_text([diag()], {"<guard>": GUARD})
+        assert "^" not in text
+        assert "[XM201]" in text
+
+    def test_json_lines_round_trip(self):
+        diagnostics = [
+            diag(span=Span.at(GUARD, 6, 11)),
+            diag("XM303", Severity.INFO),
+        ]
+        lines = render_json(diagnostics).splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["span"]["start"] == 6
+        assert json.loads(lines[1])["span"] is None
+
+    def test_json_empty(self):
+        assert render_json([]) == ""

@@ -1,0 +1,62 @@
+"""Tests for the did-you-mean engine (Damerau-Levenshtein)."""
+
+from repro.analysis import did_you_mean, edit_distance
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance("author", "author") == 0
+
+    def test_substitution(self):
+        assert edit_distance("author", "authar") == 1
+
+    def test_deletion_and_insertion(self):
+        assert edit_distance("athor", "author") == 1
+        assert edit_distance("authorr", "author") == 1
+
+    def test_transposition_counts_once(self):
+        # Plain Levenshtein would say 2; Damerau's adjacent swap is 1.
+        assert edit_distance("auhtor", "author") == 1
+
+    def test_empty_strings(self):
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+
+    def test_limit_bails_early(self):
+        assert edit_distance("a", "zzzzzzzzzz", limit=3) > 3
+
+    def test_symmetric(self):
+        assert edit_distance("publisher", "publsiher") == edit_distance(
+            "publsiher", "publisher"
+        )
+
+
+class TestDidYouMean:
+    CANDIDATES = ["author", "publisher", "title", "name"]
+
+    def test_close_match(self):
+        assert did_you_mean("athor", self.CANDIDATES) == "author"
+
+    def test_transposed(self):
+        assert did_you_mean("auhtor", self.CANDIDATES) == "author"
+
+    def test_no_match_when_far(self):
+        assert did_you_mean("zzzzzz", self.CANDIDATES) is None
+
+    def test_short_labels_need_close_match(self):
+        # For a 3-letter label the threshold is 1.
+        assert did_you_mean("nam", self.CANDIDATES) == "name"
+        assert did_you_mean("nxy", self.CANDIDATES) is None
+
+    def test_exact_case_insensitive_match_is_not_a_suggestion(self):
+        # 'AUTHOR' already matches 'author' (labels are case-insensitive);
+        # suggesting the lowercase spelling would be noise.
+        assert did_you_mean("AUTHOR", self.CANDIDATES) is None
+
+    def test_deterministic_tiebreak(self):
+        # Equidistant candidates resolve alphabetically, not by dict order.
+        assert did_you_mean("bat", ["cat", "bar"]) == "bar"
+        assert did_you_mean("bat", ["bar", "cat"]) == "bar"
+
+    def test_empty_candidates(self):
+        assert did_you_mean("anything", []) is None

@@ -120,3 +120,59 @@ class TestErrors:
         with pytest.raises(GuardSyntaxError) as info:
             tokenize("MORPH {author}")
         assert info.value.position == 6
+
+
+class TestSpans:
+    def test_line_and_column(self):
+        tokens = tokenize("MORPH author [\n  name\n]")
+        morph, author, lbracket, name, rbracket, end = tokens
+        assert (morph.line, morph.column) == (1, 1)
+        assert (author.line, author.column) == (1, 7)
+        assert (lbracket.line, lbracket.column) == (1, 14)
+        assert (name.line, name.column) == (2, 3)
+        assert (rbracket.line, rbracket.column) == (3, 1)
+        assert (end.line, end.column) == (3, 2)
+
+    def test_span_covers_text(self):
+        source = "MORPH author"
+        for token in tokenize(source)[:-1]:
+            assert source[token.span.start : token.span.end] == token.text
+
+    def test_comment_newlines_counted(self):
+        tokens = tokenize("# first line\nMORPH x")
+        assert tokens[0].line == 2
+
+    def test_unexpected_character_span(self):
+        with pytest.raises(GuardSyntaxError) as info:
+            tokenize("MORPH\n  {author}")
+        error = info.value
+        assert (error.line, error.column) == (2, 3)
+        assert "line 2, column 3" in str(error)
+        assert error.span is not None and error.span.end == error.span.start + 1
+
+
+class TestHyphens:
+    def test_interior_hyphen(self):
+        tokens = tokenize("first-name")
+        assert [t.text for t in tokens][:-1] == ["first-name"]
+
+    def test_trailing_hyphen_stays_in_label(self):
+        # Regression: `foo- bar` used to strip the hyphen and then choke
+        # on a stray '-'; the hyphen now simply stays in the label.
+        tokens = tokenize("foo- bar")
+        assert [t.text for t in tokens][:-1] == ["foo-", "bar"]
+        assert [t.type for t in tokens][:-1] == [TokenType.LABEL] * 2
+
+    def test_trailing_hyphen_at_end_of_input(self):
+        tokens = tokenize("foo-")
+        assert [t.text for t in tokens][:-1] == ["foo-"]
+
+    def test_hyphen_before_arrow_still_splits(self):
+        # `x-->y` is the label `x-` followed by the arrow `->`.
+        tokens = tokenize("x-->y")
+        assert [t.type for t in tokens][:-1] == [
+            TokenType.LABEL,
+            TokenType.ARROW,
+            TokenType.LABEL,
+        ]
+        assert tokens[0].text == "x-"

@@ -29,6 +29,47 @@ class TestCommands:
         assert main(["check", doc, "MORPH author [ name ]"]) == 0
         assert "strongly-typed" in capsys.readouterr().out
 
+    def test_check_misspelled_label(self, doc, capsys):
+        assert main(["check", doc, "MORPH athor [ name ]"]) == 1
+        out = capsys.readouterr().out
+        assert "error[XM201]" in out
+        assert "did you mean 'author'" in out
+        assert "^^^^^" in out  # caret excerpt under 'athor'
+
+    def test_check_json_format(self, doc, capsys):
+        import json
+
+        assert main(["check", doc, "MORPH athor [ name ]", "--format=json"]) == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        payloads = [json.loads(line) for line in lines]
+        assert all(
+            {"code", "severity", "message", "span"} <= set(p) for p in payloads
+        )
+        assert any(p["code"] == "XM201" for p in payloads)
+
+    def test_check_strict_promotes_warnings(self, doc, capsys):
+        guard = "MORPH author [ !name ]"  # redundant bang: a warning
+        assert main(["check", doc, guard]) == 0
+        capsys.readouterr()
+        assert main(["check", doc, guard, "--strict"]) == 2
+        assert "warning[XM402]" in capsys.readouterr().out
+
+    def test_check_with_query(self, doc, capsys):
+        code = main(
+            [
+                "check",
+                doc,
+                "MORPH author [ name ]",
+                "--query",
+                "for $a in /author return $a/title/text()",
+                "--strict",
+            ]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "warning[XM404]" in out
+        assert "<query>" in out
+
     def test_transform(self, doc, capsys):
         assert main(["transform", doc, "MORPH author [ name ]"]) == 0
         assert "<author>" in capsys.readouterr().out
@@ -145,7 +186,9 @@ class TestRunAndTrace:
 
     def test_run_bad_guard_reports_error(self, doc, capsys):
         assert main(["run", doc, "MORPH [", "--profile"]) == 1
-        assert "error:" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "error[XM1" in err
+        assert "^" in err  # caret excerpt pointing at the offending token
 
 
 class TestToolingCommands:
@@ -193,7 +236,9 @@ class TestToolingCommands:
 class TestErrors:
     def test_bad_guard_reports_error(self, doc, capsys):
         assert main(["check", doc, "MORPH ["]) == 1
-        assert "error:" in capsys.readouterr().err
+        out = capsys.readouterr().out
+        assert "error[XM1" in out
+        assert "^" in out
 
     def test_lossy_guard_blocked(self, tmp_path, capsys):
         path = tmp_path / "c.xml"

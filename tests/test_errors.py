@@ -38,10 +38,25 @@ class TestMessages:
             repro.parse_document("<a>\n<b>\n</a>")
         assert "line 3" in str(info.value)
 
-    def test_guard_syntax_offset(self):
+    def test_guard_syntax_line_column(self):
         with pytest.raises(errors.GuardSyntaxError) as info:
             repro.parse_guard("MORPH author ]")
-        assert "offset" in str(info.value)
+        assert "line 1, column 14" in str(info.value)
+        assert info.value.position == 13
+        assert info.value.span is not None
+        assert info.value.span.column == 14
+
+    def test_guard_syntax_multiline_line_column(self):
+        with pytest.raises(errors.GuardSyntaxError) as info:
+            repro.parse_guard("MORPH author [\n  name\n  {")
+        assert "line 3, column 3" in str(info.value)
+
+    def test_query_syntax_line_column(self):
+        with pytest.raises(errors.QuerySyntaxError) as info:
+            repro.parse_query("for $a in /author\nreturn $$x")
+        message = str(info.value)
+        assert "line 2" in message
+        assert "offset" not in message
 
     def test_label_mismatch_names_label_and_fix(self, fig1a):
         with pytest.raises(errors.LabelMismatchError) as info:

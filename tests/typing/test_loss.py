@@ -190,3 +190,101 @@ class TestGroundTruthAgainstClosestGraphs:
             n for n in result.forest.iter_nodes() if n.name == "author"
         ]
         assert len(rendered_authors) == 1  # source had two
+
+
+class TestDedupe:
+    """`_dedupe` collapses symmetric pairs; `unaccepted` honours `!`."""
+
+    @staticmethod
+    def finding(kind, a, b, accepted=False):
+        from repro.shape.cardinality import Card
+        from repro.typing.loss import LossFinding
+
+        return LossFinding(
+            kind=kind,
+            source_type=a,
+            target_type=b,
+            source_card=Card(0, 1),
+            predicted_card=Card(1, 1),
+            accepted=accepted,
+        )
+
+    def test_symmetric_pair_collapses(self):
+        from repro.typing.loss import LossReport, _dedupe
+
+        report = LossReport(
+            findings=[
+                self.finding(LossKind.LOST, "a.x", "a.y"),
+                self.finding(LossKind.LOST, "a.y", "a.x"),
+            ]
+        )
+        _dedupe(report)
+        assert len(report.findings) == 1
+        # The first orientation wins.
+        assert report.findings[0].source_type == "a.x"
+
+    def test_different_kinds_not_collapsed(self):
+        from repro.typing.loss import LossReport, _dedupe
+
+        report = LossReport(
+            findings=[
+                self.finding(LossKind.LOST, "a.x", "a.y"),
+                self.finding(LossKind.ADDED, "a.y", "a.x"),
+            ]
+        )
+        _dedupe(report)
+        assert len(report.findings) == 2
+
+    def test_distinct_pairs_survive(self):
+        from repro.typing.loss import LossReport, _dedupe
+
+        report = LossReport(
+            findings=[
+                self.finding(LossKind.LOST, "a.x", "a.y"),
+                self.finding(LossKind.LOST, "a.x", "a.z"),
+                self.finding(LossKind.LOST, "a.y", "a.x"),
+            ]
+        )
+        _dedupe(report)
+        assert len(report.findings) == 2
+
+    def test_dedupe_keeps_accepted_flag_of_first(self):
+        from repro.typing.loss import LossReport, _dedupe
+
+        report = LossReport(
+            findings=[
+                self.finding(LossKind.ADDED, "a.x", "a.y", accepted=True),
+                self.finding(LossKind.ADDED, "a.y", "a.x", accepted=False),
+            ]
+        )
+        _dedupe(report)
+        assert len(report.findings) == 1
+        assert report.findings[0].accepted
+
+    def test_unaccepted_filters_accepted(self):
+        from repro.typing.loss import LossReport
+
+        report = LossReport(
+            findings=[
+                self.finding(LossKind.LOST, "a.x", "a.y", accepted=True),
+                self.finding(LossKind.LOST, "a.x", "a.z", accepted=False),
+            ]
+        )
+        unaccepted = report.unaccepted()
+        assert len(unaccepted) == 1
+        assert unaccepted[0].target_type == "a.z"
+
+    def test_bang_acceptance_reaches_report(self, fig1c):
+        # The widening pair is accepted by `!`, so `unaccepted()` is
+        # empty and enforcement lets the guard through un-CAST.
+        guard = "MORPH author [ !title name publisher [ name ] ]"
+        report = check(fig1c, guard)
+        assert report.guard_type is GuardType.WIDENING
+        assert report.findings  # the ADDED findings are still reported...
+        assert all(f.accepted for f in report.findings)
+        assert report.unaccepted() == []  # ...but all accepted
+
+    def test_unaccepted_bang_free_guard_keeps_findings(self, fig1c):
+        guard = "MORPH author [ title name publisher [ name ] ]"
+        report = check(fig1c, guard)
+        assert report.unaccepted() == report.findings != []
