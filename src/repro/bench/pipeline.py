@@ -1,0 +1,145 @@
+"""Repeated-guard pipeline benchmark: cold versus warm caches.
+
+The plan cache (``repro.cache``) and the closest-join memos exist for
+exactly one workload: the same guard evaluated again over an unchanged
+document.  This module measures that workload — one *cold* transform
+(every cache dropped first: buffer pool, type sequences, join memos,
+compiled plans) against ``repeat`` *warm* transforms — and writes the
+results as ``BENCH_pipeline.json`` (schema ``xmorph-bench-pipeline/v1``)
+for the repo's perf trajectory.
+
+Reused via ``xmorph bench`` (:mod:`repro.cli`) and the CI bench-smoke
+job; see ``docs/PERFORMANCE.md`` for the file schema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Optional
+
+from repro.storage.database import Database
+from repro.workloads.dblp import generate_dblp
+
+SCHEMA = "xmorph-bench-pipeline/v1"
+
+#: Guards covering the paths the caches accelerate: a plain MORPH, a
+#: deep nesting, and a RESTRICT semi-join.
+DEFAULT_GUARDS = {
+    "medium": "CAST MORPH author [ title [ year ] ]",
+    "large": "CAST MORPH dblp [ author [ title [ year [ pages ] url ] ] ]",
+    "restrict": "CAST MORPH (RESTRICT year [ ee ])",
+}
+
+
+def _timed_transform(db: Database, name: str, guard: str) -> dict:
+    """One transform with wall/simulated/block deltas."""
+    sim_start = db.stats.simulated_seconds
+    blocks_start = db.stats.cumulative_blocks
+    wall_start = time.perf_counter()
+    result = db.transform(name, guard)
+    wall = time.perf_counter() - wall_start
+    return {
+        "wall_seconds": wall,
+        "simulated_seconds": db.stats.simulated_seconds - sim_start,
+        "blocks": db.stats.cumulative_blocks - blocks_start,
+        "compile_seconds": result.compile_seconds,
+        "render_seconds": result.render_seconds,
+        "nodes_written": result.rendered.nodes_written if result.rendered else 0,
+    }
+
+
+def repeated_guard_bench(
+    db: Database, name: str, guard: str, repeat: int = 5
+) -> dict:
+    """Cold-vs-warm timing of one guard repeated over one stored document.
+
+    The cold run pays index load, compile and render from an empty
+    cache; the warm runs hit the plan cache (skipping lexer → parser →
+    typing → algebra) and the join memos.  Returns a dict ready for the
+    ``BENCH_pipeline.json`` ``guards`` list.
+    """
+    db.drop_cache()  # buffer pool, sequences, join memos, compiled plans
+    plan_stats_before = db.plan_cache.stats()
+    cold = _timed_transform(db, name, guard)
+    warm_runs = [_timed_transform(db, name, guard) for _ in range(repeat)]
+    plan_stats = db.plan_cache.stats()
+
+    warm_wall = [run["wall_seconds"] for run in warm_runs]
+    warm_mean = sum(warm_wall) / len(warm_wall) if warm_wall else 0.0
+    warm_best = min(warm_wall) if warm_wall else 0.0
+    return {
+        "guard": guard,
+        "repeat": repeat,
+        "cold": cold,
+        "warm": {
+            "wall_seconds_mean": warm_mean,
+            "wall_seconds_best": warm_best,
+            "wall_seconds": warm_wall,
+            "simulated_seconds": sum(r["simulated_seconds"] for r in warm_runs),
+            "blocks": sum(r["blocks"] for r in warm_runs),
+        },
+        "speedup_wall_mean": cold["wall_seconds"] / warm_mean if warm_mean else 0.0,
+        "speedup_wall_best": cold["wall_seconds"] / warm_best if warm_best else 0.0,
+        "plan_cache": {
+            "hits": plan_stats["hits"] - plan_stats_before["hits"],
+            "misses": plan_stats["misses"] - plan_stats_before["misses"],
+        },
+    }
+
+
+def run_pipeline_bench(
+    output_path: Optional[str] = None,
+    publications: int = 800,
+    repeat: int = 5,
+    guards: Optional[dict[str, str]] = None,
+    db_path: Optional[str] = None,
+) -> dict:
+    """Run the repeated-guard benchmark over a generated DBLP slice.
+
+    Stores the workload into ``db_path`` (a throwaway temp store when
+    omitted), benches every guard, and writes the report to
+    ``output_path`` when given.  Returns the report dict.
+    """
+    guards = guards or DEFAULT_GUARDS
+    scratch: Optional[tempfile.TemporaryDirectory] = None
+    if db_path is None:
+        scratch = tempfile.TemporaryDirectory(prefix="xmorph-bench-")
+        db_path = os.path.join(scratch.name, "bench.db")
+    try:
+        db = Database(db_path, durable=False)
+        try:
+            forest = generate_dblp(publications)
+            descriptor = db.store_document("dblp", forest)
+            report = {
+                "schema": SCHEMA,
+                "generated_unix": int(time.time()),
+                "workload": {
+                    "generator": "dblp",
+                    "publications": publications,
+                    "seed": 42,
+                    "nodes": descriptor["nodes"],
+                    "shape_fingerprint": descriptor["shape_fingerprint"],
+                },
+                "repeat": repeat,
+                "guards": [
+                    repeated_guard_bench(db, "dblp", guard, repeat=repeat)
+                    for guard in guards.values()
+                ],
+            }
+            report["plan_cache"] = db.plan_cache.stats()
+            report["max_speedup_wall_mean"] = max(
+                (g["speedup_wall_mean"] for g in report["guards"]), default=0.0
+            )
+        finally:
+            db.close()
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    if output_path:
+        with open(output_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    return report

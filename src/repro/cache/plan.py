@@ -1,0 +1,152 @@
+"""The compiled-guard plan cache.
+
+Everything the pipeline produces *before* rendering — the target shape,
+the loss report, the evaluation — depends only on the guard text and the
+document's adorned shape, never on the data.  That is the paper's
+architectural asymmetry ("prior to rendering, only the adorned shapes
+... are needed"), and it makes compiled plans safely reusable: two
+documents with byte-identical shape descriptors compile every guard to
+the same plan, and a document whose shape has not changed can skip the
+lexer → parser → typing → algebra stages entirely on a repeat guard.
+
+:func:`shape_fingerprint` turns a shape descriptor (the ``types`` /
+``edges`` / ``counts`` dict the shredder stores) into a short stable
+hash; :class:`PlanCache` is an LRU of :class:`CompiledPlan` entries
+keyed by ``(guard text, fingerprint)``.  Hits, misses and evictions are
+counted both on the cache object and as ``plan_cache.*`` metrics on the
+current tracer, so ``EXPLAIN ANALYZE`` shows them.
+
+Cached plans are shared between calls: treat the ``target_shape``,
+``loss`` and ``evaluation`` of a cached result as immutable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs import tracer as obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algebra.semantics import EvaluationResult
+    from repro.engine.interpreter import TransformResult
+    from repro.shape.shape import Shape
+    from repro.typing.loss import LossReport
+
+
+def shape_fingerprint(descriptor: dict) -> str:
+    """A short, stable hash of a document's adorned-shape descriptor.
+
+    The descriptor is the ``{"types": ..., "edges": ..., "counts": ...}``
+    dict the shredder writes (:func:`repro.storage.shredder.shred`);
+    canonical JSON makes the fingerprint independent of dict ordering,
+    so a descriptor decoded from storage hashes identically to the one
+    computed at shred time.
+    """
+    canonical = json.dumps(descriptor, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledPlan:
+    """One guard's compilation artifacts, reusable across renders."""
+
+    guard: str
+    fingerprint: str
+    target_shape: "Shape"
+    loss: "LossReport"
+    evaluation: "EvaluationResult"
+    compile_seconds: float
+
+    @classmethod
+    def from_result(cls, result: "TransformResult", fingerprint: str) -> "CompiledPlan":
+        return cls(
+            guard=result.guard,
+            fingerprint=fingerprint,
+            target_shape=result.target_shape,
+            loss=result.loss,
+            evaluation=result.evaluation,
+            compile_seconds=result.compile_seconds,
+        )
+
+    def to_result(self) -> "TransformResult":
+        """A fresh :class:`TransformResult` over the shared artifacts."""
+        from repro.engine.interpreter import TransformResult
+
+        return TransformResult(
+            guard=self.guard,
+            target_shape=self.target_shape,
+            loss=self.loss,
+            evaluation=self.evaluation,
+            compile_seconds=self.compile_seconds,
+        )
+
+
+class PlanCache:
+    """An LRU cache of :class:`CompiledPlan` keyed by (guard, fingerprint).
+
+    ``capacity <= 0`` disables the cache (every lookup misses, nothing
+    is retained) — the ``Database(cache_plans=0)`` knob.
+    """
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._plans: OrderedDict[tuple[str, str], CompiledPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._plans
+
+    def get(self, guard: str, fingerprint: str) -> Optional[CompiledPlan]:
+        plan = self._plans.get((guard, fingerprint))
+        if plan is None:
+            self.misses += 1
+            obs.count("plan_cache.misses")
+            return None
+        self.hits += 1
+        obs.count("plan_cache.hits")
+        self._plans.move_to_end((guard, fingerprint))
+        return plan
+
+    def put(self, plan: CompiledPlan) -> None:
+        if self.capacity <= 0:
+            return
+        key = (plan.guard, plan.fingerprint)
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+            obs.count("plan_cache.evictions")
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every plan compiled against one shape fingerprint."""
+        victims = [key for key in self._plans if key[1] == fingerprint]
+        for key in victims:
+            del self._plans[key]
+        self.invalidations += len(victims)
+        if victims:
+            obs.count("plan_cache.invalidations", len(victims))
+        return len(victims)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._plans),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

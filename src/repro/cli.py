@@ -188,6 +188,30 @@ def _build_parser() -> argparse.ArgumentParser:
     explain.add_argument("guard")
     explain.set_defaults(handler=_cmd_explain)
 
+    bench = commands.add_parser(
+        "bench",
+        help="repeated-guard pipeline benchmark (cold vs warm caches)",
+    )
+    bench.add_argument(
+        "--publications", type=int, default=800, help="DBLP slice size (records)"
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=5, help="warm runs per guard"
+    )
+    bench.add_argument(
+        "--output",
+        "-o",
+        default="BENCH_pipeline.json",
+        help="where to write the JSON report ('-' for stdout only)",
+    )
+    bench.add_argument(
+        "--guard",
+        action="append",
+        default=None,
+        help="bench this guard instead of the defaults (repeatable)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
+
     return parser
 
 
@@ -406,6 +430,38 @@ def _cmd_explain(arguments) -> int:
     from repro.engine.explain import explain_guard
 
     print(explain_guard(arguments.guard))
+    return 0
+
+
+def _cmd_bench(arguments) -> int:
+    import json as json_module
+
+    from repro.bench.pipeline import run_pipeline_bench
+
+    guards = None
+    if arguments.guard:
+        guards = {f"guard{i}": g for i, g in enumerate(arguments.guard)}
+    output = None if arguments.output == "-" else arguments.output
+    report = run_pipeline_bench(
+        output_path=output,
+        publications=arguments.publications,
+        repeat=arguments.repeat,
+        guards=guards,
+    )
+    for entry in report["guards"]:
+        print(
+            f"{entry['guard']}\n"
+            f"  cold  {entry['cold']['wall_seconds'] * 1000:8.2f} ms"
+            f"  ({entry['cold']['blocks']} blocks)\n"
+            f"  warm  {entry['warm']['wall_seconds_mean'] * 1000:8.2f} ms mean"
+            f"  over {entry['repeat']} runs"
+            f"  ({entry['plan_cache']['hits']} plan-cache hits)\n"
+            f"  speedup {entry['speedup_wall_mean']:.1f}x"
+        )
+    if output is None:
+        print(json_module.dumps(report, indent=2))
+    else:
+        print(f"wrote {output}")
     return 0
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from repro.obs import tracer as obs
 from repro.shape.dataguide import DataGuideBuilder
 from repro.shape.shape import Shape
 from repro.shape.types import DataType, ShapeType, TypeTable
@@ -38,10 +39,25 @@ class BaseIndex:
     implementation with *exact* data type distances; the storage-backed
     :class:`~repro.storage.database.StoredDocumentIndex` reuses the same
     joins with shape-derived distances.
+
+    The base also memoizes per-type-pair closest-join maps
+    (:meth:`closest_pair_map`) and RESTRICT semi-join survivor sets
+    (:meth:`restrict_pass`), shared by the batch and streaming
+    renderers.  Both memos key on data only (type ids, filter vertex
+    uids) and must be dropped together with the node sequences
+    (:meth:`drop_join_cache`).
     """
 
     shape: Shape
     type_table: TypeTable
+
+    def __init__(self) -> None:
+        #: (anchor type_id, partner type_id) -> {id(anchor node): [partners]}
+        self._pair_maps: dict[tuple[int, int], dict[int, list[XmlNode]]] = {}
+        #: (type_id, filter vertex uid) -> ids of nodes passing the filter
+        self._filter_memo: dict[tuple[int, int], set[int]] = {}
+        self.join_cache_hits = 0
+        self.join_cache_misses = 0
 
     # Subclass responsibilities ------------------------------------------------
 
@@ -82,7 +98,7 @@ class BaseIndex:
         Dewey prefix of the required LCA level and pairing within equal
         groups costs a single merge pass plus the output size.
         """
-        if first is second:
+        if first == second:
             return
         level = self.closest_lca_level(first, second)
         if level is None:
@@ -90,6 +106,100 @@ class BaseIndex:
         yield from closest_join(
             self.nodes_of(first), self.nodes_of(second), level
         )
+
+    def closest_pair_map(
+        self, first: DataType, second: DataType
+    ) -> dict[int, list[XmlNode]]:
+        """Memoized full closest join, grouped by ``first``-typed anchor.
+
+        Returns ``{id(anchor): [partners in document order]}`` over the
+        *complete* type sequences.  Because each anchor's partner list
+        depends only on that anchor's Dewey prefix, the full map serves
+        any subset of anchors — this is what lets the batch and
+        streaming renderers share one join per shape edge.  Callers
+        must treat the returned map and its lists as immutable.
+        """
+        key = (first.type_id, second.type_id)
+        cached = self._pair_maps.get(key)
+        if cached is not None:
+            self.join_cache_hits += 1
+            obs.count("join_cache.hits")
+            return cached
+        self.join_cache_misses += 1
+        obs.count("join_cache.misses")
+        mapping: dict[int, list[XmlNode]] = {}
+        level = self.closest_lca_level(first, second)
+        if level is not None:
+            for anchor, partner in closest_join(
+                self.nodes_of(first), self.nodes_of(second), level
+            ):
+                mapping.setdefault(id(anchor), []).append(partner)
+        self._pair_maps[key] = mapping
+        return mapping
+
+    def restrict_pass(
+        self, nodes: list[XmlNode], data_type: DataType, filter_shape: Shape
+    ) -> list[XmlNode]:
+        """The subset of ``nodes`` passing a RESTRICT filter shape.
+
+        A node passes when, for every source-backed child of the filter
+        vertex, it has at least one closest partner that itself passes
+        the child's sub-filter.  Instead of scanning the partner type
+        sequence per node (O(n·m)), survivors are computed bottom-up per
+        filter edge with one hash grouping on the closest-LCA Dewey
+        prefix (O(n+m)), and memoized per (type, filter vertex) pair.
+        """
+        root = filter_shape.roots()[0]
+        allowed = self._filter_survivors(data_type, filter_shape, root)
+        return [node for node in nodes if id(node) in allowed]
+
+    def _filter_survivors(
+        self, data_type: DataType, filter_shape: Shape, vertex: ShapeType
+    ) -> set[int]:
+        key = (data_type.type_id, vertex.uid)
+        cached = self._filter_memo.get(key)
+        if cached is not None:
+            return cached
+        survivors = list(self.nodes_of(data_type))
+        for child in filter_shape.children(vertex):
+            if child.source is None or not survivors:
+                continue
+            partner_ok = self._filter_survivors(child.source, filter_shape, child)
+            level = self.closest_lca_level(data_type, child.source)
+            if level is None:
+                survivors = []
+                break
+            width = level + 1
+            # prefix -> (group size, id of the last member); a survivor
+            # needs a non-empty group that is not just itself (the
+            # closest join never pairs a node with itself).
+            groups: dict[tuple[int, ...], tuple[int, int]] = {}
+            for partner in self.nodes_of(child.source):
+                if id(partner) not in partner_ok or len(partner.dewey) < width:
+                    continue
+                prefix = partner.dewey.prefix(width)
+                count, _ = groups.get(prefix, (0, 0))
+                groups[prefix] = (count + 1, id(partner))
+            kept = []
+            for node in survivors:
+                if len(node.dewey) < width:
+                    continue
+                entry = groups.get(node.dewey.prefix(width))
+                if entry is None:
+                    continue
+                count, sole = entry
+                if count == 1 and sole == id(node):
+                    continue
+                kept.append(node)
+            survivors = kept
+        result = {id(node) for node in survivors}
+        self._filter_memo[key] = result
+        return result
+
+    def drop_join_cache(self) -> None:
+        """Forget memoized joins/filters (on node sequence invalidation)."""
+        self._pair_maps.clear()
+        self._filter_memo.clear()
 
     def closest_partners(self, anchor: XmlNode, target: DataType) -> list[XmlNode]:
         """The ``target``-typed nodes closest to one ``anchor`` node."""
@@ -111,6 +221,7 @@ class DocumentIndex(BaseIndex):
     """In-memory index of one XML forest, with exact type distances."""
 
     def __init__(self, forest: XmlForest):
+        super().__init__()
         self.forest = forest
         builder = DataGuideBuilder().build(forest)
         self.shape: Shape = builder.shape
@@ -151,8 +262,13 @@ class DocumentIndex(BaseIndex):
 
         ``None`` when no pair of instances shares a root (possible in a
         multi-rooted forest).  ``type_distance(t, t)`` is 0.
+
+        ``DataType`` is value-equal, so the self-distance shortcut (and
+        every join-path comparison) uses ``==`` rather than identity:
+        cached plans may carry equal-but-distinct instances from an
+        earlier index epoch.
         """
-        if first is second:
+        if first == second:
             return 0
         key = (first, second) if first.type_id <= second.type_id else (second, first)
         if key in self._distance_cache:

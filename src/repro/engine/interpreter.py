@@ -110,7 +110,22 @@ class Interpreter:
 
     def transform(self, guard: str) -> TransformResult:
         """Compile, enforce, and render a guard (Ψ⟦P⟧ = render(G, ξ⟦P⟧(S)))."""
-        result = self.compile(guard)
+        return self.render_compiled(self.compile(guard))
+
+    def render_compiled(self, compiled: TransformResult) -> TransformResult:
+        """Render an already-compiled guard (possibly from a plan cache).
+
+        The compile artifacts (target shape, loss, evaluation) are
+        shared with ``compiled``; only the render output is fresh, so a
+        cached plan can be re-rendered any number of times.
+        """
+        result = TransformResult(
+            guard=compiled.guard,
+            target_shape=compiled.target_shape,
+            loss=compiled.loss,
+            evaluation=compiled.evaluation,
+            compile_seconds=compiled.compile_seconds,
+        )
         with obs.span("pipeline.render") as render_span:
             result.rendered = render(result.target_shape, self.index)
         result.render_seconds = render_span.duration

@@ -123,6 +123,15 @@ class ProfileReport:
                 f"wait={self.storage['wait_percent']:.0f}% "
                 f"buffer_hit_ratio={self.storage['buffer_hit_ratio']:.2f}"
             )
+            plan_cache = self.storage.get("plan_cache")
+            if plan_cache is not None:
+                lines.append(
+                    "plan cache: "
+                    f"entries={plan_cache['entries']} "
+                    f"hits={plan_cache['hits']} "
+                    f"misses={plan_cache['misses']} "
+                    f"evictions={plan_cache['evictions']}"
+                )
         return "\n".join(lines)
 
     def span_tree(self) -> str:
@@ -166,6 +175,7 @@ def profile_db_transform(database, name: str, guard: str) -> ProfileReport:
             "wait_percent": stats.wait_percent,
             "available_memory": stats.available_memory,
             "buffer_hit_ratio": database.pool.hit_ratio,
+            "plan_cache": database.plan_cache.stats(),
         },
     )
 
@@ -191,6 +201,7 @@ def profile_document(xml_text: str, guard: str) -> ProfileReport:
                 "wait_percent": database.stats.wait_percent,
                 "available_memory": database.stats.available_memory,
                 "buffer_hit_ratio": database.pool.hit_ratio,
+                "plan_cache": database.plan_cache.stats(),
             }
         finally:
             database.close()

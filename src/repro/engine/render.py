@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.closeness.index import DocumentIndex, closest_join
+from repro.closeness.index import DocumentIndex
 from repro.obs import tracer as obs
 from repro.shape.shape import Shape
 from repro.shape.types import ShapeType
@@ -112,7 +112,9 @@ class _Renderer:
         nodes = self.index.nodes_of(shape_type.source)
         self.result.nodes_read += len(nodes)
         if shape_type.restrict_filter is not None:
-            nodes = self._apply_filter(nodes, shape_type.restrict_filter)
+            nodes = self.index.restrict_pass(
+                nodes, shape_type.source, shape_type.restrict_filter
+            )
         return nodes
 
     def _root_instances(self, root: ShapeType) -> list[_Instance]:
@@ -185,6 +187,11 @@ class _Renderer:
         if not anchors or not candidates:
             return {}
         self.result.joins += 1
+        # A RESTRICT filter shrinks the candidate set below the full type
+        # sequence the memoized join was built over; intersect per anchor.
+        allowed: Optional[set[int]] = None
+        if child_type.restrict_filter is not None:
+            allowed = {id(node) for node in candidates}
         with obs.span("render.join", child=child_type.out_name) as join_span:
             # If every anchor has the same type (the normal case) one join
             # level serves all; otherwise group anchors per type.
@@ -194,17 +201,22 @@ class _Renderer:
                 by_type.setdefault(self.index.type_of(anchor).type_id, []).append(anchor)
             for type_id, typed_anchors in by_type.items():
                 anchor_type = self.index.type_table.by_id(type_id)
-                if anchor_type is child_type.source:
+                if anchor_type == child_type.source:
                     # Wrapping a node of the same type: the anchor is its own
                     # closest partner.
                     for anchor in typed_anchors:
                         pair_map.setdefault(id(anchor), []).append(anchor)
                     continue
-                level = self.index.closest_lca_level(anchor_type, child_type.source)
-                if level is None:
-                    continue
-                for anchor, node in closest_join(typed_anchors, candidates, level):
-                    pair_map.setdefault(id(anchor), []).append(node)
+                full = self.index.closest_pair_map(anchor_type, child_type.source)
+                for anchor in typed_anchors:
+                    matched = full.get(id(anchor))
+                    if not matched:
+                        continue
+                    if allowed is not None:
+                        matched = [node for node in matched if id(node) in allowed]
+                        if not matched:
+                            continue
+                    pair_map[id(anchor)] = matched
         if obs.enabled():
             # The merge pass touches each input sequence once (Section VII).
             obs.count("join.comparisons", len(anchors) + len(candidates))
@@ -271,23 +283,3 @@ class _Renderer:
             produced.append(instance)
         if produced:
             self._attach_children(child_type, produced)
-
-    # -- RESTRICT semi-join ------------------------------------------------------
-
-    def _apply_filter(self, nodes: list[XmlNode], filter_shape: Shape) -> list[XmlNode]:
-        """Keep nodes that have a closest partner for every filter child."""
-        root = filter_shape.roots()[0]
-        return [node for node in nodes if self._passes(node, filter_shape, root)]
-
-    def _passes(self, node: XmlNode, filter_shape: Shape, vertex: ShapeType) -> bool:
-        for child in filter_shape.children(vertex):
-            if child.source is None:
-                continue
-            partners = [
-                partner
-                for partner in self.index.closest_partners(node, child.source)
-                if self._passes(partner, filter_shape, child)
-            ]
-            if not partners:
-                return False
-        return True

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from io import StringIO
 from typing import Optional, TextIO
 
-from repro.closeness.index import BaseIndex, closest_join
+from repro.closeness.index import BaseIndex
 from repro.shape.shape import Shape
 from repro.shape.types import ShapeType
 from repro.xmltree.node import XmlNode
@@ -87,9 +87,29 @@ class _StreamRenderer:
                 return found
         return None
 
-    def _prepare_edges(self, parent: ShapeType) -> None:
-        parent_anchor = self._anchor_type(parent)
+    def _is_placeholder(self, shape_type: ShapeType) -> bool:
+        """TYPE-FILLed types rendered as empty placeholders.
+
+        Mirrors the batch renderer's dispatch exactly: a synthesized
+        type with no source *or* with a source whose node sequence is
+        empty renders one placeholder element per parent instance.
+        """
+        return shape_type.synthesized and (
+            shape_type.source is None or not self.index.nodes_of(shape_type.source)
+        )
+
+    def _prepare_edges(
+        self, parent: ShapeType, parent_anchor: Optional[ShapeType] = None
+    ) -> None:
+        if parent_anchor is None:
+            parent_anchor = self._anchor_type(parent)
         for child in self.shape.children(parent):
+            if self._is_placeholder(child):
+                # Placeholder instances inherit the parent's anchor (the
+                # batch renderer carries ``parent.anchor`` through), so
+                # their children join against the parent's anchor type.
+                self._prepare_edges(child, parent_anchor)
+                continue
             child_anchor = self._anchor_type(child)
             if parent_anchor is not None and child_anchor is not None:
                 self._join_edge(parent_anchor, child, child_anchor)
@@ -98,12 +118,10 @@ class _StreamRenderer:
     def _join_edge(
         self, parent_anchor: ShapeType, child: ShapeType, child_anchor: ShapeType
     ) -> None:
-        parents = self._filtered_nodes(parent_anchor)
-        candidates = self._filtered_nodes(child_anchor)
         mapping: dict[int, list[XmlNode]] = {}
-        if parent_anchor.source is child_anchor.source:
+        if parent_anchor.source == child_anchor.source:
             # Wrapping/self case: each anchor partners itself.
-            for node in parents:
+            for node in self._filtered_nodes(parent_anchor):
                 mapping[id(node)] = [node]
         else:
             level = self.index.closest_lca_level(
@@ -111,8 +129,17 @@ class _StreamRenderer:
             )
             if level is not None:
                 self.stats.joins += 1
-                for anchor, partner in closest_join(parents, candidates, level):
-                    mapping.setdefault(id(anchor), []).append(partner)
+                full = self.index.closest_pair_map(
+                    parent_anchor.source, child_anchor.source
+                )
+                if child_anchor.restrict_filter is None:
+                    mapping = full  # shared with the index memo; read-only
+                else:
+                    allowed = {id(n) for n in self._filtered_nodes(child_anchor)}
+                    for anchor_id, partners in full.items():
+                        kept = [p for p in partners if id(p) in allowed]
+                        if kept:
+                            mapping[anchor_id] = kept
         self._partners[child.uid] = mapping
 
     def _filtered_nodes(self, shape_type: ShapeType) -> list[XmlNode]:
@@ -120,21 +147,7 @@ class _StreamRenderer:
         restriction = shape_type.restrict_filter
         if restriction is None:
             return nodes
-        root = restriction.roots()[0]
-        return [node for node in nodes if self._passes(node, restriction, root)]
-
-    def _passes(self, node: XmlNode, restriction: Shape, vertex: ShapeType) -> bool:
-        for child in restriction.children(vertex):
-            if child.source is None:
-                continue
-            partners = [
-                partner
-                for partner in self.index.closest_partners(node, child.source)
-                if self._passes(partner, restriction, child)
-            ]
-            if not partners:
-                return False
-        return True
+        return self.index.restrict_pass(nodes, shape_type.source, restriction)
 
     def _root_anchors(self, root: ShapeType) -> list[XmlNode]:
         anchor_type = self._anchor_type(root)
@@ -146,21 +159,36 @@ class _StreamRenderer:
 
     # -- emission ----------------------------------------------------------------
 
-    def _emit(self, shape_type: ShapeType, anchor: Optional[XmlNode], depth: int) -> None:
-        """Serialize one instance of ``shape_type`` anchored at ``anchor``."""
+    def _emit(
+        self,
+        shape_type: ShapeType,
+        anchor: Optional[XmlNode],
+        depth: int,
+        placeholder: bool = False,
+    ) -> None:
+        """Serialize one instance of ``shape_type`` anchored at ``anchor``.
+
+        ``placeholder`` marks a TYPE-FILL instance: it carries the
+        parent's anchor for its children's joins but contributes no text
+        of its own.
+        """
         self.stats.nodes_written += 1
         pad = "" if self.indent is None else " " * (self.indent * depth)
         name = shape_type.out_name
         self._write(f"{pad}<{name}")
 
         attribute_children: list[tuple[ShapeType, list[XmlNode]]] = []
-        element_children: list[tuple[ShapeType, list[Optional[XmlNode]]]] = []
+        element_children: list[tuple[ShapeType, list[Optional[XmlNode]], bool]] = []
         for child in self.shape.children(shape_type):
+            if self._is_placeholder(child):
+                # One placeholder per parent instance, inheriting the anchor.
+                element_children.append((child, [anchor], True))
+                continue
             partners = self._child_partners(child, anchor)
             if child.source is not None and partners and partners[0] is not None and partners[0].is_attribute:
                 attribute_children.append((child, partners))
             else:
-                element_children.append((child, partners))
+                element_children.append((child, partners, False))
 
         for child, partners in attribute_children:
             for partner in partners:
@@ -168,10 +196,10 @@ class _StreamRenderer:
                 self._write(f' {child.out_name}="{escape_attr(partner.text)}"')
 
         own_text = ""
-        if anchor is not None and shape_type.source is not None:
+        if not placeholder and anchor is not None and shape_type.source is not None:
             own_text = anchor.text if self.indent is None else anchor.text.strip()
 
-        has_elements = any(partners for _, partners in element_children)
+        has_elements = any(partners for _, partners, _ in element_children)
         if not own_text and not has_elements:
             self._write("/>")
             return
@@ -179,11 +207,11 @@ class _StreamRenderer:
         if own_text:
             self._write(escape_text(own_text))
         if has_elements:
-            for child, partners in element_children:
+            for child, partners, child_is_placeholder in element_children:
                 for partner in partners:
                     if self.indent is not None:
                         self._write("\n")
-                    self._emit(child, partner, depth + 1)
+                    self._emit(child, partner, depth + 1, child_is_placeholder)
             if self.indent is not None:
                 self._write("\n" + pad)
         self._write(f"</{name}>")
@@ -201,8 +229,8 @@ class _StreamRenderer:
             if anchor is None:
                 return list(self.index.nodes_of(leading.source))
             return list(mapping.get(id(anchor), ()))
-        if child.synthesized and child.source is None:
-            return [None]
+        if self._is_placeholder(child):
+            return [anchor]
         mapping = self._partners.get(child.uid, {})
         if anchor is None:
             return self._filtered_nodes(child)

@@ -49,7 +49,13 @@ class Journal:
         blob += _SEAL
         fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
         try:
-            os.write(fd, bytes(blob))
+            # A single os.write may be short on large batches; the batch
+            # is only durable once every byte (including the seal) is
+            # down, so loop until the whole blob is written.
+            remaining = memoryview(bytes(blob))
+            while remaining:
+                written = os.write(fd, remaining)
+                remaining = remaining[written:]
             os.fsync(fd)
         finally:
             os.close(fd)

@@ -2,8 +2,10 @@
 
 All persistent data lives in fixed-size pages of one file per database.
 The buffer pool caches pages, tracks dirty state and evicts
-least-recently-used pages, writing them back; every physical page read
-or write is reported to :class:`~repro.storage.stats.SystemStats`.
+least-recently-used *clean* pages; dirty pages stay pinned until the
+next :meth:`BufferPool.flush` commits them as one journaled batch.
+Every physical page read or write is reported to
+:class:`~repro.storage.stats.SystemStats`.
 This is the layer where the paper's block-I/O numbers (Figures 11–12)
 come from.
 """
@@ -83,8 +85,9 @@ class BufferPool:
         self.file = file
         self.capacity = capacity
         #: Optional :class:`repro.storage.journal.Journal`: when set,
-        #: every write-back (flush batch or dirty eviction) is recorded
-        #: in the write-ahead journal before touching the main file.
+        #: every flush batch is recorded in the write-ahead journal
+        #: before touching the main file (evictions never write back —
+        #: dirty pages are pinned until the next flush).
         self.journal = journal
         self._pages: OrderedDict[int, bytearray] = OrderedDict()
         self._dirty: set[int] = set()
@@ -163,13 +166,24 @@ class BufferPool:
         self._pages.move_to_end(page_id)
         self.stats.allocate(PAGE_SIZE)
         while len(self._pages) > self.capacity:
-            victim, buffer = self._pages.popitem(last=False)
-            if victim in self._dirty:
-                if self.journal is not None:
-                    self.journal.write({victim: bytes(buffer)})
-                self.file.write_page(victim, bytes(buffer))
-                self._dirty.discard(victim)
-                if self.journal is not None:
-                    self.file.sync()
-                    self.journal.clear()
+            # Dirty pages are pinned: evicting one would have to write it
+            # back alone, while its co-dirty siblings stay unjournaled —
+            # breaking the journal's all-or-nothing batch promise.  Evict
+            # the least-recently-used *clean* page instead; when the pool
+            # is all-dirty, commit the whole batch first (one journaled
+            # flush), which also cleans every page.
+            victim = self._clean_victim(page_id)
+            if victim is None:
+                self.flush()
+                victim = self._clean_victim(page_id)
+                if victim is None:
+                    break  # only the just-installed page is resident
+            del self._pages[victim]
             self.stats.release(PAGE_SIZE)
+
+    def _clean_victim(self, keep: int) -> Optional[int]:
+        """The least-recently-used clean page other than ``keep``."""
+        for page_id in self._pages:
+            if page_id != keep and page_id not in self._dirty:
+                return page_id
+        return None

@@ -9,6 +9,7 @@ excludes it from the transformation timings, as do our benchmarks.
 
 from __future__ import annotations
 
+from repro.cache import shape_fingerprint
 from repro.obs import tracer as obs
 from repro.shape.dataguide import DataGuideBuilder
 from repro.storage.btree import BPlusTree
@@ -52,12 +53,17 @@ def shred(tree: BPlusTree, doc_id: int, name: str, forest: XmlForest) -> dict:
         obs.count("shred.text_bytes", text_bytes)
         shred_span.annotate(nodes=node_count, text_bytes=text_bytes)
 
+    shape_descriptor = _shape_descriptor(builder)
     descriptor = {
         "doc_id": doc_id,
         "name": name,
         "nodes": node_count,
         "text_bytes": text_bytes,
-        "shape": _shape_descriptor(builder),
+        "shape": shape_descriptor,
+        # Keys the plan cache: documents with identical adorned shapes
+        # hash identically (the descriptor is pure lists/str-keyed
+        # dicts, so the hash survives the JSON round-trip to storage).
+        "shape_fingerprint": shape_fingerprint(shape_descriptor),
         "shred_seconds": shred_span.duration,
     }
     shape_chunks = tables.encode_shape(descriptor["shape"])

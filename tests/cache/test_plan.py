@@ -1,0 +1,205 @@
+"""Tests for the compiled-guard plan cache (repro.cache)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cache import CompiledPlan, PlanCache, shape_fingerprint
+from repro.engine.profile import profile_db_transform
+from repro.errors import StorageError
+from repro.storage import Database
+from repro.workloads import generate_dblp
+
+from tests.conftest import FIG1A, FIG1B
+
+GUARD = "MORPH author [ name book [ title ] ]"
+
+
+class TestShapeFingerprint:
+    DESCRIPTOR = {
+        "types": [[0, ["data"]], [1, ["data", "book"]]],
+        "edges": [[0, 1, 1, None]],
+        "counts": {"0": 1, "1": 3},
+    }
+
+    def test_deterministic(self):
+        assert shape_fingerprint(self.DESCRIPTOR) == shape_fingerprint(self.DESCRIPTOR)
+
+    def test_key_order_independent(self):
+        reordered = {
+            "counts": {"1": 3, "0": 1},
+            "edges": self.DESCRIPTOR["edges"],
+            "types": self.DESCRIPTOR["types"],
+        }
+        assert shape_fingerprint(reordered) == shape_fingerprint(self.DESCRIPTOR)
+
+    def test_survives_json_round_trip(self):
+        # The stored shape is decoded from JSON chunks; the fingerprint
+        # computed at shred time must match the one recomputed on load.
+        round_tripped = json.loads(json.dumps(self.DESCRIPTOR))
+        assert shape_fingerprint(round_tripped) == shape_fingerprint(self.DESCRIPTOR)
+
+    def test_different_shapes_differ(self):
+        other = dict(self.DESCRIPTOR, counts={"0": 1, "1": 4})
+        assert shape_fingerprint(other) != shape_fingerprint(self.DESCRIPTOR)
+
+
+def _plan(guard="G", fingerprint="f" * 16):
+    return CompiledPlan(
+        guard=guard,
+        fingerprint=fingerprint,
+        target_shape=None,
+        loss=None,
+        evaluation=None,
+        compile_seconds=0.0,
+    )
+
+
+class TestPlanCacheLru:
+    def test_hit_and_miss_counting(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("G", "f") is None
+        cache.put(_plan("G", "f"))
+        assert cache.get("G", "f") is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put(_plan("a"))
+        cache.put(_plan("b"))
+        assert cache.get("a", "f" * 16) is not None  # refresh "a"
+        cache.put(_plan("c"))  # evicts "b", the LRU entry
+        assert cache.get("b", "f" * 16) is None
+        assert cache.get("a", "f" * 16) is not None
+        assert cache.get("c", "f" * 16) is not None
+        assert cache.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        cache = PlanCache(capacity=0)
+        cache.put(_plan("G"))
+        assert len(cache) == 0
+        assert cache.get("G", "f" * 16) is None
+
+    def test_invalidate_by_fingerprint(self):
+        cache = PlanCache(capacity=8)
+        cache.put(_plan("a", "doc1"))
+        cache.put(_plan("b", "doc1"))
+        cache.put(_plan("a", "doc2"))
+        assert cache.invalidate("doc1") == 2
+        assert cache.get("a", "doc1") is None
+        assert cache.get("a", "doc2") is not None
+
+    def test_stats_shape(self):
+        stats = PlanCache(capacity=3).stats()
+        assert set(stats) == {
+            "entries", "capacity", "hits", "misses", "evictions", "invalidations",
+        }
+
+
+@pytest.fixture
+def db(tmp_path):
+    with Database(str(tmp_path / "cache.db"), durable=False) as database:
+        database.store_document("a", FIG1A)
+        yield database
+
+
+class TestDatabasePlanCache:
+    def test_repeat_transform_hits(self, db):
+        first = db.transform("a", GUARD)
+        assert db.plan_cache.stats()["misses"] == 1
+        second = db.transform("a", GUARD)
+        assert db.plan_cache.stats()["hits"] == 1
+        assert second.forest.canonical() == first.forest.canonical()
+
+    def test_cached_plan_skips_simulated_compile_cpu(self, db):
+        db.transform("a", GUARD)
+        cold_cpu = db.stats.cpu_seconds
+        db.compile("a", GUARD)
+        # The all-pairs loss-analysis CPU charge is not paid again.
+        assert db.stats.cpu_seconds == cold_cpu
+
+    def test_compile_and_stream_share_plans(self, db):
+        import io
+
+        db.compile("a", GUARD)
+        db.stream_transform("a", GUARD, io.StringIO())
+        db.transform("a", GUARD)
+        stats = db.plan_cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+
+    def test_invalidate_on_drop(self, db):
+        db.transform("a", GUARD)
+        db.drop_document("a")
+        assert db.plan_cache.stats()["invalidations"] == 1
+        assert len(db.plan_cache) == 0
+
+    def test_invalidate_on_restore(self, db):
+        db.transform("a", GUARD)
+        db.drop_document("a")
+        db.store_document("a", FIG1A)  # same shape, fresh epoch
+        db.transform("a", GUARD)
+        stats = db.plan_cache.stats()
+        assert stats["hits"] == 0  # recompiled, never served stale
+        assert stats["misses"] == 2
+
+    def test_different_document_shape_misses(self, db):
+        db.transform("a", GUARD)
+        db.store_document("b", FIG1B)
+        db.transform("b", GUARD)
+        assert db.plan_cache.stats()["misses"] == 2
+        assert len(db.plan_cache) == 2
+
+    def test_cache_plans_zero_knob(self, tmp_path):
+        with Database(str(tmp_path / "off.db"), durable=False, cache_plans=0) as db:
+            db.store_document("a", FIG1A)
+            db.transform("a", GUARD)
+            db.transform("a", GUARD)
+            assert db.plan_cache.stats()["hits"] == 0
+            assert len(db.plan_cache) == 0
+
+    def test_drop_cache_clears_plans(self, db):
+        db.transform("a", GUARD)
+        db.drop_cache()
+        assert len(db.plan_cache) == 0
+
+    def test_duplicate_store_still_rejected(self, db):
+        # The duplicate check now probes the catalog key directly.
+        with pytest.raises(StorageError):
+            db.store_document("a", FIG1A)
+
+    def test_rendered_output_stable_across_hits(self, db):
+        results = [db.transform("a", GUARD) for _ in range(3)]
+        canon = results[0].forest.canonical()
+        assert all(r.forest.canonical() == canon for r in results[1:])
+
+
+class TestColdVersusWarmMetrics:
+    def test_warm_run_is_cheaper_and_visible_in_explain(self, tmp_path):
+        with Database(str(tmp_path / "m.db"), durable=False) as db:
+            db.store_document("dblp", generate_dblp(60))
+            guard = "CAST MORPH author [ title [ year ] ]"
+
+            db.drop_cache()
+            cold = profile_db_transform(db, "dblp", guard)
+            warm = profile_db_transform(db, "dblp", guard)
+
+            # Counters flow through the tracer: the cold run records the
+            # miss, the warm run records the hit.
+            assert cold.tracer.metrics.counters["plan_cache.misses"] == 1
+            assert "plan_cache.misses" not in warm.tracer.metrics.counters
+            assert warm.tracer.metrics.counters["plan_cache.hits"] == 1
+
+            # The warm run pays no compile spans and less simulated cost.
+            assert warm.span_duration("lang.parse") is None
+            assert cold.span_duration("lang.parse") is not None
+            assert (
+                warm.storage["simulated_seconds"] < cold.storage["simulated_seconds"]
+            )
+
+            # EXPLAIN ANALYZE prints the plan-cache line and counters.
+            pretty = warm.pretty()
+            assert "plan cache:" in pretty
+            assert "hits=1" in pretty
+            assert "plan_cache.hits" in pretty

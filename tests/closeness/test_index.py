@@ -7,6 +7,9 @@ with it on every input, including random forests (property tests).
 from hypothesis import given, settings
 
 from repro.closeness import DocumentIndex, closest_graph
+from repro.shape.cardinality import Card
+from repro.shape.shape import Shape
+from repro.shape.types import ShapeType
 from repro.xmltree import parse_document
 
 from tests.strategies import documents
@@ -161,3 +164,134 @@ class TestAgainstBruteForce:
     @given(documents(max_depth=3, max_children=3))
     def test_random_documents(self, forest):
         self.check(forest)
+
+
+class TestClosestPairMapMemo:
+    """The memoized per-type-pair join map shared by both renderers."""
+
+    def check_map_matches_pairs(self, index):
+        for first in index.types():
+            for second in index.types():
+                if first == second:
+                    continue
+                expected: dict[int, list] = {}
+                for anchor, partner in index.closest_pairs(first, second):
+                    expected.setdefault(id(anchor), []).append(partner)
+                mapping = index.closest_pair_map(first, second)
+                assert {
+                    key: [n.dewey for n in value] for key, value in mapping.items()
+                } == {
+                    key: [n.dewey for n in value] for key, value in expected.items()
+                }
+
+    def test_fig1_instances(self, fig1_all):
+        for forest in fig1_all.values():
+            self.check_map_matches_pairs(DocumentIndex(forest))
+
+    @settings(max_examples=25, deadline=None)
+    @given(documents(max_depth=3, max_children=3))
+    def test_random_documents(self, forest):
+        self.check_map_matches_pairs(DocumentIndex(forest))
+
+    def test_second_lookup_is_cached(self, fig1a):
+        index = DocumentIndex(fig1a)
+        author = data_type(index, "data.book.author")
+        title = data_type(index, "data.book.title")
+        first = index.closest_pair_map(author, title)
+        assert index.join_cache_misses == 1
+        again = index.closest_pair_map(author, title)
+        assert again is first
+        assert index.join_cache_hits == 1
+
+    def test_drop_join_cache_forgets(self, fig1a):
+        index = DocumentIndex(fig1a)
+        author = data_type(index, "data.book.author")
+        title = data_type(index, "data.book.title")
+        first = index.closest_pair_map(author, title)
+        index.drop_join_cache()
+        again = index.closest_pair_map(author, title)
+        assert again is not first
+        assert index.join_cache_misses == 2
+
+
+class TestRestrictPass:
+    """The hash-grouped RESTRICT semi-join vs the per-node reference."""
+
+    @staticmethod
+    def reference_pass(index, node, filter_shape, vertex):
+        """The original O(n·m) per-node filter, kept as ground truth."""
+        for child in filter_shape.children(vertex):
+            if child.source is None:
+                continue
+            partners = [
+                partner
+                for partner in index.closest_partners(node, child.source)
+                if TestRestrictPass.reference_pass(index, partner, filter_shape, child)
+            ]
+            if not partners:
+                return False
+        return True
+
+    def check_guard(self, forest, guard):
+        import repro
+        from repro.shape.shape import Shape as _Shape
+
+        interpreter = repro.Interpreter(forest)
+        result = interpreter.compile(guard)
+        index = interpreter.index
+        checked = 0
+        for vertex in result.target_shape.types():
+            if vertex.restrict_filter is None or vertex.source is None:
+                continue
+            filter_shape: _Shape = vertex.restrict_filter
+            nodes = index.nodes_of(vertex.source)
+            fast = index.restrict_pass(nodes, vertex.source, filter_shape)
+            root = filter_shape.roots()[0]
+            slow = [
+                node
+                for node in nodes
+                if self.reference_pass(index, node, filter_shape, root)
+            ]
+            assert [n.dewey for n in fast] == [n.dewey for n in slow]
+            checked += 1
+        assert checked > 0
+
+    def test_restrict_single_level(self, fig1a):
+        self.check_guard(fig1a, "CAST MORPH (RESTRICT name [ author ])")
+
+    def test_restrict_nested_filter(self, fig1a):
+        self.check_guard(
+            fig1a, "CAST MORPH (RESTRICT book [ author [ name ] ])"
+        )
+
+    def test_restrict_multiple_requirements(self, fig1a):
+        self.check_guard(
+            fig1a, "CAST MORPH (RESTRICT book [ author publisher ])"
+        )
+
+    def test_restrict_workload(self):
+        from repro.workloads import generate_dblp
+
+        self.check_guard(
+            generate_dblp(60), "CAST MORPH (RESTRICT article [ ee crossref ])"
+        )
+
+    def test_self_type_group_excluded(self, fig1a):
+        # A node is never its own closest partner: RESTRICTing a type on
+        # itself keeps only nodes with a *sibling* instance at the LCA.
+        index = DocumentIndex(fig1a)
+        author = data_type(index, "data.book.author")
+        shape = Shape()
+        root_vertex = ShapeType.for_source(author)
+        child_vertex = ShapeType.for_source(author)
+        shape.add_type(root_vertex)
+        shape.add_type(child_vertex)
+        shape.add_edge(root_vertex, child_vertex, Card(1, 1))
+        nodes = index.nodes_of(author)
+        fast = index.restrict_pass(nodes, author, shape)
+        slow = [
+            node
+            for node in nodes
+            if self.reference_pass(index, node, shape, root_vertex)
+        ]
+        assert [n.dewey for n in fast] == [n.dewey for n in slow]

@@ -40,6 +40,32 @@ class TestJournalFile:
         assert journal.pending() is None
         assert not path.exists()  # discarded
 
+    def test_torn_write_mid_batch_discarded(self, tmp_path):
+        # A crash partway through the journal write leaves a torn file:
+        # header + some page images, no seal.  Recovery must treat it as
+        # never-written (the main file was not touched yet).
+        path = tmp_path / "j"
+        journal = Journal(str(path))
+        pages = {i: bytes([i + 1]) * PAGE_SIZE for i in range(4)}
+        journal.write(pages)
+        raw = path.read_bytes()
+        # Truncate in the middle of the third page image.
+        path.write_bytes(raw[: len(raw) // 2])
+        assert journal.pending() is None
+        assert not path.exists()  # discarded
+
+    def test_torn_write_with_lucky_seal_bytes_discarded(self, tmp_path):
+        # Torn mid-batch but the truncation point happens to end in the
+        # seal bytes (page data can contain b"DONE"): the size check must
+        # still reject it.
+        path = tmp_path / "j"
+        journal = Journal(str(path))
+        journal.write({0: b"DONE" * (PAGE_SIZE // 4), 1: bytes(PAGE_SIZE)})
+        raw = path.read_bytes()
+        header = 8  # magic + count
+        path.write_bytes(raw[: header + 4 + 400])  # ends inside page 0's "DONE"s
+        assert journal.pending() is None
+
     def test_corrupt_magic_discarded(self, tmp_path):
         path = tmp_path / "j"
         path.write_bytes(b"NOPE" + bytes(100) + b"DONE")
@@ -49,6 +75,21 @@ class TestJournalFile:
         journal = Journal(str(tmp_path / "j"))
         with pytest.raises(ValueError):
             journal.write({0: b"short"})
+
+    def test_short_os_write_retried_until_durable(self, tmp_path, monkeypatch):
+        # os.write may accept fewer bytes than offered; the writer must
+        # loop until the whole batch (and its seal) is down.
+        journal = Journal(str(tmp_path / "j"))
+        real_write = os.write
+
+        def short_write(fd, data):
+            return real_write(fd, bytes(data)[:1000])
+
+        monkeypatch.setattr(os, "write", short_write)
+        pages = {i: bytes([i + 1]) * PAGE_SIZE for i in range(3)}
+        journal.write(pages)
+        monkeypatch.undo()
+        assert journal.pending() == pages
 
 
 class TestRecovery:

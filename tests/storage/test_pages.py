@@ -81,7 +81,7 @@ class TestBufferPool:
         pool.get(page)
         assert stats.blocks_in == baseline  # all hits
 
-    def test_eviction_writes_dirty_pages(self, paged):
+    def test_eviction_pins_dirty_pages(self, paged):
         file, stats = paged
         pool = BufferPool(file, capacity=2)
         pages = [pool.allocate() for _ in range(3)]  # evicts the first
@@ -89,8 +89,26 @@ class TestBufferPool:
         buffer[0] = 42
         pool.mark_dirty(pages[0])
         pool.get(pages[1])
-        pool.get(pages[2])  # evicts pages[0], must write it back
+        pool.get(pages[2])  # evicts pages[1] (LRU *clean*), not the dirty page
+        assert pages[0] in pool._pages  # dirty page stays pinned ...
+        assert pages[1] not in pool._pages  # ... the clean LRU page went
+        assert file.read_page(pages[0])[0] == 0  # nothing written back yet
+        pool.flush()
         assert file.read_page(pages[0])[0] == 42
+
+    def test_all_dirty_pool_flushes_batch_before_evicting(self, paged):
+        file, _ = paged
+        pool = BufferPool(file, capacity=2)
+        pages = [pool.allocate() for _ in range(2)]
+        for page in pages:
+            pool.get(page)[0] = 7
+            pool.mark_dirty(page)
+        third = pool.allocate()  # pool all-dirty: forces a full batch flush
+        assert pool.resident == 2
+        assert third in pool._pages
+        # Both dirty pages were committed together, not one in isolation.
+        assert file.read_page(pages[0])[0] == 7
+        assert file.read_page(pages[1])[0] == 7
 
     def test_flush_persists(self, paged):
         file, _ = paged
