@@ -16,6 +16,7 @@ Examples::
     xmorph db-transform --db bib.db dblp "MORPH author"
     xmorph run books.xml "MORPH author [ name ]" --profile
     xmorph trace --db bib.db dblp "MORPH author" --json
+    xmorph fsck --db bib.db --repair
 """
 
 from __future__ import annotations
@@ -142,6 +143,32 @@ def _build_parser() -> argparse.ArgumentParser:
     listing = commands.add_parser("ls", help="list documents in a database")
     listing.add_argument("--db", required=True)
     listing.set_defaults(handler=_cmd_ls)
+
+    fsck = commands.add_parser(
+        "fsck",
+        help="check a database file: checksums, journal, btree, catalog",
+        description=(
+            "Offline integrity check: verify every page's CRC32C trailer, "
+            "inspect the write-ahead journal (sealed = a committed batch "
+            "awaiting replay; corrupt = a pre-commit crash), walk the "
+            "B+tree structure and cross-check each document's records "
+            "against its catalog descriptor.  With --repair, sealed "
+            "journals are replayed, corrupt ones quarantined as "
+            "<journal>.corrupt, and legacy trailer-less files rebuilt "
+            "with checksums.  Exit 0 when clean (or fully repaired), "
+            "1 when problems remain."
+        ),
+    )
+    fsck.add_argument("--db", required=True, help="database file to check")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="replay sealed journals, quarantine corrupt ones, rebuild legacy files",
+    )
+    fsck.add_argument(
+        "--json", action="store_true", help="emit the report as one JSON object"
+    )
+    fsck.set_defaults(handler=_cmd_fsck)
 
     db_transform = commands.add_parser(
         "db-transform", help="transform a stored document with a guard"
@@ -345,6 +372,19 @@ def _cmd_ls(arguments) -> int:
             info = db.describe(name)
             print(f"{name}: {info['nodes']} nodes, {info['text_bytes']} text bytes")
     return 0
+
+
+def _cmd_fsck(arguments) -> int:
+    import json as json_module
+
+    from repro.storage.fsck import fsck
+
+    report = fsck(arguments.db, repair=arguments.repair)
+    if arguments.json:
+        print(json_module.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.pretty())
+    return 0 if report.ok else 1
 
 
 def _cmd_db_transform(arguments) -> int:

@@ -132,6 +132,16 @@ class ProfileReport:
                     f"misses={plan_cache['misses']} "
                     f"evictions={plan_cache['evictions']}"
                 )
+            events = self.storage.get("events")
+            if events:
+                # recovery.* / fsck.* / faults.* durability counters —
+                # lifetime totals for this database handle, so journal
+                # replays at open show up even though they predate the
+                # trace.
+                lines.append(
+                    "durability: "
+                    + " ".join(f"{name}={count}" for name, count in sorted(events.items()))
+                )
         return "\n".join(lines)
 
     def span_tree(self) -> str:
@@ -176,8 +186,18 @@ def profile_db_transform(database, name: str, guard: str) -> ProfileReport:
             "available_memory": stats.available_memory,
             "buffer_hit_ratio": database.pool.hit_ratio,
             "plan_cache": database.plan_cache.stats(),
+            "events": _durability_events(stats),
         },
     )
+
+
+def _durability_events(stats) -> dict:
+    """Lifetime recovery/checksum events plus global failpoint fires."""
+    from repro.faults import FAULTS
+
+    events = dict(stats.events)
+    events.update(FAULTS.counters())
+    return events
 
 
 def profile_document(xml_text: str, guard: str) -> ProfileReport:
@@ -202,6 +222,7 @@ def profile_document(xml_text: str, guard: str) -> ProfileReport:
                 "available_memory": database.stats.available_memory,
                 "buffer_hit_ratio": database.pool.hit_ratio,
                 "plan_cache": database.plan_cache.stats(),
+                "events": _durability_events(database.stats),
             }
         finally:
             database.close()

@@ -170,11 +170,69 @@ class QuerySyntaxError(_LocatedSyntaxErrorMixin, QueryError):
 
 
 class StorageError(XMorphError):
-    """Raised by the storage engine (paged file, buffer pool, KV store)."""
+    """Raised by the storage engine (paged file, buffer pool, KV store).
+
+    Storage-layer failures that recovery code must distinguish carry a
+    stable ``code`` (``XM5xx``, continuing the analyzer's ``XMnnn``
+    scheme; see ``docs/DIAGNOSTICS.md`` for XM1xx–XM4xx).
+    """
+
+    #: Stable diagnostic code, when the error class has one.
+    code: str | None = None
 
 
 class PageError(StorageError):
     """Raised for invalid page accesses (bad page id, overflow, corruption)."""
+
+
+class RecoveryError(StorageError):
+    """Raised when crash recovery cannot restore a consistent state."""
+
+    code = "XM500"
+
+
+class ChecksumError(PageError):
+    """A page's stored CRC32C trailer does not match its contents.
+
+    The page was torn (partial write), bit-rotted, or written to the
+    wrong offset; the payload cannot be trusted.  ``xmorph fsck`` scans
+    for these; recovery is replaying the journal or restoring a backup.
+    """
+
+    code = "XM510"
+
+    def __init__(self, path: str, page_id: int, stored: int, computed: int):
+        super().__init__(
+            f"[XM510] checksum mismatch on page {page_id} of {path}: "
+            f"stored 0x{stored:08x}, computed 0x{computed:08x}"
+        )
+        self.path = path
+        self.page_id = page_id
+        self.stored = stored
+        self.computed = computed
+
+
+class DatabaseLockedError(StorageError):
+    """Another live process holds the database's single-writer lock."""
+
+    code = "XM520"
+
+    def __init__(self, path: str):
+        super().__init__(
+            f"[XM520] database {path!r} is locked by another process "
+            "(the store is single-writer; close the other handle first)"
+        )
+        self.path = path
+
+
+class InjectedFaultError(StorageError):
+    """An armed failpoint injected a synthetic I/O failure (tests only)."""
+
+    code = "XM530"
+
+    def __init__(self, failpoint: str):
+        super().__init__(f"[XM530] injected fault at failpoint {failpoint!r}")
+        self.failpoint = failpoint
 
 
 class DocumentNotFoundError(StorageError):

@@ -1,0 +1,26 @@
+"""Fault injection for the storage engine (crash-matrix testing).
+
+The paper's XMorph 2.0 trusts BerkeleyDB JE for crash safety; our
+from-scratch store earns the same trust mechanically.  This package
+holds the failpoint registry: every storage syscall site reports to
+:data:`FAULTS` before doing real I/O, and tests arm named sites to
+raise, tear, or "kill the process" mid-operation.  See
+:mod:`repro.faults.registry` for the model and
+``docs/STORAGE.md`` for the site catalogue.
+"""
+
+from repro.faults.registry import (
+    FAULTS,
+    KNOWN_FAILPOINTS,
+    Failpoint,
+    FailpointRegistry,
+    SimulatedCrash,
+)
+
+__all__ = [
+    "FAULTS",
+    "KNOWN_FAILPOINTS",
+    "Failpoint",
+    "FailpointRegistry",
+    "SimulatedCrash",
+]

@@ -1,0 +1,161 @@
+"""The failpoint registry: named fault-injection sites in the storage engine.
+
+Every storage-layer syscall site (journal write/fsync/unlink, page
+pread/pwrite/fsync, allocate, the mid-flush apply loop) calls
+:meth:`FailpointRegistry.fire` with its site name before doing the real
+I/O.  Unarmed, a fire is one dict lookup — the production cost of the
+whole subsystem.  Armed, the site misbehaves in one of three ways:
+
+``raise``
+    Raise :class:`~repro.errors.InjectedFaultError` (code ``XM530``),
+    simulating a syscall error such as ``EIO``.  The process lives on;
+    callers see a coded storage error.
+``kill``
+    Raise :class:`SimulatedCrash`, which derives from ``BaseException``
+    so no ``except Exception`` handler on the way up can swallow it —
+    the closest an in-process test can get to ``kill -9``.  Pair with
+    :meth:`repro.storage.Database.abandon` to drop file descriptors and
+    the writer lock the way process death would.
+``truncate``
+    Perform the site's *partial* effect (e.g. write half the journal
+    blob, half a page slot) and then raise :class:`SimulatedCrash`:
+    a torn write, the classic power-cut artifact.  Sites without a
+    partial effect treat ``truncate`` like ``kill``.
+
+The crash-matrix suite (``tests/storage/test_crash_matrix.py``) arms
+every :data:`KNOWN_FAILPOINTS` entry in turn during store/flush/recover
+and asserts that reopening the database never yields silent corruption.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.errors import InjectedFaultError, StorageError
+
+#: Every fault-injection site wired into the storage engine, in rough
+#: pipeline order.  :meth:`FailpointRegistry.arm` rejects unknown names
+#: so a typo cannot silently arm nothing.
+KNOWN_FAILPOINTS: tuple[str, ...] = (
+    "pages.allocate",   # PagedFile.allocate, before extending the file
+    "pages.pread",      # PagedFile.read_page, before the pread
+    "pages.pwrite",     # PagedFile.write_page, before the pwrite (truncate: half a slot)
+    "pages.fsync",      # PagedFile.sync, before the fsync
+    "flush.apply",      # BufferPool.flush, before each in-place page apply
+    "journal.write",    # Journal.write, before the blob write (truncate: torn journal)
+    "journal.fsync",    # Journal.write, before fsyncing the journal file
+    "journal.dirsync",  # Journal, before fsyncing the parent directory
+    "journal.unlink",   # Journal.clear, before unlinking the sealed journal
+)
+
+_ACTIONS = ("raise", "kill", "truncate")
+
+
+class SimulatedCrash(BaseException):
+    """An armed ``kill``/``truncate`` failpoint fired: the process "died".
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so that
+    ordinary ``except Exception`` recovery paths cannot intercept it —
+    a real ``kill -9`` gives the program no say either.  ``finally``
+    blocks still run, which matches the OS closing file descriptors.
+    """
+
+    def __init__(self, failpoint: str):
+        super().__init__(f"simulated crash at failpoint {failpoint!r}")
+        self.failpoint = failpoint
+
+
+@dataclass
+class Failpoint:
+    """One armed site: what to do and when to start doing it."""
+
+    name: str
+    action: str = "kill"
+    #: Number of hits to let through before firing (crash on the Nth I/O).
+    skip: int = 0
+    #: Hits that actually fired (mirrors the registry's counter).
+    fired: int = 0
+
+
+class FailpointRegistry:
+    """All armed failpoints plus lifetime fire counts (``faults.*``)."""
+
+    def __init__(self) -> None:
+        self._armed: dict[str, Failpoint] = {}
+        #: Lifetime fire counts per site; surfaced as ``faults.<site>``
+        #: counters in EXPLAIN ANALYZE / fsck reports.
+        self.fired: dict[str, int] = {}
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self, name: str, action: str = "kill", skip: int = 0) -> Failpoint:
+        """Arm a site; returns the live :class:`Failpoint` for inspection."""
+        if name not in KNOWN_FAILPOINTS:
+            raise StorageError(
+                f"unknown failpoint {name!r} (known: {', '.join(KNOWN_FAILPOINTS)})"
+            )
+        if action not in _ACTIONS:
+            raise StorageError(
+                f"unknown failpoint action {action!r} (known: {', '.join(_ACTIONS)})"
+            )
+        failpoint = Failpoint(name=name, action=action, skip=skip)
+        self._armed[name] = failpoint
+        return failpoint
+
+    def disarm(self, name: Optional[str] = None) -> None:
+        """Disarm one site, or every site when ``name`` is omitted."""
+        if name is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(name, None)
+
+    @contextmanager
+    def armed(self, name: str, action: str = "kill", skip: int = 0) -> Iterator[Failpoint]:
+        """Arm a site for the duration of a ``with`` block."""
+        failpoint = self.arm(name, action=action, skip=skip)
+        try:
+            yield failpoint
+        finally:
+            self.disarm(name)
+
+    def is_armed(self, name: str) -> bool:
+        return name in self._armed
+
+    # -- firing ------------------------------------------------------------
+
+    def fire(self, name: str, partial: Optional[Callable[[], object]] = None) -> None:
+        """Called by a storage site before its real I/O.
+
+        ``partial`` is the site's torn-write effect, invoked only for
+        the ``truncate`` action.  Unarmed sites return immediately.
+        """
+        failpoint = self._armed.get(name)
+        if failpoint is None:
+            return
+        if failpoint.skip > 0:
+            failpoint.skip -= 1
+            return
+        failpoint.fired += 1
+        self.fired[name] = self.fired.get(name, 0) + 1
+        if failpoint.action == "raise":
+            raise InjectedFaultError(name)
+        if failpoint.action == "truncate" and partial is not None:
+            partial()
+        raise SimulatedCrash(name)
+
+    # -- accounting --------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Lifetime fire counts as ``faults.<site>`` metric names."""
+        return {f"faults.{name}": count for name, count in self.fired.items()}
+
+    def reset(self) -> None:
+        """Disarm everything and zero the counters (test isolation)."""
+        self._armed.clear()
+        self.fired.clear()
+
+
+#: The process-wide registry every storage site reports to.
+FAULTS = FailpointRegistry()

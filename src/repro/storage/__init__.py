@@ -15,12 +15,22 @@ implement the equivalent embedded store from scratch:
   with a storage-backed document index for guard evaluation.
 * :mod:`repro.storage.stats` — vmstat-analog instrumentation (block
   I/O, CPU wait percentage, available memory) behind Figures 11–13.
+* :mod:`repro.storage.checksum` — CRC32C page trailers (torn-write
+  detection on every physical read).
+* :mod:`repro.storage.lockfile` — the single-writer advisory lock.
+* :mod:`repro.storage.fsck` — offline integrity checking and repair
+  (``xmorph fsck``).
+
+Every syscall site reports to :mod:`repro.faults` so crash tests can
+tear or kill it; see ``docs/STORAGE.md`` for the recovery protocol.
 """
 
 from repro.storage.stats import SystemStats, CostModel
-from repro.storage.pages import PagedFile, BufferPool, PAGE_SIZE
+from repro.storage.pages import PagedFile, BufferPool, PAGE_SIZE, SLOT_SIZE
 from repro.storage.btree import BPlusTree
 from repro.storage.database import Database, StoredDocumentIndex
+from repro.storage.fsck import FsckReport, fsck
+from repro.storage.lockfile import FileLock
 
 __all__ = [
     "SystemStats",
@@ -28,7 +38,11 @@ __all__ = [
     "PagedFile",
     "BufferPool",
     "PAGE_SIZE",
+    "SLOT_SIZE",
     "BPlusTree",
     "Database",
     "StoredDocumentIndex",
+    "FsckReport",
+    "fsck",
+    "FileLock",
 ]

@@ -95,6 +95,71 @@ class BPlusTree:
     def count(self) -> int:
         return sum(1 for _ in self.scan())
 
+    # -- integrity ---------------------------------------------------------
+
+    def check(self) -> list[str]:
+        """Structural invariants, as human-readable problem strings.
+
+        Used by ``xmorph fsck``: walks every page reachable from the
+        root, verifying child pointers stay in range, keys are sorted
+        within each node, no page is reached twice, and the leaf chain
+        visits the leaves in exactly tree order.  An empty list means
+        the tree is structurally sound (page *contents* are already
+        covered by the CRC32C trailers).
+        """
+        problems: list[str] = []
+        page_count = self.pool.file.page_count
+        seen: set[int] = set()
+        tree_order_leaves: list[int] = []
+
+        def walk(page_id: int, depth: int) -> None:
+            if depth > 64:
+                problems.append(f"page {page_id}: descent deeper than 64 (cycle?)")
+                return
+            if page_id in seen:
+                problems.append(f"page {page_id} reachable twice")
+                return
+            seen.add(page_id)
+            try:
+                node = _read_node(self.pool, page_id)
+            except Exception as error:  # checksum / decode failures
+                problems.append(f"page {page_id} unreadable: {error}")
+                return
+            for left, right in zip(node.keys, node.keys[1:]):
+                if left >= right:
+                    problems.append(f"page {page_id}: keys out of order")
+                    break
+            if node.kind == _INTERNAL:
+                for child in [node.child0] + node.values:
+                    if not 0 <= child < page_count:
+                        problems.append(
+                            f"page {page_id}: child pointer {child} out of range"
+                        )
+                        continue
+                    walk(child, depth + 1)
+            else:
+                tree_order_leaves.append(page_id)
+
+        if not 0 < self._root < page_count:
+            return [f"root pointer {self._root} out of range (0..{page_count - 1})"]
+        walk(self._root, 0)
+
+        # The next-leaf chain must thread the leaves in tree order.
+        chain: list[int] = []
+        page_id = tree_order_leaves[0] if tree_order_leaves else _NO_PAGE
+        while page_id != _NO_PAGE and len(chain) <= len(tree_order_leaves):
+            chain.append(page_id)
+            try:
+                node = _read_node(self.pool, page_id)
+            except Exception:
+                break  # already reported by the walk above
+            page_id = node.next_leaf
+        if chain != tree_order_leaves:
+            problems.append(
+                f"leaf chain {chain} does not match tree order {tree_order_leaves}"
+            )
+        return problems
+
     # -- writes ----------------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:

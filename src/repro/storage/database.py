@@ -44,13 +44,30 @@ class Database:
         cache_plans: int = 64,
     ):
         self.stats = SystemStats(model or CostModel())
-        self._file = PagedFile(path, self.stats)
-        journal = None
-        if durable:
-            from repro.storage.journal import Journal
+        # Single-writer advisory lock: two live handles interleaving
+        # journaled flushes would corrupt each other's batches.
+        from repro.storage.lockfile import FileLock
 
-            journal = Journal(path + ".journal")
-            journal.recover(self._file)
+        self._lock = FileLock(path + ".lock")
+        self._lock.acquire()
+        self._file = None
+        try:
+            self._file = PagedFile(path, self.stats)
+            journal = None
+            if durable:
+                from repro.storage.journal import Journal
+
+                journal = Journal(path + ".journal", stats=self.stats)
+                journal.recover(self._file)
+        except BaseException:
+            # A failed open must not hold the fd or the writer lock.
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+            self._lock.release()
+            raise
         self.pool = BufferPool(self._file, capacity=cache_pages, journal=journal)
         self.tree = BPlusTree(self.pool)
         self._indexes: dict[str, StoredDocumentIndex] = {}
@@ -274,6 +291,23 @@ class Database:
     def close(self) -> None:
         self.pool.flush()
         self._file.close()
+        self._lock.release()
+
+    def abandon(self) -> None:
+        """Simulate process death: drop descriptors and the writer lock
+        *without* flushing.
+
+        This is what ``kill -9`` does — the OS closes the fds and the
+        ``flock`` dies with the process, but no buffered state reaches
+        disk.  The crash-matrix suite calls this after a
+        :class:`~repro.faults.SimulatedCrash` so the same process can
+        reopen the file and exercise recovery.
+        """
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        self._lock.release()
 
     def __enter__(self) -> "Database":
         return self

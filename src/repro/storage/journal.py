@@ -2,36 +2,61 @@
 
 BerkeleyDB (the paper's store) is transactional; our substitute gets a
 minimal equivalent: before dirty pages are written in place, they are
-appended to a journal file and fsynced; a commit marker seals the
-batch; only then are the pages applied to the main file and the journal
-cleared.  On open, a sealed journal is replayed (the crash happened
-mid-apply), and an unsealed one is discarded (the crash happened
-mid-journal, the main file is untouched).
+appended to a journal file and fsynced — and so is the journal's
+*directory entry*, because a freshly created file whose directory was
+never synced can vanish in a crash, leaving a torn main file with
+nothing to replay.  A commit marker seals the batch; only then are the
+pages applied to the main file and the journal cleared (unlink plus a
+second directory fsync).  On open, a sealed journal is replayed (the
+crash happened mid-apply) and an unsealed or corrupt one is quarantined
+as ``<path>.corrupt`` — forensic evidence is never silently destroyed —
+before recovery proceeds as if it were absent (the crash happened
+mid-journal; the main file is untouched).
 
-Journal layout::
+Journal layout (v2, CRC-sealed)::
 
-    MAGIC "XMJL" | count u32 | (page_id u32 | PAGE_SIZE bytes) * count | "DONE"
+    MAGIC "XMJ2" | count u32 | crc32c u32 | (page_id u32 | PAGE_SIZE bytes) * count | "DONE"
+
+where the CRC covers the entry region.  Legacy ``XMJL`` journals (no
+CRC field) from before the upgrade are still replayed.
+
+Every syscall site (blob write, fsync, directory fsync, unlink) reports
+to the failpoint registry (:mod:`repro.faults`) for crash testing.
 """
 
 from __future__ import annotations
 
 import os
 import struct
-from typing import Mapping
+from typing import Mapping, Optional
 
-from repro.storage.pages import PAGE_SIZE, PagedFile
+from repro.faults import FAULTS
+from repro.storage.checksum import crc32c
+from repro.storage.pages import PAGE_SIZE, PagedFile, _fsync_dir
+from repro.storage.stats import SystemStats
 
-_MAGIC = b"XMJL"
+_MAGIC = b"XMJ2"
+_LEGACY_MAGIC = b"XMJL"
 _SEAL = b"DONE"
-_HEADER = struct.Struct("<4sI")
+_HEADER = struct.Struct("<4sII")
+_LEGACY_HEADER = struct.Struct("<4sI")
 _ENTRY_HEADER = struct.Struct("<I")
 
 
 class Journal:
-    """The write-ahead journal of one database file."""
+    """The write-ahead journal of one database file.
 
-    def __init__(self, path: str):
+    ``stats`` (optional) receives ``recovery.*`` event counts —
+    journals replayed, pages reapplied, corrupt journals quarantined.
+    """
+
+    def __init__(self, path: str, stats: Optional[SystemStats] = None):
         self.path = path
+        self.stats = stats
+
+    def _event(self, name: str, count: int = 1) -> None:
+        if self.stats is not None:
+            self.stats.event(name, count)
 
     # -- writing ------------------------------------------------------------
 
@@ -39,64 +64,96 @@ class Journal:
         """Durably record a batch of page images (not yet applied)."""
         if not pages:
             return
-        blob = bytearray(_HEADER.pack(_MAGIC, len(pages)))
+        body = bytearray()
         for page_id in sorted(pages):
             data = pages[page_id]
             if len(data) != PAGE_SIZE:
                 raise ValueError(f"journal entry for page {page_id} has wrong size")
-            blob += _ENTRY_HEADER.pack(page_id)
-            blob += data
-        blob += _SEAL
+            body += _ENTRY_HEADER.pack(page_id)
+            body += data
+        blob = _HEADER.pack(_MAGIC, len(pages), crc32c(bytes(body))) + body + _SEAL
         fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
         try:
-            # A single os.write may be short on large batches; the batch
-            # is only durable once every byte (including the seal) is
-            # down, so loop until the whole blob is written.
-            remaining = memoryview(bytes(blob))
-            while remaining:
-                written = os.write(fd, remaining)
-                remaining = remaining[written:]
+            FAULTS.fire(
+                "journal.write",
+                partial=lambda: _write_all(fd, blob[: len(blob) // 2]),
+            )
+            _write_all(fd, blob)
+            FAULTS.fire("journal.fsync")
             os.fsync(fd)
         finally:
             os.close(fd)
+        # The data is durable; now make the *name* durable too, or a
+        # crash after apply began could lose the directory entry.
+        FAULTS.fire("journal.dirsync")
+        _fsync_dir(os.path.dirname(self.path))
 
     def clear(self) -> None:
         """Forget the journal after a successful apply."""
         if os.path.exists(self.path):
+            FAULTS.fire("journal.unlink")
             os.unlink(self.path)
+            FAULTS.fire("journal.dirsync")
+            _fsync_dir(os.path.dirname(self.path))
 
     # -- recovery ----------------------------------------------------------------
 
-    def pending(self) -> dict[int, bytes] | None:
-        """The sealed batch awaiting replay, or ``None``.
+    def inspect(self) -> tuple[str, Optional[dict[int, bytes]]]:
+        """Non-destructive look at the journal: ``(status, batch)``.
 
-        An unsealed/corrupt journal means the crash happened before the
-        commit point: the main file was never touched, so the journal
-        is simply discarded.
+        ``status`` is ``"none"`` (no journal), ``"sealed"`` (a committed
+        batch awaiting replay, returned as the second element) or
+        ``"corrupt"`` (torn, unsealed, or failing its CRC — the crash
+        happened before the commit point, so the main file is intact).
         """
         try:
             with open(self.path, "rb") as handle:
                 blob = handle.read()
         except FileNotFoundError:
+            return "none", None
+        for header, has_crc in ((_HEADER, True), (_LEGACY_HEADER, False)):
+            if len(blob) < header.size + len(_SEAL) or not blob.endswith(_SEAL):
+                continue
+            fields = header.unpack_from(blob, 0)
+            magic, count = fields[0], fields[1]
+            if magic != (_MAGIC if has_crc else _LEGACY_MAGIC):
+                continue
+            body = blob[header.size : -len(_SEAL)]
+            if len(body) != count * (_ENTRY_HEADER.size + PAGE_SIZE):
+                continue
+            if has_crc and crc32c(body) != fields[2]:
+                continue
+            pages: dict[int, bytes] = {}
+            offset = 0
+            for _ in range(count):
+                (page_id,) = _ENTRY_HEADER.unpack_from(body, offset)
+                offset += _ENTRY_HEADER.size
+                pages[page_id] = body[offset : offset + PAGE_SIZE]
+                offset += PAGE_SIZE
+            return "sealed", pages
+        return "corrupt", None
+
+    def quarantine(self) -> str:
+        """Move a corrupt journal aside as ``<path>.corrupt``; returns
+        the quarantine path.  Evidence of what went wrong is preserved
+        for fsck/forensics instead of being deleted."""
+        target = self.path + ".corrupt"
+        os.replace(self.path, target)
+        _fsync_dir(os.path.dirname(self.path))
+        self._event("recovery.discarded_journals")
+        return target
+
+    def pending(self) -> dict[int, bytes] | None:
+        """The sealed batch awaiting replay, or ``None``.
+
+        An unsealed/corrupt journal means the crash happened before the
+        commit point: the main file was never touched.  The journal is
+        quarantined (not deleted) and recovery proceeds without it.
+        """
+        status, pages = self.inspect()
+        if status == "corrupt":
+            self.quarantine()
             return None
-        if len(blob) < _HEADER.size + len(_SEAL) or not blob.endswith(_SEAL):
-            self.clear()
-            return None
-        magic, count = _HEADER.unpack_from(blob, 0)
-        if magic != _MAGIC:
-            self.clear()
-            return None
-        expected = _HEADER.size + count * (_ENTRY_HEADER.size + PAGE_SIZE) + len(_SEAL)
-        if len(blob) != expected:
-            self.clear()
-            return None
-        pages: dict[int, bytes] = {}
-        offset = _HEADER.size
-        for _ in range(count):
-            (page_id,) = _ENTRY_HEADER.unpack_from(blob, offset)
-            offset += _ENTRY_HEADER.size
-            pages[page_id] = blob[offset : offset + PAGE_SIZE]
-            offset += PAGE_SIZE
         return pages
 
     def recover(self, file: PagedFile) -> int:
@@ -110,4 +167,15 @@ class Journal:
             file.write_page(page_id, data)
         file.sync()
         self.clear()
+        self._event("recovery.journals_replayed")
+        self._event("recovery.replayed_pages", len(pages))
         return len(pages)
+
+
+def _write_all(fd: int, blob: bytes) -> None:
+    # A single os.write may be short on large batches; the batch is only
+    # durable once every byte (including the seal) is down.
+    remaining = memoryview(blob)
+    while remaining:
+        written = os.write(fd, remaining)
+        remaining = remaining[written:]

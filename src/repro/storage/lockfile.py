@@ -1,0 +1,66 @@
+"""A single-writer advisory lock per database file.
+
+Two live :class:`~repro.storage.Database` handles interleaving flushes
+would corrupt the store (each journals only its own dirty batch, then
+rewrites pages the other also holds).  The store is single-writer by
+design — the paper's usage too — so opening takes an exclusive
+``flock`` on ``<path>.lock`` and a second opener fails fast with
+:class:`~repro.errors.DatabaseLockedError` (code ``XM520``) instead of
+silently interleaving.
+
+``flock`` locks die with the process, so a ``kill -9`` never leaves a
+stale lock behind; the lock *file* is left in place (unlinking it is
+the classic TOCTOU race).  On platforms without ``fcntl`` the lock
+degrades to a no-op.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import DatabaseLockedError
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+
+class FileLock:
+    """An exclusive, non-blocking advisory lock on one path."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fd: int | None = None
+
+    @property
+    def locked(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> None:
+        """Take the lock, or raise :class:`DatabaseLockedError` at once."""
+        if self._fd is not None:
+            return
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                raise DatabaseLockedError(self.path) from None
+        try:
+            # Best-effort breadcrumb for a human inspecting the lock file.
+            os.ftruncate(fd, 0)
+            os.pwrite(fd, f"{os.getpid()}\n".encode(), 0)
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
+        self._fd = fd
+
+    def release(self) -> None:
+        """Drop the lock (closing the descriptor releases the flock)."""
+        if self._fd is None:
+            return
+        try:
+            os.close(self._fd)
+        finally:
+            self._fd = None

@@ -8,6 +8,16 @@ Every physical page read or write is reported to
 :class:`~repro.storage.stats.SystemStats`.
 This is the layer where the paper's block-I/O numbers (Figures 11–12)
 come from.
+
+On disk each page occupies a *slot*: the ``PAGE_SIZE`` payload plus an
+8-byte CRC32C trailer (:mod:`repro.storage.checksum`).  Upper layers
+only ever see the payload; the trailer is computed on every physical
+write and verified on every physical read, so a torn or misdirected
+write surfaces as a coded :class:`~repro.errors.ChecksumError` instead
+of silent corruption.  Files written before trailers existed (size a
+multiple of ``PAGE_SIZE`` but not ``SLOT_SIZE``) are rebuilt in place
+on open.  Every syscall site reports to the failpoint registry
+(:mod:`repro.faults`) so the crash-matrix suite can tear or kill it.
 """
 
 from __future__ import annotations
@@ -17,23 +27,40 @@ from collections import OrderedDict
 from typing import Optional
 
 from repro.errors import PageError
+from repro.faults import FAULTS
+from repro.storage.checksum import TRAILER_SIZE, seal_page, verify_page
 from repro.storage.stats import SystemStats
 
 PAGE_SIZE = 4096
+#: On-disk footprint of one page: payload + CRC32C trailer.
+SLOT_SIZE = PAGE_SIZE + TRAILER_SIZE
 
 
 class PagedFile:
-    """A file of fixed-size pages with I/O accounting."""
+    """A file of fixed-size pages with checksums and I/O accounting."""
 
-    def __init__(self, path: str, stats: SystemStats):
+    def __init__(self, path: str, stats: SystemStats, upgrade_legacy: bool = True):
         self.path = path
         self.stats = stats
         flags = os.O_RDWR | os.O_CREAT
         self._fd = os.open(path, flags, 0o644)
-        size = os.fstat(self._fd).st_size
-        if size % PAGE_SIZE:
-            raise PageError(f"{path} is not page-aligned ({size} bytes)")
-        self._page_count = size // PAGE_SIZE
+        try:
+            size = os.fstat(self._fd).st_size
+            if size % SLOT_SIZE and size % PAGE_SIZE == 0:
+                # Pre-trailer legacy file: rebuild with checksums.
+                if not upgrade_legacy:
+                    raise PageError(
+                        f"{path} is in the legacy (trailer-less) page format "
+                        f"({size} bytes); open normally or fsck --repair to rebuild"
+                    )
+                size = self._rebuild_legacy(size // PAGE_SIZE)
+            if size % SLOT_SIZE:
+                raise PageError(f"{path} is not page-aligned ({size} bytes)")
+            self._page_count = size // SLOT_SIZE
+        except BaseException:
+            # The descriptor must not outlive a failed constructor.
+            os.close(self._fd)
+            raise
 
     @property
     def page_count(self) -> int:
@@ -41,26 +68,45 @@ class PagedFile:
 
     def allocate(self) -> int:
         """Extend the file by one (zeroed) page; returns its id."""
+        FAULTS.fire("pages.allocate")
         page_id = self._page_count
         self._page_count += 1
-        os.pwrite(self._fd, bytes(PAGE_SIZE), page_id * PAGE_SIZE)
+        os.pwrite(self._fd, seal_page(page_id, bytes(PAGE_SIZE)), page_id * SLOT_SIZE)
         self.stats.block_write()
         return page_id
 
     def read_page(self, page_id: int) -> bytearray:
         self._check(page_id)
-        data = os.pread(self._fd, PAGE_SIZE, page_id * PAGE_SIZE)
+        FAULTS.fire("pages.pread")
+        slot = os.pread(self._fd, SLOT_SIZE, page_id * SLOT_SIZE)
         self.stats.block_read()
-        return bytearray(data)
+        if len(slot) != SLOT_SIZE:
+            self.stats.event("pages.checksum_failures")
+            raise PageError(
+                f"short read on page {page_id} of {self.path} "
+                f"({len(slot)} of {SLOT_SIZE} bytes)"
+            )
+        try:
+            return bytearray(verify_page(self.path, page_id, slot))
+        except PageError:
+            self.stats.event("pages.checksum_failures")
+            raise
 
     def write_page(self, page_id: int, data: bytes) -> None:
         self._check(page_id)
         if len(data) != PAGE_SIZE:
             raise PageError(f"page payload must be {PAGE_SIZE} bytes, got {len(data)}")
-        os.pwrite(self._fd, data, page_id * PAGE_SIZE)
+        slot = seal_page(page_id, bytes(data))
+        offset = page_id * SLOT_SIZE
+        FAULTS.fire(
+            "pages.pwrite",
+            partial=lambda: os.pwrite(self._fd, slot[: SLOT_SIZE // 2], offset),
+        )
+        os.pwrite(self._fd, slot, offset)
         self.stats.block_write()
 
     def sync(self) -> None:
+        FAULTS.fire("pages.fsync")
         os.fsync(self._fd)
 
     def close(self) -> None:
@@ -69,6 +115,43 @@ class PagedFile:
     def _check(self, page_id: int) -> None:
         if page_id < 0 or page_id >= self._page_count:
             raise PageError(f"page {page_id} out of range (0..{self._page_count - 1})")
+
+    def _rebuild_legacy(self, pages: int) -> int:
+        """Append trailers to a pre-checksum file; returns the new size.
+
+        The rebuild goes through a temp file and an atomic ``rename``
+        so a crash mid-rebuild leaves either the old file or the new
+        one, never a half-converted hybrid.
+        """
+        scratch = self.path + ".rebuild"
+        fd = os.open(scratch, os.O_RDWR | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            for page_id in range(pages):
+                payload = os.pread(self._fd, PAGE_SIZE, page_id * PAGE_SIZE)
+                os.pwrite(fd, seal_page(page_id, payload), page_id * SLOT_SIZE)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(scratch, self.path)
+        _fsync_dir(os.path.dirname(self.path))
+        os.close(self._fd)
+        self._fd = os.open(self.path, os.O_RDWR, 0o644)
+        self.stats.event("recovery.pages_rebuilt", pages)
+        return pages * SLOT_SIZE
+
+
+def _fsync_dir(path: str) -> None:
+    """Flush a directory entry (file create/unlink) to the device."""
+    try:
+        fd = os.open(path or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem refuses dir fsync
+        pass
+    finally:
+        os.close(fd)
 
 
 class BufferPool:
@@ -145,6 +228,9 @@ class BufferPool:
                 {page_id: bytes(self._pages[page_id]) for page_id in self._dirty}
             )
         for page_id in sorted(self._dirty):
+            # Commit point passed: a crash from here on leaves a sealed
+            # journal, and reopen replays the whole batch.
+            FAULTS.fire("flush.apply")
             self.file.write_page(page_id, bytes(self._pages[page_id]))
         self._dirty.clear()
         if self.journal is not None:

@@ -75,6 +75,11 @@ class SystemStats:
     allocated: int = 0
     peak_allocated: int = 0
     samples: list[StatSample] = field(default_factory=list)
+    #: Durability/recovery event counters (``recovery.*``, ``fsck.*``,
+    #: ``pages.checksum_failures`` …): lifetime counts per name, kept
+    #: here so events fired before a tracer attaches (e.g. journal
+    #: replay at open) still surface in reports.
+    events: dict[str, int] = field(default_factory=dict)
     #: Optional metrics sink; when set, charges also bump trace counters.
     metrics: Optional["MetricsRegistry"] = None
 
@@ -107,6 +112,12 @@ class SystemStats:
         self.allocated = max(0, self.allocated - size)
         if self.metrics is not None:
             self.metrics.gauge("storage.allocated_bytes", self.allocated)
+
+    def event(self, name: str, count: int = 1) -> None:
+        """Count a durability/recovery event (``recovery.*``, ``fsck.*``)."""
+        self.events[name] = self.events.get(name, 0) + count
+        if self.metrics is not None:
+            self.metrics.inc(name, count)
 
     # -- derived quantities ---------------------------------------------------
 

@@ -208,3 +208,45 @@ def store_chunks(tree: BPlusTree, keys: Iterator[bytes] | list[bytes], chunks: l
 
 def load_chunks(tree: BPlusTree, prefix: bytes) -> list[bytes]:
     return [value for _key, value in tree.scan_prefix(prefix)]
+
+
+# ---------------------------------------------------------------------------
+# Integrity (xmorph fsck)
+# ---------------------------------------------------------------------------
+
+
+def verify_document(tree: BPlusTree, descriptor: dict) -> list[str]:
+    """Cross-check one document's records against its catalog descriptor.
+
+    Returns human-readable problem strings (empty when consistent):
+    the shape chunks must decode, every shape type id must intern in
+    order, and the Nodes keyspace must hold exactly the descriptor's
+    node count.  Byte-level damage is the checksum layer's job; this
+    catches *logical* tears — a flush that committed the catalog but
+    lost a table keyspace, or vice versa.
+    """
+    problems: list[str] = []
+    name = descriptor.get("name", "?")
+    doc_id = descriptor.get("doc_id")
+    if not isinstance(doc_id, int):
+        return [f"document {name!r}: descriptor has no valid doc_id"]
+    doc_key = doc_id.to_bytes(4, "big")
+    shape_chunks = load_chunks(tree, b"S" + doc_key)
+    if not shape_chunks:
+        problems.append(f"document {name!r}: no AdornedShapes records")
+    else:
+        try:
+            shape_info = decode_shape(shape_chunks)
+            type_ids = sorted(type_id for type_id, _path in shape_info["types"])
+            if type_ids != list(range(len(type_ids))):
+                problems.append(f"document {name!r}: shape type ids not dense")
+        except (ValueError, KeyError, TypeError) as error:
+            problems.append(f"document {name!r}: shape undecodable: {error}")
+    expected_nodes = descriptor.get("nodes")
+    stored_nodes = sum(1 for _ in tree.scan_prefix(b"N" + doc_key))
+    if expected_nodes is not None and stored_nodes != expected_nodes:
+        problems.append(
+            f"document {name!r}: catalog says {expected_nodes} nodes, "
+            f"Nodes keyspace holds {stored_nodes}"
+        )
+    return problems

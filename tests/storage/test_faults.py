@@ -1,0 +1,123 @@
+"""Tests for the failpoint registry and its storage-layer wiring."""
+
+import pytest
+
+from repro.errors import InjectedFaultError, StorageError
+from repro.faults import FAULTS, KNOWN_FAILPOINTS, FailpointRegistry, SimulatedCrash
+from repro.storage.pages import PAGE_SIZE, PagedFile
+from repro.storage.stats import SystemStats
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+class TestRegistry:
+    def test_unarmed_fire_is_noop(self):
+        registry = FailpointRegistry()
+        registry.fire("pages.pwrite")  # nothing armed: no raise
+
+    def test_unknown_name_rejected(self):
+        registry = FailpointRegistry()
+        with pytest.raises(StorageError):
+            registry.arm("no.such.site")
+
+    def test_unknown_action_rejected(self):
+        registry = FailpointRegistry()
+        with pytest.raises(StorageError):
+            registry.arm("pages.pwrite", action="explode")
+
+    def test_raise_action(self):
+        registry = FailpointRegistry()
+        registry.arm("pages.pwrite", action="raise")
+        with pytest.raises(InjectedFaultError) as excinfo:
+            registry.fire("pages.pwrite")
+        assert excinfo.value.code == "XM530"
+        assert excinfo.value.failpoint == "pages.pwrite"
+
+    def test_kill_action_is_not_an_exception_subclass(self):
+        # SimulatedCrash must escape `except Exception` handlers, like a
+        # real kill -9 escapes the process's own error handling.
+        registry = FailpointRegistry()
+        registry.arm("pages.fsync", action="kill")
+        with pytest.raises(SimulatedCrash):
+            try:
+                registry.fire("pages.fsync")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("SimulatedCrash was swallowed by `except Exception`")
+
+    def test_truncate_runs_partial_effect(self):
+        registry = FailpointRegistry()
+        registry.arm("journal.write", action="truncate")
+        ran = []
+        with pytest.raises(SimulatedCrash):
+            registry.fire("journal.write", partial=lambda: ran.append(1))
+        assert ran == [1]
+
+    def test_skip_counts_down(self):
+        registry = FailpointRegistry()
+        registry.arm("flush.apply", action="kill", skip=2)
+        registry.fire("flush.apply")
+        registry.fire("flush.apply")
+        with pytest.raises(SimulatedCrash):
+            registry.fire("flush.apply")
+
+    def test_armed_context_manager_disarms(self):
+        registry = FailpointRegistry()
+        with registry.armed("pages.pread", action="raise"):
+            assert registry.is_armed("pages.pread")
+            with pytest.raises(InjectedFaultError):
+                registry.fire("pages.pread")
+        assert not registry.is_armed("pages.pread")
+        registry.fire("pages.pread")
+
+    def test_counters(self):
+        registry = FailpointRegistry()
+        registry.arm("pages.pwrite", action="raise")
+        for _ in range(3):
+            with pytest.raises(InjectedFaultError):
+                registry.fire("pages.pwrite")
+        assert registry.counters() == {"faults.pages.pwrite": 3}
+        registry.reset()
+        assert registry.counters() == {}
+
+    def test_every_known_failpoint_armable(self):
+        registry = FailpointRegistry()
+        for name in KNOWN_FAILPOINTS:
+            registry.arm(name)
+        assert all(registry.is_armed(name) for name in KNOWN_FAILPOINTS)
+
+
+class TestStorageWiring:
+    def test_pwrite_raise_propagates(self, tmp_path):
+        file = PagedFile(str(tmp_path / "t.db"), SystemStats())
+        page = file.allocate()
+        with FAULTS.armed("pages.pwrite", action="raise"):
+            with pytest.raises(InjectedFaultError):
+                file.write_page(page, bytes(PAGE_SIZE))
+        file.close()
+
+    def test_pwrite_truncate_tears_the_slot(self, tmp_path):
+        # The torn half-slot must be caught by checksum verification.
+        file = PagedFile(str(tmp_path / "t.db"), SystemStats())
+        page = file.allocate()
+        file.write_page(page, bytes([1]) * PAGE_SIZE)
+        with FAULTS.armed("pages.pwrite", action="truncate"):
+            with pytest.raises(SimulatedCrash):
+                file.write_page(page, bytes([2]) * PAGE_SIZE)
+        from repro.errors import ChecksumError
+
+        with pytest.raises(ChecksumError):
+            file.read_page(page)
+        file.close()
+
+    def test_allocate_failpoint(self, tmp_path):
+        file = PagedFile(str(tmp_path / "t.db"), SystemStats())
+        with FAULTS.armed("pages.allocate", action="raise"):
+            with pytest.raises(InjectedFaultError):
+                file.allocate()
+        assert file.page_count == 0  # nothing half-allocated
+        file.close()

@@ -1,0 +1,166 @@
+"""Tests for ``xmorph fsck``: checksum scan, journal handling, repair."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.faults import FAULTS, SimulatedCrash
+from repro.storage import PAGE_SIZE, SLOT_SIZE, Database
+from repro.storage.fsck import fsck
+
+from tests.conftest import FIG1A
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+@pytest.fixture
+def stored(tmp_path):
+    path = str(tmp_path / "f.db")
+    with Database(path) as db:
+        db.store_document("a", FIG1A)
+    return path
+
+
+def _tear_page(path: str, page_id: int) -> None:
+    """Flip a payload byte without updating the trailer."""
+    with open(path, "r+b") as handle:
+        offset = page_id * SLOT_SIZE + 100
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestFsck:
+    def test_clean_store(self, stored):
+        report = fsck(stored)
+        assert report.ok
+        assert report.journal_status == "none"
+        assert report.pages_scanned > 0
+        assert report.checksum_failures == []
+        assert report.btree_problems == []
+        assert report.documents == ["a"]
+        assert report.events["fsck.pages_scanned"] == report.pages_scanned
+
+    def test_detects_torn_page(self, stored):
+        _tear_page(stored, 1)
+        report = fsck(stored)
+        assert not report.ok
+        assert report.checksum_failures == [1]
+        assert report.events["fsck.checksum_failures"] == 1
+
+    def test_detects_locked_database(self, stored):
+        with Database(stored):
+            report = fsck(stored)
+        assert report.locked and not report.ok
+        assert fsck(stored).ok  # lock released with the handle
+
+    def test_sealed_journal_reported_and_replayed(self, stored):
+        # Crash mid-apply: sealed journal on disk, main file torn.
+        db = Database(stored)
+        with FAULTS.armed("flush.apply", action="kill"):
+            with pytest.raises(SimulatedCrash):
+                db.store_document("b", FIG1A.replace("X", "XX"))
+        db.abandon()
+
+        report = fsck(stored)
+        assert report.journal_status == "sealed"
+        assert report.journal_pages > 0
+        assert not report.ok
+
+        repaired = fsck(stored, repair=True)
+        assert repaired.journal_status == "replayed"
+        assert repaired.ok, repaired.pretty()
+        assert repaired.events["fsck.journals_replayed"] == 1
+        assert not os.path.exists(stored + ".journal")
+        with Database(stored) as again:
+            assert sorted(again.document_names()) == ["a", "b"]
+
+    def test_corrupt_journal_quarantined_on_repair(self, stored):
+        journal_path = stored + ".journal"
+        with open(journal_path, "wb") as handle:
+            handle.write(b"XMJ2garbage-without-a-seal")
+        assert fsck(stored).journal_status == "corrupt"
+        assert os.path.exists(journal_path)  # no mutation without --repair
+
+        repaired = fsck(stored, repair=True)
+        assert repaired.journal_status == "quarantined"
+        assert not os.path.exists(journal_path)
+        assert os.path.exists(journal_path + ".corrupt")
+
+    def test_catalog_mismatch_detected(self, stored):
+        # Delete one Nodes record behind the catalog's back.
+        with Database(stored) as db:
+            doc_id = db.describe("a")["doc_id"]
+            prefix = b"N" + doc_id.to_bytes(4, "big")
+            key = next(iter(db.tree.scan_prefix(prefix)))[0]
+            db.tree.delete(key)
+        report = fsck(stored)
+        assert not report.ok
+        assert any("nodes" in problem.lower() for problem in report.document_problems)
+
+    def test_legacy_file_rebuilt_with_repair(self, stored):
+        # Strip the trailers to fabricate a pre-checksum legacy file.
+        with open(stored, "rb") as handle:
+            raw = handle.read()
+        pages = len(raw) // SLOT_SIZE
+        with open(stored, "wb") as handle:
+            for page_id in range(pages):
+                handle.write(raw[page_id * SLOT_SIZE : page_id * SLOT_SIZE + PAGE_SIZE])
+
+        unrepaired = fsck(stored)
+        assert not unrepaired.ok
+        assert any("legacy" in error for error in unrepaired.errors)
+
+        repaired = fsck(stored, repair=True)
+        assert repaired.ok, repaired.pretty()
+        assert repaired.events["recovery.pages_rebuilt"] == pages
+        with Database(stored) as again:
+            assert again.document_names() == ["a"]
+
+    def test_legacy_file_rebuilt_on_normal_open(self, stored):
+        with open(stored, "rb") as handle:
+            raw = handle.read()
+        pages = len(raw) // SLOT_SIZE
+        with open(stored, "wb") as handle:
+            for page_id in range(pages):
+                handle.write(raw[page_id * SLOT_SIZE : page_id * SLOT_SIZE + PAGE_SIZE])
+        with Database(stored) as db:
+            assert db.document_names() == ["a"]
+            assert db.stats.events["recovery.pages_rebuilt"] == pages
+        assert fsck(stored).ok
+
+
+class TestFsckCli:
+    def test_clean_exit_zero(self, stored, capsys):
+        assert main(["fsck", "--db", stored]) == 0
+        out = capsys.readouterr().out
+        assert "status: clean" in out
+
+    def test_torn_page_exit_one(self, stored, capsys):
+        _tear_page(stored, 1)
+        assert main(["fsck", "--db", stored]) == 1
+        assert "checksum mismatch" in capsys.readouterr().out
+
+    def test_json_report(self, stored, capsys):
+        _tear_page(stored, 1)
+        assert main(["fsck", "--db", stored, "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["checksum_failures"] == [1]
+
+    def test_repair_replays_sealed_journal(self, stored, capsys):
+        db = Database(stored)
+        with FAULTS.armed("flush.apply", action="kill"):
+            with pytest.raises(SimulatedCrash):
+                db.store_document("b", FIG1A.replace("X", "XX"))
+        db.abandon()
+        assert main(["fsck", "--db", stored, "--repair"]) == 0
+        assert "replayed" in capsys.readouterr().out

@@ -30,7 +30,7 @@ class TestJournalFile:
         journal.write({})
         assert journal.pending() is None
 
-    def test_unsealed_journal_discarded(self, tmp_path):
+    def test_unsealed_journal_quarantined(self, tmp_path):
         path = tmp_path / "j"
         journal = Journal(str(path))
         journal.write({1: bytes(PAGE_SIZE)})
@@ -38,9 +38,11 @@ class TestJournalFile:
         raw = path.read_bytes()
         path.write_bytes(raw[:-2])
         assert journal.pending() is None
-        assert not path.exists()  # discarded
+        # Forensic evidence preserved, not deleted.
+        assert not path.exists()
+        assert (tmp_path / "j.corrupt").exists()
 
-    def test_torn_write_mid_batch_discarded(self, tmp_path):
+    def test_torn_write_mid_batch_quarantined(self, tmp_path):
         # A crash partway through the journal write leaves a torn file:
         # header + some page images, no seal.  Recovery must treat it as
         # never-written (the main file was not touched yet).
@@ -52,7 +54,54 @@ class TestJournalFile:
         # Truncate in the middle of the third page image.
         path.write_bytes(raw[: len(raw) // 2])
         assert journal.pending() is None
-        assert not path.exists()  # discarded
+        assert not path.exists()
+        assert (tmp_path / "j.corrupt").exists()
+
+    def test_discarded_journal_counted(self, tmp_path):
+        stats = SystemStats()
+        path = tmp_path / "j"
+        journal = Journal(str(path), stats=stats)
+        journal.write({1: bytes(PAGE_SIZE)})
+        path.write_bytes(path.read_bytes()[:-1])
+        assert journal.pending() is None
+        assert stats.events["recovery.discarded_journals"] == 1
+
+    def test_crc_failure_quarantined(self, tmp_path):
+        # A sealed, size-correct journal whose body was bit-flipped must
+        # fail its CRC and be quarantined, never replayed.
+        path = tmp_path / "j"
+        journal = Journal(str(path))
+        journal.write({0: bytes([7]) * PAGE_SIZE})
+        raw = bytearray(path.read_bytes())
+        raw[200] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert journal.pending() is None
+        assert (tmp_path / "j.corrupt").exists()
+
+    def test_inspect_is_nondestructive(self, tmp_path):
+        path = tmp_path / "j"
+        journal = Journal(str(path))
+        journal.write({1: bytes(PAGE_SIZE)})
+        path.write_bytes(path.read_bytes()[:-1])
+        assert journal.inspect() == ("corrupt", None)
+        assert path.exists()  # inspect never quarantines
+
+    def test_directory_entry_fsynced(self, tmp_path, monkeypatch):
+        # The journal's directory entry must be made durable after the
+        # file is created and after it is unlinked — otherwise a crash
+        # can lose the entry while the main file is already torn.
+        synced: list[int] = []
+        import repro.storage.journal as journal_module
+
+        real = journal_module._fsync_dir
+        monkeypatch.setattr(
+            journal_module, "_fsync_dir", lambda p: (synced.append(1), real(p))
+        )
+        journal = Journal(str(tmp_path / "j"))
+        journal.write({0: bytes(PAGE_SIZE)})
+        assert len(synced) == 1  # after create+fsync
+        journal.clear()
+        assert len(synced) == 2  # after unlink
 
     def test_torn_write_with_lucky_seal_bytes_discarded(self, tmp_path):
         # Torn mid-batch but the truncation point happens to end in the

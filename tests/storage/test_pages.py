@@ -70,6 +70,69 @@ class TestPagedFile:
         with pytest.raises(PageError):
             PagedFile(str(path), SystemStats())
 
+    def test_misaligned_file_does_not_leak_fd(self, tmp_path):
+        # Regression: the constructor used to raise after os.open
+        # without closing the descriptor.
+        path = tmp_path / "bad.db"
+        path.write_bytes(b"x" * 100)
+        for _ in range(5):
+            before = len(os.listdir("/proc/self/fd"))
+            with pytest.raises(PageError):
+                PagedFile(str(path), SystemStats())
+            assert len(os.listdir("/proc/self/fd")) == before
+
+
+class TestChecksums:
+    def test_bitflip_detected_on_read(self, tmp_path):
+        from repro.errors import ChecksumError
+        from repro.storage.pages import SLOT_SIZE
+
+        path = str(tmp_path / "c.db")
+        file = PagedFile(path, SystemStats())
+        page = file.allocate()
+        file.write_page(page, bytes([5]) * PAGE_SIZE)
+        file.close()
+        with open(path, "r+b") as handle:
+            handle.seek(page * SLOT_SIZE + 17)
+            handle.write(b"\xff")
+        again = PagedFile(path, SystemStats())
+        with pytest.raises(ChecksumError) as excinfo:
+            again.read_page(page)
+        assert excinfo.value.code == "XM510"
+        assert excinfo.value.page_id == page
+        assert again.stats.events["pages.checksum_failures"] == 1
+        again.close()
+
+    def test_misdirected_write_detected(self, tmp_path):
+        # Swap two slots wholesale: each CRC matches its payload but not
+        # its location, because the page id is part of the checksum.
+        from repro.errors import ChecksumError
+        from repro.storage.pages import SLOT_SIZE
+
+        path = str(tmp_path / "m.db")
+        file = PagedFile(path, SystemStats())
+        for value in (1, 2):
+            page = file.allocate()
+            file.write_page(page, bytes([value]) * PAGE_SIZE)
+        file.close()
+        with open(path, "r+b") as handle:
+            raw = handle.read()
+            handle.seek(0)
+            handle.write(raw[SLOT_SIZE:] + raw[:SLOT_SIZE])
+        again = PagedFile(path, SystemStats())
+        with pytest.raises(ChecksumError):
+            again.read_page(0)
+        again.close()
+
+    def test_crc32c_known_answer(self):
+        from repro.storage.checksum import crc32c
+
+        # The canonical CRC32C check vector (RFC 3720 appendix B.4).
+        assert crc32c(b"123456789") == 0xE3069283
+        assert crc32c(b"") == 0
+        # Incremental == one-shot.
+        assert crc32c(b"6789", crc32c(b"12345")) == 0xE3069283
+
 
 class TestBufferPool:
     def test_cached_read_is_free(self, paged):
