@@ -1,0 +1,157 @@
+"""Parallel-serving benchmark: throughput versus worker count.
+
+Measures the workload ``repro.serve`` exists for — the same small set
+of guards evaluated many times over an unchanged store, the shape of a
+read-heavy query-serving tier — as requests/second at 1, 2, 4 and 8
+workers against a serial baseline, and writes ``BENCH_parallel.json``
+(schema ``xmorph-bench-parallel/v1``).
+
+The report is honest about the GIL: pure-Python render work cannot
+exceed ~1 core, so the expected win is *not* linear scaling but (a)
+plan-cache single-flight keeping N identical compiles at one, (b)
+shared join memos and buffer pool across workers, and (c) latency
+hiding once real block I/O or C-level parsing releases the lock.  The
+measured ratio plus that analysis lands in the report's ``analysis``
+field; ``docs/CONCURRENCY.md`` discusses it at length.
+
+Reused via ``xmorph bench --parallel`` and the CI concurrency job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Optional, Sequence
+
+from repro.serve import TransformPool
+from repro.storage.database import Database
+from repro.workloads.dblp import generate_dblp
+
+SCHEMA = "xmorph-bench-parallel/v1"
+
+#: The restrict-guard workload: a RESTRICT semi-join is the most
+#: cache-cooperative request (join memos + plan cache + hot pool pages).
+DEFAULT_GUARDS = {
+    "restrict": "CAST MORPH (RESTRICT year [ ee ])",
+    "medium": "CAST MORPH author [ title [ year ] ]",
+}
+
+DEFAULT_WORKERS = (1, 2, 4, 8)
+
+
+def _run_batch(db: Database, requests, workers: int, repeat: int = 2) -> dict:
+    """The best of ``repeat`` timed batches (damps scheduler/GC noise,
+    which at millisecond-per-request scale otherwise swamps the
+    threading signal)."""
+    best = None
+    for _ in range(max(1, repeat)):
+        wall_start = time.perf_counter()
+        if workers <= 0:
+            for name, guard in requests:  # the serial baseline: no pool at all
+                db.transform(name, guard)
+        else:
+            with TransformPool(db, workers=workers) as pool:
+                pool.transform_many(requests)
+        wall = time.perf_counter() - wall_start
+        if best is None or wall < best:
+            best = wall
+    return {
+        "workers": max(workers, 0),
+        "requests": len(requests),
+        "wall_seconds": best,
+        "throughput_rps": len(requests) / best if best else 0.0,
+    }
+
+
+def run_parallel_bench(
+    output_path: Optional[str] = None,
+    publications: int = 400,
+    requests: int = 64,
+    workers: Sequence[int] = DEFAULT_WORKERS,
+    guards: Optional[dict[str, str]] = None,
+    db_path: Optional[str] = None,
+) -> dict:
+    """Benchmark ``transform_many`` throughput over a DBLP slice.
+
+    ``requests`` transforms per batch, cycling through ``guards``; one
+    serial baseline batch, then one batch per entry in ``workers``.
+    Caches are *warm* (the serving steady state): a priming pass
+    compiles every guard first, so the batches measure render
+    throughput, not first-compile latency.
+    """
+    guards = guards or DEFAULT_GUARDS
+    scratch: Optional[tempfile.TemporaryDirectory] = None
+    if db_path is None:
+        scratch = tempfile.TemporaryDirectory(prefix="xmorph-bench-parallel-")
+        db_path = os.path.join(scratch.name, "bench.db")
+    try:
+        db = Database(db_path, durable=False)
+        try:
+            forest = generate_dblp(publications)
+            descriptor = db.store_document("dblp", forest)
+            guard_list = list(guards.values())
+            batch = [
+                ("dblp", guard_list[i % len(guard_list)]) for i in range(requests)
+            ]
+            for guard in guard_list:  # prime plan cache + sequences
+                db.transform("dblp", guard)
+
+            serial = _run_batch(db, batch, workers=0)
+            runs = [_run_batch(db, batch, workers=count) for count in workers]
+            best = max(runs, key=lambda run: run["throughput_rps"])
+            speedup = (
+                best["throughput_rps"] / serial["throughput_rps"]
+                if serial["throughput_rps"]
+                else 0.0
+            )
+            report = {
+                "schema": SCHEMA,
+                "generated_unix": int(time.time()),
+                "workload": {
+                    "generator": "dblp",
+                    "publications": publications,
+                    "seed": 42,
+                    "nodes": descriptor["nodes"],
+                    "guards": guards,
+                    "requests_per_batch": requests,
+                },
+                "serial": serial,
+                "parallel": runs,
+                "best_workers": best["workers"],
+                "speedup_vs_serial": speedup,
+                "plan_cache": db.plan_cache.stats(),
+                "serve_counters": {
+                    name: count
+                    for name, count in sorted(db.stats.events.items())
+                    if name.startswith("serve.")
+                },
+                "analysis": _analysis(speedup),
+            }
+        finally:
+            db.close()
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    if output_path:
+        with open(output_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    return report
+
+
+def _analysis(speedup: float) -> str:
+    """One honest sentence about what the measured ratio means."""
+    if speedup >= 2.0:
+        return (
+            f"{speedup:.2f}x vs serial: threads overlap C-level page decoding "
+            "and I/O enough to beat the GIL's single-core ceiling here."
+        )
+    return (
+        f"{speedup:.2f}x vs serial: the render loop is pure-Python dict/string "
+        "work, so CPython's GIL serializes it onto one core; the pool still "
+        "buys single-flight compilation, shared join memos and bounded-queue "
+        "backpressure, and the same code scales on free-threaded builds. "
+        "See docs/CONCURRENCY.md#gil for the full analysis."
+    )

@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.obs import tracer as obs
 
@@ -90,63 +91,133 @@ class PlanCache:
 
     ``capacity <= 0`` disables the cache (every lookup misses, nothing
     is retained) — the ``Database(cache_plans=0)`` knob.
+
+    The cache is thread-safe: one re-entrant lock guards the LRU map and
+    the counters, so a :class:`~repro.serve.TransformPool`'s workers can
+    hit it concurrently without losing invalidations or corrupting the
+    recency order.  :meth:`get_or_compile` adds *single-flight*
+    compilation on top: when N threads miss on the same key at once, one
+    compiles while the rest wait on a per-key event and reuse the
+    result — ``contended`` (metric ``plan_cache.contended``) counts the
+    waiters that would have duplicated work.
     """
 
     def __init__(self, capacity: int = 64):
         self.capacity = capacity
+        self._lock = threading.RLock()
         self._plans: OrderedDict[tuple[str, str], CompiledPlan] = OrderedDict()
+        #: Keys currently being compiled by some thread (single-flight).
+        self._in_flight: dict[tuple[str, str], threading.Event] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.contended = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, key: tuple[str, str]) -> bool:
-        return key in self._plans
+        with self._lock:
+            return key in self._plans
 
     def get(self, guard: str, fingerprint: str) -> Optional[CompiledPlan]:
-        plan = self._plans.get((guard, fingerprint))
-        if plan is None:
-            self.misses += 1
-            obs.count("plan_cache.misses")
-            return None
-        self.hits += 1
-        obs.count("plan_cache.hits")
-        self._plans.move_to_end((guard, fingerprint))
-        return plan
+        with self._lock:
+            plan = self._plans.get((guard, fingerprint))
+            if plan is None:
+                self.misses += 1
+                obs.count("plan_cache.misses")
+                return None
+            self.hits += 1
+            obs.count("plan_cache.hits")
+            self._plans.move_to_end((guard, fingerprint))
+            return plan
 
     def put(self, plan: CompiledPlan) -> None:
         if self.capacity <= 0:
             return
-        key = (plan.guard, plan.fingerprint)
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        while len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
-            self.evictions += 1
-            obs.count("plan_cache.evictions")
+        with self._lock:
+            key = (plan.guard, plan.fingerprint)
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+                obs.count("plan_cache.evictions")
+
+    def get_or_compile(
+        self,
+        guard: str,
+        fingerprint: str,
+        compile_plan: Callable[[], CompiledPlan],
+    ) -> CompiledPlan:
+        """A cached plan, compiling (single-flight) on miss.
+
+        At most one thread runs ``compile_plan`` for a given key at a
+        time; concurrent requesters block until it finishes, then re-read
+        the cache.  If the compiling thread fails (or the plan was
+        invalidated before the waiter woke), the waiter takes over and
+        compiles itself — an invalidation between compile and wake-up
+        must win, never be papered over by a stale shared result.
+        """
+        key = (guard, fingerprint)
+        while True:
+            with self._lock:
+                plan = self._plans.get(key)
+                if plan is not None:
+                    self.hits += 1
+                    obs.count("plan_cache.hits")
+                    self._plans.move_to_end(key)
+                    return plan
+                pending = self._in_flight.get(key)
+                if pending is None:
+                    self.misses += 1
+                    obs.count("plan_cache.misses")
+                    pending = self._in_flight[key] = threading.Event()
+                    leader = True
+                else:
+                    self.contended += 1
+                    obs.count("plan_cache.contended")
+                    leader = False
+            if leader:
+                try:
+                    plan = compile_plan()
+                    self.put(plan)
+                    return plan
+                finally:
+                    with self._lock:
+                        self._in_flight.pop(key, None)
+                    pending.set()
+            else:
+                pending.wait()
+                # Loop: either the leader's plan is now cached (hit), or
+                # it failed/was invalidated and this thread becomes the
+                # new leader.
 
     def invalidate(self, fingerprint: str) -> int:
         """Drop every plan compiled against one shape fingerprint."""
-        victims = [key for key in self._plans if key[1] == fingerprint]
-        for key in victims:
-            del self._plans[key]
-        self.invalidations += len(victims)
-        if victims:
-            obs.count("plan_cache.invalidations", len(victims))
-        return len(victims)
+        with self._lock:
+            victims = [key for key in self._plans if key[1] == fingerprint]
+            for key in victims:
+                del self._plans[key]
+            self.invalidations += len(victims)
+            if victims:
+                obs.count("plan_cache.invalidations", len(victims))
+            return len(victims)
 
     def clear(self) -> None:
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
     def stats(self) -> dict:
-        return {
-            "entries": len(self._plans),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._plans),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "contended": self.contended,
+            }

@@ -17,6 +17,8 @@ Examples::
     xmorph run books.xml "MORPH author [ name ]" --profile
     xmorph trace --db bib.db dblp "MORPH author" --json
     xmorph fsck --db bib.db --repair
+    xmorph serve --db bib.db --workers 8 --readonly
+    xmorph bench --parallel --workers 8
 """
 
 from __future__ import annotations
@@ -217,7 +219,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = commands.add_parser(
         "bench",
-        help="repeated-guard pipeline benchmark (cold vs warm caches)",
+        help="pipeline benchmarks: cold-vs-warm caches, or --parallel throughput",
     )
     bench.add_argument(
         "--publications", type=int, default=800, help="DBLP slice size (records)"
@@ -228,8 +230,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--output",
         "-o",
-        default="BENCH_pipeline.json",
-        help="where to write the JSON report ('-' for stdout only)",
+        default=None,
+        help=(
+            "where to write the JSON report ('-' for stdout only; default "
+            "BENCH_pipeline.json, or BENCH_parallel.json with --parallel)"
+        ),
     )
     bench.add_argument(
         "--guard",
@@ -237,7 +242,62 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bench this guard instead of the defaults (repeatable)",
     )
+    bench.add_argument(
+        "--parallel",
+        action="store_true",
+        help="measure transform_many throughput vs worker count instead",
+    )
+    bench.add_argument(
+        "--requests",
+        type=int,
+        default=64,
+        help="transforms per batch in --parallel mode",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        action="append",
+        default=None,
+        help="worker count to measure in --parallel mode (repeatable; default 1 2 4 8)",
+    )
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve transform requests over stdin/stdout or TCP",
+        description=(
+            "A line-oriented request loop over a stored database: each "
+            "input line is a JSON object {\"id\": ..., \"doc\": NAME, "
+            "\"guard\": GUARD, \"stream\": bool}, each output line the "
+            "matching {\"id\": ..., \"ok\": ..., \"xml\"|\"error\": ...} "
+            "response.  {\"cmd\": \"stats\"} reports serve.* counters, "
+            "{\"cmd\": \"quit\"} (or EOF) ends the session.  Requests are "
+            "evaluated on a shared thread pool; with --port, a threading "
+            "TCP server runs the same loop per connection."
+        ),
+    )
+    serve.add_argument("--db", required=True, help="database file to serve")
+    serve.add_argument(
+        "--workers", type=int, default=4, help="transform pool threads"
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds (XM540 on miss)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="listen on 127.0.0.1:PORT instead of stdin/stdout",
+    )
+    serve.add_argument(
+        "--readonly",
+        action="store_true",
+        help="open the store with a shared reader lock (mode='r')",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 
@@ -476,12 +536,46 @@ def _cmd_explain(arguments) -> int:
 def _cmd_bench(arguments) -> int:
     import json as json_module
 
-    from repro.bench.pipeline import run_pipeline_bench
-
     guards = None
     if arguments.guard:
         guards = {f"guard{i}": g for i, g in enumerate(arguments.guard)}
-    output = None if arguments.output == "-" else arguments.output
+    default_output = (
+        "BENCH_parallel.json" if arguments.parallel else "BENCH_pipeline.json"
+    )
+    raw_output = arguments.output if arguments.output is not None else default_output
+    output = None if raw_output == "-" else raw_output
+
+    if arguments.parallel:
+        from repro.bench.parallel import run_parallel_bench
+
+        report = run_parallel_bench(
+            output_path=output,
+            publications=arguments.publications,
+            requests=arguments.requests,
+            workers=tuple(arguments.workers) if arguments.workers else (1, 2, 4, 8),
+            guards=guards,
+        )
+        print(
+            f"serial   {report['serial']['throughput_rps']:8.1f} req/s"
+            f"  over {report['serial']['requests']} requests"
+        )
+        for run in report["parallel"]:
+            print(
+                f"x{run['workers']:<7} {run['throughput_rps']:8.1f} req/s"
+                f"  ({run['wall_seconds'] * 1000:.1f} ms)"
+            )
+        print(
+            f"best: {report['speedup_vs_serial']:.2f}x at "
+            f"{report['best_workers']} workers — {report['analysis']}"
+        )
+        if output is None:
+            print(json_module.dumps(report, indent=2))
+        else:
+            print(f"wrote {output}")
+        return 0
+
+    from repro.bench.pipeline import run_pipeline_bench
+
     report = run_pipeline_bench(
         output_path=output,
         publications=arguments.publications,
@@ -502,6 +596,43 @@ def _cmd_bench(arguments) -> int:
         print(json_module.dumps(report, indent=2))
     else:
         print(f"wrote {output}")
+    return 0
+
+
+def _cmd_serve(arguments) -> int:
+    from repro.serve import serve_forever, serve_loop
+
+    mode = "r" if arguments.readonly else "w"
+    with Database(arguments.db, mode=mode) as db:
+        if arguments.port is not None:
+            server = serve_forever(
+                db,
+                port=arguments.port,
+                workers=arguments.workers,
+                deadline=arguments.deadline,
+            )
+            host, port = server.server_address[:2]
+            print(f"serving {arguments.db} on {host}:{port}", file=sys.stderr)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:  # pragma: no cover - interactive exit
+                pass
+            finally:
+                server.shutdown()
+                server.server_close()
+            return 0
+        stats = serve_loop(
+            db,
+            sys.stdin,
+            sys.stdout,
+            workers=arguments.workers,
+            deadline=arguments.deadline,
+        )
+        print(
+            f"served {stats.requests} requests "
+            f"({stats.ok} ok, {stats.errors} errors)",
+            file=sys.stderr,
+        )
     return 0
 
 

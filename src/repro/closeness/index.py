@@ -21,6 +21,7 @@ numbers in these sequences:
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator, Optional
 
 from repro.obs import tracer as obs
@@ -56,6 +57,11 @@ class BaseIndex:
         self._pair_maps: dict[tuple[int, int], dict[int, list[XmlNode]]] = {}
         #: (type_id, filter vertex uid) -> ids of nodes passing the filter
         self._filter_memo: dict[tuple[int, int], set[int]] = {}
+        #: Guards both memos (and, in subclasses, lazy sequence loads):
+        #: a parallel executor renders many guards over one shared index,
+        #: and every hit must see a fully-built map.  Re-entrant because
+        #: the filter memo recurses and nests inside the join memo.
+        self._memo_lock = threading.RLock()
         self.join_cache_hits = 0
         self.join_cache_misses = 0
 
@@ -120,22 +126,23 @@ class BaseIndex:
         must treat the returned map and its lists as immutable.
         """
         key = (first.type_id, second.type_id)
-        cached = self._pair_maps.get(key)
-        if cached is not None:
-            self.join_cache_hits += 1
-            obs.count("join_cache.hits")
-            return cached
-        self.join_cache_misses += 1
-        obs.count("join_cache.misses")
-        mapping: dict[int, list[XmlNode]] = {}
-        level = self.closest_lca_level(first, second)
-        if level is not None:
-            for anchor, partner in closest_join(
-                self.nodes_of(first), self.nodes_of(second), level
-            ):
-                mapping.setdefault(id(anchor), []).append(partner)
-        self._pair_maps[key] = mapping
-        return mapping
+        with self._memo_lock:
+            cached = self._pair_maps.get(key)
+            if cached is not None:
+                self.join_cache_hits += 1
+                obs.count("join_cache.hits")
+                return cached
+            self.join_cache_misses += 1
+            obs.count("join_cache.misses")
+            mapping: dict[int, list[XmlNode]] = {}
+            level = self.closest_lca_level(first, second)
+            if level is not None:
+                for anchor, partner in closest_join(
+                    self.nodes_of(first), self.nodes_of(second), level
+                ):
+                    mapping.setdefault(id(anchor), []).append(partner)
+            self._pair_maps[key] = mapping
+            return mapping
 
     def restrict_pass(
         self, nodes: list[XmlNode], data_type: DataType, filter_shape: Shape
@@ -150,12 +157,14 @@ class BaseIndex:
         prefix (O(n+m)), and memoized per (type, filter vertex) pair.
         """
         root = filter_shape.roots()[0]
-        allowed = self._filter_survivors(data_type, filter_shape, root)
+        with self._memo_lock:
+            allowed = self._filter_survivors(data_type, filter_shape, root)
         return [node for node in nodes if id(node) in allowed]
 
     def _filter_survivors(
         self, data_type: DataType, filter_shape: Shape, vertex: ShapeType
     ) -> set[int]:
+        # Caller holds _memo_lock (re-entrant, so recursion is free).
         key = (data_type.type_id, vertex.uid)
         cached = self._filter_memo.get(key)
         if cached is not None:
@@ -198,8 +207,9 @@ class BaseIndex:
 
     def drop_join_cache(self) -> None:
         """Forget memoized joins/filters (on node sequence invalidation)."""
-        self._pair_maps.clear()
-        self._filter_memo.clear()
+        with self._memo_lock:
+            self._pair_maps.clear()
+            self._filter_memo.clear()
 
     def closest_partners(self, anchor: XmlNode, target: DataType) -> list[XmlNode]:
         """The ``target``-typed nodes closest to one ``anchor`` node."""

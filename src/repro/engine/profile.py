@@ -130,18 +130,38 @@ class ProfileReport:
                     f"entries={plan_cache['entries']} "
                     f"hits={plan_cache['hits']} "
                     f"misses={plan_cache['misses']} "
-                    f"evictions={plan_cache['evictions']}"
+                    f"evictions={plan_cache['evictions']} "
+                    f"contended={plan_cache.get('contended', 0)}"
                 )
             events = self.storage.get("events")
+            serving = {
+                name: count for name, count in (events or {}).items()
+                if name.startswith("serve.")
+            }
+            if serving:
+                # Lifetime serving counters (requests, timeouts, serial
+                # degradations) for this database handle.
+                lines.append(
+                    "serving: "
+                    + " ".join(f"{name}={count}" for name, count in sorted(serving.items()))
+                )
             if events:
+                durability = {
+                    name: count for name, count in events.items()
+                    if not name.startswith("serve.")
+                }
                 # recovery.* / fsck.* / faults.* durability counters —
                 # lifetime totals for this database handle, so journal
                 # replays at open show up even though they predate the
                 # trace.
-                lines.append(
-                    "durability: "
-                    + " ".join(f"{name}={count}" for name, count in sorted(events.items()))
-                )
+                if durability:
+                    lines.append(
+                        "durability: "
+                        + " ".join(
+                            f"{name}={count}"
+                            for name, count in sorted(durability.items())
+                        )
+                    )
         return "\n".join(lines)
 
     def span_tree(self) -> str:

@@ -213,16 +213,24 @@ class ChecksumError(PageError):
 
 
 class DatabaseLockedError(StorageError):
-    """Another live process holds the database's single-writer lock."""
+    """A conflicting handle holds the database's advisory lock.
+
+    Writers take an exclusive lock, readers a shared one, so this fires
+    for writer-vs-writer, writer-vs-reader and reader-vs-writer — any
+    combination except reader-vs-reader (see ``docs/CONCURRENCY.md``).
+    """
 
     code = "XM520"
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, wanted: str = "exclusive"):
+        holder = "a writer" if wanted == "shared" else "another handle"
         super().__init__(
-            f"[XM520] database {path!r} is locked by another process "
-            "(the store is single-writer; close the other handle first)"
+            f"[XM520] database {path!r} is locked by {holder} "
+            f"(wanted a {wanted} lock; the store is single-writer, "
+            "many-reader — close the conflicting handle first)"
         )
         self.path = path
+        self.wanted = wanted
 
 
 class InjectedFaultError(StorageError):
@@ -233,6 +241,39 @@ class InjectedFaultError(StorageError):
     def __init__(self, failpoint: str):
         super().__init__(f"[XM530] injected fault at failpoint {failpoint!r}")
         self.failpoint = failpoint
+
+
+class TransformTimeoutError(StorageError):
+    """A served transform missed its deadline (``repro.serve``).
+
+    The worker thread cannot be killed mid-render; it keeps running and
+    its (late) result is discarded.  ``serve.timeouts`` counts these.
+    """
+
+    code = "XM540"
+
+    def __init__(self, name: str, guard: str, deadline: float):
+        super().__init__(
+            f"[XM540] transform of {name!r} missed its {deadline:.3f}s "
+            f"deadline (guard {guard!r})"
+        )
+        self.name = name
+        self.guard = guard
+        self.deadline = deadline
+
+
+class ReadOnlyDatabaseError(StorageError):
+    """A mutation was attempted through a ``mode="r"`` database handle."""
+
+    code = "XM550"
+
+    def __init__(self, path: str, operation: str):
+        super().__init__(
+            f"[XM550] cannot {operation}: {path!r} is open read-only "
+            '(reopen with mode="w" to mutate)'
+        )
+        self.path = path
+        self.operation = operation
 
 
 class DocumentNotFoundError(StorageError):

@@ -10,6 +10,7 @@ in ``docs/OBSERVABILITY.md``.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 
@@ -58,28 +59,40 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """All counters/gauges/histograms of one tracer."""
+    """All counters/gauges/histograms of one tracer.
 
-    __slots__ = ("counters", "gauges", "histograms")
+    Updates are atomic: counter increments are read-modify-write, and a
+    registry attached to a :class:`~repro.storage.stats.SystemStats`
+    receives charges from every worker thread of a
+    :class:`~repro.serve.TransformPool` at once.  One shared lock keeps
+    the unobserved path cheap (the registry is only attached while a
+    tracer is active) and the observed path exact.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms", "_lock")
 
     def __init__(self):
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- updates -----------------------------------------------------------
 
     def inc(self, name: str, value: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        histogram = self.histograms.get(name)
-        if histogram is None:
-            histogram = self.histograms[name] = Histogram()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.observe(value)
 
     # -- reads -------------------------------------------------------------
 
@@ -97,7 +110,7 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry into this one (counters add, gauges
         overwrite, histograms combine)."""
-        for name, value in other.counters.items():
+        for name, value in list(other.counters.items()):
             self.inc(name, value)
         self.gauges.update(other.gauges)
         for name, histogram in other.histograms.items():
@@ -134,6 +147,7 @@ class MetricsRegistry:
         return registry
 
     def clear(self) -> None:
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()

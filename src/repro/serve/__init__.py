@@ -1,0 +1,25 @@
+"""Concurrent query serving over a shared database handle.
+
+The paper's query-guard model makes transforms *read-only* over the
+shredded store — exactly the workload that parallelizes once snapshot
+reads exist.  This package is the serving layer on top of the
+thread-safe storage/cache substrate:
+
+* :class:`TransformPool` — a bounded thread-pool executor for guard
+  transforms with per-request deadlines (``XM540`` on miss), graceful
+  degradation to serial execution on queue exhaustion, and ``serve.*``
+  counters wired into :mod:`repro.obs` and ``EXPLAIN ANALYZE``;
+* :func:`serve_loop` / :func:`serve_forever` — a line-oriented JSON
+  request loop (stdin/stdout or TCP) behind ``xmorph serve``;
+* :meth:`Database.transform_many <repro.storage.Database.transform_many>`
+  — the batched convenience API.
+
+Concurrency model, lock ordering and pool sizing advice live in
+``docs/CONCURRENCY.md``.  Correctness is pinned by the property-based
+suite in ``tests/serve``: parallel output is byte-identical to serial.
+"""
+
+from repro.serve.pool import TransformPool
+from repro.serve.server import ServeStats, serve_forever, serve_loop
+
+__all__ = ["TransformPool", "ServeStats", "serve_forever", "serve_loop"]

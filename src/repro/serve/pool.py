@@ -1,0 +1,207 @@
+"""The parallel transform executor.
+
+A :class:`TransformPool` runs guard transforms for one shared
+:class:`~repro.storage.Database` on a ``ThreadPoolExecutor``.  Threads
+(not processes) are the right shape here: the hot loops are C-level
+work — B+tree page decoding over ``struct``, dict lookups, string
+joins — interleaved under the GIL, and every worker must share one
+buffer pool, plan cache and join-memo set, which is exactly what the
+lock-guarded substrate provides.  Whether the GIL *caps* the speedup is
+an empirical question answered honestly by ``xmorph bench --parallel``
+(see ``BENCH_parallel.json`` and ``docs/CONCURRENCY.md``).
+
+Semantics:
+
+* results are byte-identical to serial evaluation (the property suite
+  in ``tests/serve`` pins this);
+* each request may carry a wall-clock ``deadline``; a miss raises
+  :class:`~repro.errors.TransformTimeoutError` (``XM540``) — the worker
+  thread cannot be killed and finishes in the background, its result
+  discarded;
+* the submission queue is bounded (``max_queue``); past the bound the
+  pool *degrades gracefully to serial*: the submitting thread runs the
+  transform inline instead of queueing unboundedly
+  (``serve.degraded_serial`` counts these).
+
+Every lifecycle edge feeds ``serve.*`` counters through both
+:meth:`SystemStats.event` (lifetime, shows in ``EXPLAIN ANALYZE``'s
+durability line) and the active tracer.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from io import StringIO
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import TransformTimeoutError
+from repro.obs import tracer as obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.interpreter import TransformResult
+    from repro.storage.database import Database
+
+
+class TransformPool:
+    """A thread pool evaluating guard transforms over one database.
+
+    ``workers <= 1`` short-circuits to inline serial execution (no
+    threads are created), so callers can scale down without branching.
+    A pool is a context manager; exiting shuts the executor down after
+    draining in-flight work.
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        workers: int = 8,
+        deadline: Optional[float] = None,
+        max_queue: Optional[int] = None,
+    ):
+        self.database = database
+        self.workers = max(1, int(workers))
+        #: Default per-request deadline in seconds (None = unbounded).
+        self.deadline = deadline
+        #: Requests allowed in flight before submission degrades to
+        #: inline serial execution.  Default: 4 deep per worker.
+        self.max_queue = max_queue if max_queue is not None else self.workers * 4
+        self._executor: Optional[ThreadPoolExecutor] = None
+        if self.workers > 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="xmorph-serve"
+            )
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "TransformPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    # -- submission ----------------------------------------------------------
+
+    def _event(self, name: str, count: int = 1) -> None:
+        self.database.stats.event(name, count)
+        obs.count(name, count)
+
+    def _run(self, name: str, guard: str, stream: bool):
+        if stream:
+            sink = StringIO()
+            self.database.stream_transform(name, guard, sink)
+            return sink.getvalue()
+        return self.database.transform(name, guard)
+
+    def submit(
+        self, name: str, guard: str, stream: bool = False
+    ) -> "concurrent.futures.Future":
+        """Queue one transform; returns its future.
+
+        When the queue is saturated (or the pool is serial), the work
+        runs inline on the calling thread and comes back as an
+        already-completed future — bounded memory, no rejection.
+        """
+        self._event("serve.requests")
+        executor = self._executor
+        if executor is not None:
+            with self._pending_lock:
+                saturated = self._pending >= self.max_queue
+                if not saturated:
+                    self._pending += 1
+            if not saturated:
+                return executor.submit(self._guarded_run, name, guard, stream)
+            # Saturated: run on the caller's thread (a workers=1 pool is
+            # serial by construction, not degradation, so no counter).
+            self._event("serve.degraded_serial")
+        future: "concurrent.futures.Future" = concurrent.futures.Future()
+        try:
+            future.set_result(self._guarded_run_inline(name, guard, stream))
+        except BaseException as error:  # noqa: B036 - the future carries it,
+            # matching ThreadPoolExecutor's own capture semantics.
+            future.set_exception(error)
+        return future
+
+    def _guarded_run(self, name: str, guard: str, stream: bool):
+        try:
+            result = self._run(name, guard, stream)
+        except BaseException:
+            self._event("serve.errors")
+            raise
+        else:
+            self._event("serve.completed")
+            return result
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
+
+    def _guarded_run_inline(self, name: str, guard: str, stream: bool):
+        try:
+            result = self._run(name, guard, stream)
+        except BaseException:
+            self._event("serve.errors")
+            raise
+        else:
+            self._event("serve.completed")
+            return result
+
+    # -- batched APIs --------------------------------------------------------
+
+    def transform_many(
+        self,
+        requests: Sequence[tuple[str, str]],
+        deadline: Optional[float] = None,
+    ) -> list["TransformResult"]:
+        """Evaluate ``(document, guard)`` requests; results in order."""
+        return self._collect(requests, stream=False, deadline=deadline)
+
+    def stream_many(
+        self,
+        requests: Sequence[tuple[str, str]],
+        deadline: Optional[float] = None,
+    ) -> list[str]:
+        """Stream-render each request; returns the XML texts in order."""
+        return self._collect(requests, stream=True, deadline=deadline)
+
+    def _collect(self, requests, stream: bool, deadline: Optional[float]) -> list:
+        deadline = deadline if deadline is not None else self.deadline
+        futures = [
+            (name, guard, self.submit(name, guard, stream=stream))
+            for name, guard in requests
+        ]
+        results = []
+        for name, guard, future in futures:
+            try:
+                results.append(future.result(timeout=deadline))
+            except concurrent.futures.TimeoutError:
+                # The worker cannot be interrupted; it finishes in the
+                # background and its result is dropped with the future.
+                future.cancel()
+                self._event("serve.timeouts")
+                raise TransformTimeoutError(name, guard, deadline) from None
+        return results
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued or running on the executor."""
+        with self._pending_lock:
+            return self._pending
+
+    def stats(self) -> dict:
+        """The pool's lifetime ``serve.*`` counters (from the database)."""
+        events = self.database.stats.events
+        return {
+            name.removeprefix("serve."): count
+            for name, count in sorted(events.items())
+            if name.startswith("serve.")
+        }

@@ -1,0 +1,228 @@
+"""Line-oriented request serving: ``xmorph serve``.
+
+The protocol is one JSON object per line, chosen so a shell, a test, or
+a load generator can drive it with nothing but pipes::
+
+    {"id": 1, "doc": "dblp", "guard": "MORPH author [ name ]"}
+    {"id": 2, "doc": "dblp", "guard": "...", "stream": true}
+    {"cmd": "stats"}
+    {"cmd": "quit"}
+
+Responses mirror the ids, in request order::
+
+    {"id": 1, "ok": true, "xml": "<author>...</author>"}
+    {"id": 2, "ok": false, "error": "...", "code": "XM540"}
+
+(``code`` is the stable XM-code when the failure has one — lock
+conflicts are ``XM520``, timeouts ``XM540``, read-only violations
+``XM550`` — and ``null`` for uncoded type/parse errors.)
+
+The loop pipelines: the reader thread keeps submitting requests to the
+pool while a responder thread writes each response the moment its turn
+comes, in request order — a synchronous client gets its answer
+immediately, a pipelining load generator keeps ``2 x workers`` requests
+in flight (the bounded response queue is the backpressure).  Per-request
+failures are *responses*, never loop crashes.  ``serve_forever`` wraps
+the same loop in a threading TCP server, one connection per thread, all
+sharing the one database handle — which is exactly what the thread-safe
+substrate (buffer pool, plan cache, join memos) exists for.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import IO, Optional
+
+from repro.errors import XMorphError
+from repro.serve.pool import TransformPool
+
+#: In-flight responses per worker before request reading blocks
+#: (bounded buffering = backpressure on a fast client).
+_WINDOW_PER_WORKER = 2
+
+
+@dataclass
+class ServeStats:
+    """What one :func:`serve_loop` session did."""
+
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    #: Lifetime ``serve.*`` database counters at loop exit.
+    counters: dict = field(default_factory=dict)
+
+
+def serve_loop(
+    database,
+    reader: IO[str],
+    writer: IO[str],
+    workers: int = 4,
+    deadline: Optional[float] = None,
+) -> ServeStats:
+    """Serve newline-delimited JSON requests until EOF or ``quit``."""
+    stats = ServeStats()
+    with TransformPool(database, workers=workers, deadline=deadline) as pool:
+        # One responder thread writes responses in request order, each
+        # the moment its future resolves; the bounded queue throttles a
+        # client that pipelines faster than the pool completes.
+        responses: queue.Queue = queue.Queue(
+            maxsize=max(1, workers) * _WINDOW_PER_WORKER
+        )
+        failure: list[BaseException] = []
+
+        def responder() -> None:
+            try:
+                while True:
+                    item = responses.get()
+                    if item is None:
+                        return
+                    kind, request_id, payload = item
+                    if kind == "literal":
+                        stats.errors += 1
+                        _write(writer, payload)
+                    elif kind == "stats":
+                        # Every earlier response has been written, so
+                        # the counters reflect all prior requests.
+                        _write(writer, {"ok": True, "stats": pool.stats()})
+                    else:
+                        _respond(writer, stats, request_id, payload, deadline)
+            except BaseException as error:  # noqa: B036 - re-raised by the
+                # reader thread once the queue is drained (see below).
+                failure.append(error)
+                while responses.get() is not None:  # unblock the producer
+                    pass
+
+        pump = threading.Thread(target=responder, name="xmorph-respond", daemon=True)
+        pump.start()
+        try:
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except ValueError:
+                    stats.requests += 1
+                    responses.put(
+                        ("literal", None, {"id": None, "ok": False, "error": "bad JSON line"})
+                    )
+                    continue
+                command = request.get("cmd") if isinstance(request, dict) else None
+                if command == "quit":
+                    break
+                if command == "stats":
+                    responses.put(("stats", None, None))
+                    continue
+                if (
+                    not isinstance(request, dict)
+                    or "doc" not in request
+                    or "guard" not in request
+                ):
+                    stats.requests += 1
+                    responses.put(
+                        (
+                            "literal",
+                            None,
+                            {
+                                "id": request.get("id") if isinstance(request, dict) else None,
+                                "ok": False,
+                                "error": "request needs 'doc' and 'guard' fields",
+                            },
+                        )
+                    )
+                    continue
+                stats.requests += 1
+                future = pool.submit(
+                    request["doc"], request["guard"], stream=bool(request.get("stream"))
+                )
+                responses.put(("future", request.get("id"), future))
+        finally:
+            responses.put(None)
+            pump.join()
+        if failure:
+            raise failure[0]
+    stats.counters = {
+        name: count
+        for name, count in sorted(database.stats.events.items())
+        if name.startswith("serve.")
+    }
+    return stats
+
+
+def _respond(writer, stats: ServeStats, request_id, future, deadline) -> None:
+    try:
+        result = future.result(timeout=deadline)
+    except XMorphError as error:
+        stats.errors += 1
+        _write(
+            writer,
+            {
+                "id": request_id,
+                "ok": False,
+                "error": str(error),
+                "code": getattr(error, "code", None),
+            },
+        )
+        return
+    except Exception as error:  # noqa: BLE001 - a response, never a crash
+        stats.errors += 1
+        _write(writer, {"id": request_id, "ok": False, "error": str(error)})
+        return
+    stats.ok += 1
+    xml = result if isinstance(result, str) else result.xml()
+    _write(writer, {"id": request_id, "ok": True, "xml": xml})
+
+
+def _write(writer, payload: dict) -> None:
+    writer.write(json.dumps(payload) + "\n")
+    writer.flush()
+
+
+def serve_forever(
+    database,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 4,
+    deadline: Optional[float] = None,
+):
+    """A threading TCP server running :func:`serve_loop` per connection.
+
+    Returns the listening ``socketserver.ThreadingTCPServer`` (so the
+    caller can read ``server_address`` and drive ``serve_forever()`` /
+    ``shutdown()`` itself).  Every connection shares the one database
+    handle — concurrency comes from the shared pool-safe substrate.
+    """
+    import socketserver
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+            reader = self.rfile and _decode_lines(self.rfile)
+            writer = _EncodedWriter(self.wfile)
+            serve_loop(database, reader, writer, workers=workers, deadline=deadline)
+
+    class Server(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    return Server((host, port), Handler)
+
+
+def _decode_lines(binary_reader):
+    for raw in binary_reader:
+        yield raw.decode("utf-8", errors="replace")
+
+
+class _EncodedWriter:
+    """A text-writer facade over a binary socket file."""
+
+    def __init__(self, binary_writer):
+        self._writer = binary_writer
+
+    def write(self, text: str) -> None:
+        self._writer.write(text.encode("utf-8"))
+
+    def flush(self) -> None:
+        self._writer.flush()

@@ -17,7 +17,9 @@ implement the equivalent embedded store from scratch:
   I/O, CPU wait percentage, available memory) behind Figures 11–13.
 * :mod:`repro.storage.checksum` — CRC32C page trailers (torn-write
   detection on every physical read).
-* :mod:`repro.storage.lockfile` — the single-writer advisory lock.
+* :mod:`repro.storage.lockfile` — the single-writer/many-reader
+  advisory lock (exclusive for ``mode="w"``, shared for ``mode="r"``;
+  see ``docs/CONCURRENCY.md``).
 * :mod:`repro.storage.fsck` — offline integrity checking and repair
   (``xmorph fsck``).
 

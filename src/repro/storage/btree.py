@@ -163,34 +163,42 @@ class BPlusTree:
     # -- writes ----------------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:
-        """Insert or replace."""
+        """Insert or replace.
+
+        Runs under the pool lock so an in-process reader (a
+        :class:`~repro.serve.TransformPool` worker descending the tree)
+        never observes a half-finished split: descents deserialize node
+        copies, and both sides serialize on the same re-entrant lock.
+        """
         if len(key) + len(value) > MAX_ENTRY:
             raise StorageError(
                 f"entry too large ({len(key)}+{len(value)} bytes > {MAX_ENTRY})"
             )
-        promotions = self._insert(self._root, key, value)
-        while promotions:
-            old_root = self._root
-            new_root = self.pool.allocate()
-            node = _Node(
-                _INTERNAL,
-                old_root,
-                [separator for separator, _ in promotions],
-                [page for _, page in promotions],
-            )
-            promotions = self._store_with_split(new_root, node)
-            self._set_root(new_root)
+        with self.pool.locked():
+            promotions = self._insert(self._root, key, value)
+            while promotions:
+                old_root = self._root
+                new_root = self.pool.allocate()
+                node = _Node(
+                    _INTERNAL,
+                    old_root,
+                    [separator for separator, _ in promotions],
+                    [page for _, page in promotions],
+                )
+                promotions = self._store_with_split(new_root, node)
+                self._set_root(new_root)
 
     def delete(self, key: bytes) -> bool:
         """Remove a key (lazy: leaves may become sparse)."""
-        node, path = self._descend(key)
-        index = _find(node.keys, key)
-        if index >= len(node.keys) or node.keys[index] != key:
-            return False
-        del node.keys[index]
-        del node.values[index]
-        _write_node(self.pool, path[-1], node)
-        return True
+        with self.pool.locked():
+            node, path = self._descend(key)
+            index = _find(node.keys, key)
+            if index >= len(node.keys) or node.keys[index] != key:
+                return False
+            del node.keys[index]
+            del node.values[index]
+            _write_node(self.pool, path[-1], node)
+            return True
 
     @classmethod
     def bulk_load(cls, pool: BufferPool, items) -> "BPlusTree":
@@ -269,14 +277,23 @@ class BPlusTree:
     # -- descent -----------------------------------------------------------------
 
     def _descend(self, key: bytes) -> tuple["_Node", list[int]]:
-        """The leaf responsible for ``key`` plus the page-id path to it."""
-        page_id = self._root
-        path = [page_id]
-        node = _read_node(self.pool, page_id)
-        while node.kind == _INTERNAL:
-            page_id = node.child_for(key)
-            path.append(page_id)
+        """The leaf responsible for ``key`` plus the page-id path to it.
+
+        The whole root-to-leaf walk holds the pool lock, so a concurrent
+        in-process writer's split can never be observed mid-way (child
+        pointers always resolve against a consistent tree).  ``scan``
+        continues leaf-to-leaf outside the lock: each leaf is read
+        atomically and deserialized into a private copy, so the iterator
+        never aliases a buffer a writer might rewrite.
+        """
+        with self.pool.locked():
+            page_id = self._root
+            path = [page_id]
             node = _read_node(self.pool, page_id)
+            while node.kind == _INTERNAL:
+                page_id = node.child_for(key)
+                path.append(page_id)
+                node = _read_node(self.pool, page_id)
         metrics = self.pool.stats.metrics
         if metrics is not None:
             # Logical page reads (the pool decides physical vs cached).

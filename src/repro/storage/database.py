@@ -13,13 +13,14 @@ which are typically tiny relative to the size of the data, are needed."
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 from repro.cache import CompiledPlan, PlanCache, shape_fingerprint
 from repro.closeness.index import BaseIndex
 from repro.engine.interpreter import Interpreter, TransformResult
-from repro.errors import DocumentNotFoundError, StorageError
+from repro.errors import DocumentNotFoundError, ReadOnlyDatabaseError, StorageError
 from repro.shape.cardinality import Card
 from repro.shape.shape import Shape
 from repro.shape.types import DataType, ShapeType, TypeTable
@@ -33,7 +34,24 @@ from repro.xmltree.parser import parse_forest
 
 
 class Database:
-    """An embedded XMorph database in a single file."""
+    """An embedded XMorph database in a single file.
+
+    ``mode="w"`` (the default) is the classic single-writer handle: an
+    exclusive ``flock`` on ``<path>.lock``, journal recovery at open,
+    full mutation rights.  ``mode="r"`` is a *shared-reader* handle: a
+    shared ``flock`` (any number of readers coexist; any writer
+    excludes and is excluded), the file opened ``O_RDONLY``, and — when
+    a sealed journal is present — the committed batch loaded as an
+    in-memory page overlay instead of being replayed, so every reader
+    sees the same frozen post-commit snapshot without writing a byte.
+    Mutations through a read-only handle raise
+    :class:`~repro.errors.ReadOnlyDatabaseError` (``XM550``).
+
+    Either mode is safe to share between threads for *reads*: the
+    buffer pool, B+tree descents, plan cache and join memos are all
+    lock-guarded, which is what :meth:`transform_many` and
+    :class:`repro.serve.TransformPool` build on.
+    """
 
     def __init__(
         self,
@@ -42,25 +60,44 @@ class Database:
         model: Optional[CostModel] = None,
         durable: bool = True,
         cache_plans: int = 64,
+        mode: str = "w",
     ):
+        if mode not in ("r", "w"):
+            raise StorageError(f"mode must be 'r' or 'w', got {mode!r}")
+        self.mode = mode
         self.stats = SystemStats(model or CostModel())
-        # Single-writer advisory lock: two live handles interleaving
-        # journaled flushes would corrupt each other's batches.
+        # Single-writer / many-reader advisory lock: two live writers
+        # interleaving journaled flushes would corrupt each other's
+        # batches; readers only conflict with writers.
         from repro.storage.lockfile import FileLock
 
         self._lock = FileLock(path + ".lock")
-        self._lock.acquire()
+        self._lock.acquire(shared=(mode == "r"))
         self._file = None
         try:
-            self._file = PagedFile(path, self.stats)
-            journal = None
-            if durable:
-                from repro.storage.journal import Journal
+            if mode == "r":
+                self._file = self._open_snapshot(path, durable)
+                journal = None
+                if self._file.page_count == 0:
+                    raise StorageError(
+                        f"cannot open {path!r} read-only: the store is empty "
+                        "(a writer must initialize it first)"
+                    )
+            else:
+                self._file = PagedFile(path, self.stats)
+                journal = None
+                if durable:
+                    from repro.storage.journal import Journal
 
-                journal = Journal(path + ".journal", stats=self.stats)
-                journal.recover(self._file)
+                    journal = Journal(path + ".journal", stats=self.stats)
+                    journal.recover(self._file)
+        except FileNotFoundError:
+            self._lock.release()
+            raise StorageError(
+                f"cannot open {path!r} read-only: no such database"
+            ) from None
         except BaseException:
-            # A failed open must not hold the fd or the writer lock.
+            # A failed open must not hold the fd or the lock.
             if self._file is not None:
                 try:
                     self._file.close()
@@ -71,6 +108,9 @@ class Database:
         self.pool = BufferPool(self._file, capacity=cache_pages, journal=journal)
         self.tree = BPlusTree(self.pool)
         self._indexes: dict[str, StoredDocumentIndex] = {}
+        #: Guards the index map (transform_many workers race to build
+        #: the per-document index on first touch).
+        self._index_lock = threading.RLock()
         #: Compiled guard plans keyed by (guard text, shape fingerprint);
         #: ``cache_plans=0`` disables plan caching entirely.
         self.plan_cache = PlanCache(cache_plans)
@@ -78,10 +118,34 @@ class Database:
         #: sequence load (drives the Figure 11–13 time series).
         self.sample_progress = False
 
+    def _open_snapshot(self, path: str, durable: bool) -> PagedFile:
+        """Open ``path`` read-only, shadowed by any sealed journal batch.
+
+        A sealed journal means a writer crashed after the commit point:
+        the batch is durable but possibly half-applied to the main
+        file.  A writer would replay it; a reader must not write, so
+        the batch becomes a page *overlay* — reads go through the
+        journal image, disk stays untouched, and the (future) writer's
+        replay is byte-identical to what we served.  A corrupt journal
+        crashed *before* commit: the main file was never touched, so it
+        is simply ignored (quarantining it is the writer's job).
+        """
+        overlay: dict[int, bytes] = {}
+        if durable:
+            from repro.storage.journal import Journal
+
+            status, batch = Journal(path + ".journal", stats=self.stats).inspect()
+            if status == "sealed" and batch:
+                overlay = dict(batch)
+                self.stats.event("recovery.snapshot_overlay_pages", len(overlay))
+        return PagedFile(path, self.stats, readonly=True, overlay=overlay)
+
     # -- document management ------------------------------------------------
 
     def store_document(self, name: str, source: str | XmlForest) -> dict:
         """Shred a document (XML text or a parsed forest) into the store."""
+        if self.mode == "r":
+            raise ReadOnlyDatabaseError(self._file.path, f"store document {name!r}")
         if self.tree.get(tables.catalog_key(name)) is not None:
             raise StorageError(f"document {name!r} already stored")
         forest = parse_forest(source) if isinstance(source, str) else source
@@ -108,9 +172,10 @@ class Database:
         return json.loads(raw.decode())
 
     def index(self, name: str) -> "StoredDocumentIndex":
-        if name not in self._indexes:
-            self._indexes[name] = StoredDocumentIndex(self, self.describe(name))
-        return self._indexes[name]
+        with self._index_lock:
+            if name not in self._indexes:
+                self._indexes[name] = StoredDocumentIndex(self, self.describe(name))
+            return self._indexes[name]
 
     # -- evaluation -------------------------------------------------------------
 
@@ -136,16 +201,46 @@ class Database:
         compile stages touch only the adorned shape, so any document
         whose shape descriptor hashes identically reuses the plan and
         skips lexing, parsing, typing and algebra entirely (and pays no
-        simulated compile CPU).
+        simulated compile CPU).  The lookup is *single-flight*: when N
+        worker threads request the same (guard, shape) at once, one
+        compiles and the rest wait for its plan.
         """
         index = self.index(name)
-        plan = self.plan_cache.get(guard, index.fingerprint)
-        if plan is not None:
-            return plan.to_result()
-        result = Interpreter(index).compile(guard)
-        self._charge_compile(name)
-        self.plan_cache.put(CompiledPlan.from_result(result, index.fingerprint))
-        return result
+        if self.plan_cache.capacity <= 0:
+            # Caching disabled: compile unconditionally (no single-flight
+            # either — there is nothing to share a result through).
+            self.plan_cache.get(guard, index.fingerprint)  # counts the miss
+            result = Interpreter(index).compile(guard)
+            self._charge_compile(name)
+            return result
+
+        def compile_plan() -> CompiledPlan:
+            result = Interpreter(index).compile(guard)
+            self._charge_compile(name)
+            return CompiledPlan.from_result(result, index.fingerprint)
+
+        plan = self.plan_cache.get_or_compile(guard, index.fingerprint, compile_plan)
+        return plan.to_result()
+
+    def transform_many(
+        self,
+        requests: Sequence[tuple[str, str]],
+        workers: int = 8,
+        deadline: Optional[float] = None,
+    ) -> list[TransformResult]:
+        """Evaluate many ``(document, guard)`` requests on a thread pool.
+
+        Results come back in request order and are byte-identical to
+        running :meth:`transform` serially (the property-based suite in
+        ``tests/serve`` pins this down).  ``deadline`` is a per-request
+        wall-clock budget in seconds; a request that misses it raises
+        :class:`~repro.errors.TransformTimeoutError` (``XM540``) from
+        this call.  ``workers <= 1`` degrades to a plain serial loop.
+        """
+        from repro.serve import TransformPool
+
+        with TransformPool(self, workers=workers, deadline=deadline) as pool:
+            return pool.transform_many(requests)
 
     def stream_transform(self, name: str, guard: str, out) -> "object":
         """Compile a guard and stream the rendered XML into ``out``.
@@ -232,6 +327,8 @@ class Database:
         which matches the store's write-once/scan-mostly design; the
         catalog, shape, node, sequence and overflow keyspaces all clear.
         """
+        if self.mode == "r":
+            raise ReadOnlyDatabaseError(self._file.path, f"drop document {name!r}")
         descriptor = self.describe(name)
         doc_id: int = descriptor["doc_id"]
         self.plan_cache.invalidate(self.index(name).fingerprint)
@@ -279,9 +376,10 @@ class Database:
         the paper's cold-cache methodology.
         """
         self.pool.drop_cache()
-        for index in self._indexes.values():
-            index.drop_cache()
-        self._indexes.clear()
+        with self._index_lock:
+            for index in self._indexes.values():
+                index.drop_cache()
+            self._indexes.clear()
         self.plan_cache.clear()
 
     def flush(self) -> None:
@@ -289,7 +387,8 @@ class Database:
         self._file.sync()
 
     def close(self) -> None:
-        self.pool.flush()
+        if self.mode != "r":
+            self.pool.flush()
         self._file.close()
         self._lock.release()
 
@@ -405,29 +504,34 @@ class StoredDocumentIndex(BaseIndex):
         return (first.level - (shared - 1)) + (second.level - (shared - 1))
 
     def nodes_of(self, data_type: DataType) -> list[XmlNode]:
-        cached = self._sequences.get(data_type.type_id)
-        if cached is not None:
-            return cached
-        tree = self.database.tree
-        prefix = (
-            b"T"
-            + self.doc_id.to_bytes(4, "big")
-            + data_type.type_id.to_bytes(4, "big")
-        )
-        nodes: list[XmlNode] = []
-        for _key, chunk in tree.scan_prefix(prefix):
-            for record in tables.unpack_sequence(data_type.type_id, chunk):
-                node = XmlNode(
-                    data_type.name,
-                    record.kind,
-                    tables.read_text(tree, self.doc_id, record),
-                )
-                node.dewey = record.dewey
-                self._type_of[id(node)] = data_type
-                nodes.append(node)
-        self._sequences[data_type.type_id] = nodes
-        footprint = sum(_NODE_OVERHEAD + len(n.text) for n in nodes)
-        self._loaded_bytes += footprint
+        # The memo lock makes the lazy load single-flight: without it,
+        # two TransformPool workers loading the same type would build
+        # two node lists with *different* Python ids, and the paper's
+        # id()-keyed closest-join maps would silently miss every pair.
+        with self._memo_lock:
+            cached = self._sequences.get(data_type.type_id)
+            if cached is not None:
+                return cached
+            tree = self.database.tree
+            prefix = (
+                b"T"
+                + self.doc_id.to_bytes(4, "big")
+                + data_type.type_id.to_bytes(4, "big")
+            )
+            nodes: list[XmlNode] = []
+            for _key, chunk in tree.scan_prefix(prefix):
+                for record in tables.unpack_sequence(data_type.type_id, chunk):
+                    node = XmlNode(
+                        data_type.name,
+                        record.kind,
+                        tables.read_text(tree, self.doc_id, record),
+                    )
+                    node.dewey = record.dewey
+                    self._type_of[id(node)] = data_type
+                    nodes.append(node)
+            self._sequences[data_type.type_id] = nodes
+            footprint = sum(_NODE_OVERHEAD + len(n.text) for n in nodes)
+            self._loaded_bytes += footprint
         self.database.stats.allocate(footprint)
         self.database.stats.charge_cpu(len(nodes))
         if self.database.sample_progress:
@@ -443,9 +547,11 @@ class StoredDocumentIndex(BaseIndex):
         return self._counts.get(data_type.type_id, 0)
 
     def drop_cache(self) -> None:
-        self._sequences.clear()
-        self._type_of.clear()
-        # Join/filter memos hold references into the dropped sequences.
-        self.drop_join_cache()
-        self.database.stats.release(self._loaded_bytes)
-        self._loaded_bytes = 0
+        with self._memo_lock:
+            self._sequences.clear()
+            self._type_of.clear()
+            # Join/filter memos hold references into the dropped sequences.
+            self.drop_join_cache()
+            released = self._loaded_bytes
+            self._loaded_bytes = 0
+        self.database.stats.release(released)

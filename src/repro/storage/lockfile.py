@@ -1,12 +1,14 @@
-"""A single-writer advisory lock per database file.
+"""Single-writer / many-reader advisory locks per database file.
 
-Two live :class:`~repro.storage.Database` handles interleaving flushes
-would corrupt the store (each journals only its own dirty batch, then
-rewrites pages the other also holds).  The store is single-writer by
-design — the paper's usage too — so opening takes an exclusive
-``flock`` on ``<path>.lock`` and a second opener fails fast with
-:class:`~repro.errors.DatabaseLockedError` (code ``XM520``) instead of
-silently interleaving.
+Two live *writing* :class:`~repro.storage.Database` handles interleaving
+flushes would corrupt the store (each journals only its own dirty batch,
+then rewrites pages the other also holds), so opening for writing takes
+an exclusive ``flock`` on ``<path>.lock``.  Pure readers never touch the
+file, so any number of them may coexist: a ``mode="r"`` open takes a
+*shared* ``flock`` on the same lock file instead.  The kernel arbitrates
+the matrix — shared+shared succeeds, every combination involving an
+exclusive lock fails fast with :class:`~repro.errors.DatabaseLockedError`
+(code ``XM520``) instead of blocking or silently interleaving.
 
 ``flock`` locks die with the process, so a ``kill -9`` never leaves a
 stale lock behind; the lock *file* is left in place (unlinking it is
@@ -27,34 +29,51 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 
 class FileLock:
-    """An exclusive, non-blocking advisory lock on one path."""
+    """A non-blocking advisory lock on one path, exclusive or shared."""
 
     def __init__(self, path: str):
         self.path = path
         self._fd: int | None = None
+        self._shared = False
 
     @property
     def locked(self) -> bool:
         return self._fd is not None
 
-    def acquire(self) -> None:
-        """Take the lock, or raise :class:`DatabaseLockedError` at once."""
+    @property
+    def shared(self) -> bool:
+        """True while a shared (reader) lock is held."""
+        return self._fd is not None and self._shared
+
+    def acquire(self, shared: bool = False) -> None:
+        """Take the lock, or raise :class:`DatabaseLockedError` at once.
+
+        ``shared=True`` takes a reader (``LOCK_SH``) lock: it coexists
+        with other shared holders and conflicts with any exclusive one.
+        """
         if self._fd is not None:
             return
         fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
         if fcntl is not None:
+            operation = (fcntl.LOCK_SH if shared else fcntl.LOCK_EX) | fcntl.LOCK_NB
             try:
-                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                fcntl.flock(fd, operation)
             except OSError:
                 os.close(fd)
-                raise DatabaseLockedError(self.path) from None
-        try:
-            # Best-effort breadcrumb for a human inspecting the lock file.
-            os.ftruncate(fd, 0)
-            os.pwrite(fd, f"{os.getpid()}\n".encode(), 0)
-        except OSError:  # pragma: no cover - diagnostics only
-            pass
+                raise DatabaseLockedError(
+                    self.path, wanted="shared" if shared else "exclusive"
+                ) from None
+        if not shared:
+            try:
+                # Best-effort breadcrumb for a human inspecting the lock
+                # file; shared holders must not clobber each other, so
+                # only the (single) exclusive holder writes it.
+                os.ftruncate(fd, 0)
+                os.pwrite(fd, f"{os.getpid()}\n".encode(), 0)
+            except OSError:  # pragma: no cover - diagnostics only
+                pass
         self._fd = fd
+        self._shared = shared
 
     def release(self) -> None:
         """Drop the lock (closing the descriptor releases the flock)."""
@@ -64,3 +83,4 @@ class FileLock:
             os.close(self._fd)
         finally:
             self._fd = None
+            self._shared = False

@@ -23,10 +23,11 @@ on open.  Every syscall site reports to the failpoint registry
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
-from typing import Optional
+from typing import Mapping, Optional
 
-from repro.errors import PageError
+from repro.errors import PageError, ReadOnlyDatabaseError
 from repro.faults import FAULTS
 from repro.storage.checksum import TRAILER_SIZE, seal_page, verify_page
 from repro.storage.stats import SystemStats
@@ -37,26 +38,46 @@ SLOT_SIZE = PAGE_SIZE + TRAILER_SIZE
 
 
 class PagedFile:
-    """A file of fixed-size pages with checksums and I/O accounting."""
+    """A file of fixed-size pages with checksums and I/O accounting.
 
-    def __init__(self, path: str, stats: SystemStats, upgrade_legacy: bool = True):
+    ``readonly=True`` opens the file ``O_RDONLY`` (it must exist) and
+    turns every mutation into :class:`~repro.errors.ReadOnlyDatabaseError`
+    (``XM550``).  ``overlay`` maps page ids to payload bytes that shadow
+    the on-disk pages — a read-only open with a sealed-but-unreplayed
+    journal reads *through* the journal batch without writing anything,
+    giving every concurrent reader the same frozen post-commit snapshot.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        stats: SystemStats,
+        upgrade_legacy: bool = True,
+        readonly: bool = False,
+        overlay: Optional[Mapping[int, bytes]] = None,
+    ):
         self.path = path
         self.stats = stats
-        flags = os.O_RDWR | os.O_CREAT
+        self.readonly = readonly
+        self._overlay: dict[int, bytes] = dict(overlay or {})
+        flags = os.O_RDONLY if readonly else os.O_RDWR | os.O_CREAT
         self._fd = os.open(path, flags, 0o644)
         try:
             size = os.fstat(self._fd).st_size
             if size % SLOT_SIZE and size % PAGE_SIZE == 0:
                 # Pre-trailer legacy file: rebuild with checksums.
-                if not upgrade_legacy:
+                if not upgrade_legacy or readonly:
                     raise PageError(
                         f"{path} is in the legacy (trailer-less) page format "
-                        f"({size} bytes); open normally or fsck --repair to rebuild"
+                        f"({size} bytes); open writable or fsck --repair to rebuild"
                     )
                 size = self._rebuild_legacy(size // PAGE_SIZE)
             if size % SLOT_SIZE:
                 raise PageError(f"{path} is not page-aligned ({size} bytes)")
             self._page_count = size // SLOT_SIZE
+            if self._overlay:
+                # A journal batch may extend the file past its on-disk end.
+                self._page_count = max(self._page_count, max(self._overlay) + 1)
         except BaseException:
             # The descriptor must not outlive a failed constructor.
             os.close(self._fd)
@@ -68,6 +89,8 @@ class PagedFile:
 
     def allocate(self) -> int:
         """Extend the file by one (zeroed) page; returns its id."""
+        if self.readonly:
+            raise ReadOnlyDatabaseError(self.path, "allocate a page")
         FAULTS.fire("pages.allocate")
         page_id = self._page_count
         self._page_count += 1
@@ -77,6 +100,10 @@ class PagedFile:
 
     def read_page(self, page_id: int) -> bytearray:
         self._check(page_id)
+        shadowed = self._overlay.get(page_id)
+        if shadowed is not None:
+            self.stats.block_read()
+            return bytearray(shadowed)
         FAULTS.fire("pages.pread")
         slot = os.pread(self._fd, SLOT_SIZE, page_id * SLOT_SIZE)
         self.stats.block_read()
@@ -93,6 +120,8 @@ class PagedFile:
             raise
 
     def write_page(self, page_id: int, data: bytes) -> None:
+        if self.readonly:
+            raise ReadOnlyDatabaseError(self.path, f"write page {page_id}")
         self._check(page_id)
         if len(data) != PAGE_SIZE:
             raise PageError(f"page payload must be {PAGE_SIZE} bytes, got {len(data)}")
@@ -106,6 +135,8 @@ class PagedFile:
         self.stats.block_write()
 
     def sync(self) -> None:
+        if self.readonly:
+            return
         FAULTS.fire("pages.fsync")
         os.fsync(self._fd)
 
@@ -160,6 +191,15 @@ class BufferPool:
     ``capacity`` is in pages.  Cached page buffers count against the
     simulated memory budget, so Figure 13's available-memory curve
     reflects the pool filling up.
+
+    The pool is thread-safe for the read path: one re-entrant ``lock``
+    guards the LRU map, the dirty set and eviction, so concurrent
+    readers (a :class:`~repro.serve.TransformPool`'s workers, or many
+    ``mode="r"`` scans) never corrupt the recency order or observe a
+    half-installed page.  Evicting a page another thread still holds is
+    safe — the holder keeps the buffer object; eviction only forgets
+    the cache entry.  Multi-page *structures* (a B+tree descent) hold
+    the same lock across their page reads via :meth:`locked`.
     """
 
     def __init__(self, file: PagedFile, capacity: int = 1024, journal=None):
@@ -172,11 +212,22 @@ class BufferPool:
         #: before touching the main file (evictions never write back —
         #: dirty pages are pinned until the next flush).
         self.journal = journal
+        #: Re-entrant: flush() runs under it and _install() may trigger
+        #: flush(); B+tree descents also nest get() inside locked().
+        self.lock = threading.RLock()
         self._pages: OrderedDict[int, bytearray] = OrderedDict()
         self._dirty: set[int] = set()
         #: Cache accounting (feeds the ``buffer.hit_ratio`` metric).
         self.hits = 0
         self.misses = 0
+
+    def locked(self) -> "threading.RLock":
+        """The pool lock, for callers composing multi-page operations::
+
+            with pool.locked():
+                ...  # several get() calls, atomically vs. other threads
+        """
+        return self.lock
 
     @property
     def stats(self) -> SystemStats:
@@ -189,31 +240,34 @@ class BufferPool:
         return self.hits / total if total else 0.0
 
     def allocate(self) -> int:
-        page_id = self.file.allocate()
-        self._install(page_id, bytearray(PAGE_SIZE))
-        return page_id
+        with self.lock:
+            page_id = self.file.allocate()
+            self._install(page_id, bytearray(PAGE_SIZE))
+            return page_id
 
     def get(self, page_id: int) -> bytearray:
         """The page's buffer (cached); mutations need :meth:`mark_dirty`."""
-        cached = self._pages.get(page_id)
-        metrics = self.stats.metrics
-        if cached is not None:
-            self.hits += 1
+        with self.lock:
+            cached = self._pages.get(page_id)
+            metrics = self.stats.metrics
+            if cached is not None:
+                self.hits += 1
+                if metrics is not None:
+                    metrics.inc("buffer.hits")
+                self._pages.move_to_end(page_id)
+                return cached
+            self.misses += 1
             if metrics is not None:
-                metrics.inc("buffer.hits")
-            self._pages.move_to_end(page_id)
-            return cached
-        self.misses += 1
-        if metrics is not None:
-            metrics.inc("buffer.misses")
-        data = self.file.read_page(page_id)
-        self._install(page_id, data)
-        return data
+                metrics.inc("buffer.misses")
+            data = self.file.read_page(page_id)
+            self._install(page_id, data)
+            return data
 
     def mark_dirty(self, page_id: int) -> None:
-        if page_id not in self._pages:
-            raise PageError(f"page {page_id} is not resident")
-        self._dirty.add(page_id)
+        with self.lock:
+            if page_id not in self._pages:
+                raise PageError(f"page {page_id} is not resident")
+            self._dirty.add(page_id)
 
     def flush(self) -> None:
         """Write back every dirty page (keeps them cached).
@@ -221,27 +275,29 @@ class BufferPool:
         With a journal attached this is a crash-safe commit: the batch
         is journaled and fsynced first, applied second, cleared last.
         """
-        if not self._dirty:
-            return
-        if self.journal is not None:
-            self.journal.write(
-                {page_id: bytes(self._pages[page_id]) for page_id in self._dirty}
-            )
-        for page_id in sorted(self._dirty):
-            # Commit point passed: a crash from here on leaves a sealed
-            # journal, and reopen replays the whole batch.
-            FAULTS.fire("flush.apply")
-            self.file.write_page(page_id, bytes(self._pages[page_id]))
-        self._dirty.clear()
-        if self.journal is not None:
-            self.file.sync()
-            self.journal.clear()
+        with self.lock:
+            if not self._dirty:
+                return
+            if self.journal is not None:
+                self.journal.write(
+                    {page_id: bytes(self._pages[page_id]) for page_id in self._dirty}
+                )
+            for page_id in sorted(self._dirty):
+                # Commit point passed: a crash from here on leaves a sealed
+                # journal, and reopen replays the whole batch.
+                FAULTS.fire("flush.apply")
+                self.file.write_page(page_id, bytes(self._pages[page_id]))
+            self._dirty.clear()
+            if self.journal is not None:
+                self.file.sync()
+                self.journal.clear()
 
     def drop_cache(self) -> None:
         """Flush and forget everything (the benchmarks' 'cold cache')."""
-        self.flush()
-        self.stats.release(len(self._pages) * PAGE_SIZE)
-        self._pages.clear()
+        with self.lock:
+            self.flush()
+            self.stats.release(len(self._pages) * PAGE_SIZE)
+            self._pages.clear()
 
     @property
     def resident(self) -> int:

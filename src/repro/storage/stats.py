@@ -29,6 +29,7 @@ counters (``storage.blocks_read``, ``storage.blocks_written``,
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
@@ -82,40 +83,53 @@ class SystemStats:
     events: dict[str, int] = field(default_factory=dict)
     #: Optional metrics sink; when set, charges also bump trace counters.
     metrics: Optional["MetricsRegistry"] = None
+    #: Guards every read-modify-write above.  Charges arrive from all of
+    #: a :class:`~repro.serve.TransformPool`'s worker threads at once;
+    #: an unguarded ``+=`` is two bytecodes and drops counts under
+    #: contention.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # -- charging ---------------------------------------------------------
 
     def block_read(self, count: int = 1) -> None:
-        self.blocks_in += count
-        self.io_seconds += count * self.model.block_seconds
+        with self._lock:
+            self.blocks_in += count
+            self.io_seconds += count * self.model.block_seconds
         if self.metrics is not None:
             self.metrics.inc("storage.blocks_read", count)
 
     def block_write(self, count: int = 1) -> None:
-        self.blocks_out += count
-        self.io_seconds += count * self.model.block_seconds
+        with self._lock:
+            self.blocks_out += count
+            self.io_seconds += count * self.model.block_seconds
         if self.metrics is not None:
             self.metrics.inc("storage.blocks_written", count)
 
     def charge_cpu(self, operations: int) -> None:
-        self.cpu_seconds += operations * self.model.cpu_op_seconds
+        with self._lock:
+            self.cpu_seconds += operations * self.model.cpu_op_seconds
         if self.metrics is not None:
             self.metrics.inc("storage.cpu_ops", operations)
 
     def allocate(self, size: int) -> None:
-        self.allocated += size
-        self.peak_allocated = max(self.peak_allocated, self.allocated)
+        with self._lock:
+            self.allocated += size
+            self.peak_allocated = max(self.peak_allocated, self.allocated)
         if self.metrics is not None:
             self.metrics.gauge("storage.allocated_bytes", self.allocated)
 
     def release(self, size: int) -> None:
-        self.allocated = max(0, self.allocated - size)
+        with self._lock:
+            self.allocated = max(0, self.allocated - size)
         if self.metrics is not None:
             self.metrics.gauge("storage.allocated_bytes", self.allocated)
 
     def event(self, name: str, count: int = 1) -> None:
-        """Count a durability/recovery event (``recovery.*``, ``fsck.*``)."""
-        self.events[name] = self.events.get(name, 0) + count
+        """Count a durability/serving event (``recovery.*``, ``serve.*``)."""
+        with self._lock:
+            self.events[name] = self.events.get(name, 0) + count
         if self.metrics is not None:
             self.metrics.inc(name, count)
 
@@ -147,21 +161,23 @@ class SystemStats:
     # -- sampling ----------------------------------------------------------------
 
     def sample(self, label: str) -> StatSample:
-        snapshot = StatSample(
-            label=label,
-            blocks_in=self.blocks_in,
-            blocks_out=self.blocks_out,
-            io_seconds=self.io_seconds,
-            cpu_seconds=self.cpu_seconds,
-            wait_percent=self.wait_percent,
-            available_memory=self.available_memory,
-        )
-        self.samples.append(snapshot)
+        with self._lock:
+            snapshot = StatSample(
+                label=label,
+                blocks_in=self.blocks_in,
+                blocks_out=self.blocks_out,
+                io_seconds=self.io_seconds,
+                cpu_seconds=self.cpu_seconds,
+                wait_percent=self.wait_percent,
+                available_memory=self.available_memory,
+            )
+            self.samples.append(snapshot)
         return snapshot
 
     def reset(self) -> None:
-        self.blocks_in = 0
-        self.blocks_out = 0
-        self.io_seconds = 0.0
-        self.cpu_seconds = 0.0
-        self.samples.clear()
+        with self._lock:
+            self.blocks_in = 0
+            self.blocks_out = 0
+            self.io_seconds = 0.0
+            self.cpu_seconds = 0.0
+            self.samples.clear()

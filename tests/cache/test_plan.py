@@ -94,6 +94,7 @@ class TestPlanCacheLru:
         stats = PlanCache(capacity=3).stats()
         assert set(stats) == {
             "entries", "capacity", "hits", "misses", "evictions", "invalidations",
+            "contended",
         }
 
 

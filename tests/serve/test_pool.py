@@ -1,0 +1,207 @@
+"""TransformPool lifecycle: deadlines, degradation, and the serve loop."""
+
+import io
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import TransformTimeoutError
+from repro.serve import ServeStats, TransformPool, serve_forever, serve_loop
+from repro.storage import Database
+
+from tests.conftest import FIG1A
+
+GUARD = "MORPH author [ name ]"
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = Database(str(tmp_path / "pool.db"), durable=False)
+    database.store_document("doc", FIG1A)
+    yield database
+    database.close()
+
+
+def _slow_transform(db, gate: threading.Event, slow_guard: str):
+    """Patch ``db.transform`` so one sentinel guard blocks on ``gate``."""
+    real = db.transform
+
+    def patched(name, guard):
+        if guard == slow_guard:
+            gate.wait(timeout=30)
+        return real(name, GUARD)
+
+    db.transform = patched
+    return real
+
+
+class TestDeadlines:
+    def test_timeout_raises_coded_error(self, db):
+        gate = threading.Event()
+        _slow_transform(db, gate, slow_guard="SLOW")
+        try:
+            with TransformPool(db, workers=2) as pool:
+                with pytest.raises(TransformTimeoutError) as excinfo:
+                    pool.transform_many([("doc", "SLOW")], deadline=0.05)
+                assert excinfo.value.code == "XM540"
+                assert "SLOW" in str(excinfo.value)
+                assert db.stats.events.get("serve.timeouts") == 1
+                gate.set()  # let the stuck worker finish before shutdown
+        finally:
+            gate.set()
+
+    def test_pool_default_deadline(self, db):
+        gate = threading.Event()
+        _slow_transform(db, gate, slow_guard="SLOW")
+        try:
+            with TransformPool(db, workers=2, deadline=0.05) as pool:
+                with pytest.raises(TransformTimeoutError):
+                    pool.transform_many([("doc", "SLOW")])
+                gate.set()
+        finally:
+            gate.set()
+
+    def test_no_deadline_waits(self, db):
+        with TransformPool(db, workers=2) as pool:
+            results = pool.transform_many([("doc", GUARD)] * 4)
+        serial = db.transform("doc", GUARD).xml()
+        assert [r.xml() for r in results] == [serial] * 4
+
+
+class TestDegradation:
+    def test_saturated_queue_runs_inline(self, db):
+        gate = threading.Event()
+        _slow_transform(db, gate, slow_guard="SLOW")
+        try:
+            with TransformPool(db, workers=2, max_queue=2) as pool:
+                stuck = [pool.submit("doc", "SLOW") for _ in range(2)]
+                while pool.pending < 2:  # both workers parked on the gate
+                    time.sleep(0.01)
+                # The queue is full: this submission must complete
+                # inline on the calling thread, not wait for a worker.
+                fast = pool.submit("doc", GUARD)
+                assert fast.done()
+                assert db.stats.events.get("serve.degraded_serial") == 1
+                gate.set()
+                for future in stuck:
+                    future.result(timeout=30)
+        finally:
+            gate.set()
+
+    def test_serial_pool_is_not_degradation(self, db):
+        with TransformPool(db, workers=1) as pool:
+            future = pool.submit("doc", GUARD)
+            assert future.done()  # workers=1 runs inline by construction
+        assert "serve.degraded_serial" not in db.stats.events
+
+    def test_workers_clamped_to_one(self, db):
+        with TransformPool(db, workers=0) as pool:
+            assert pool.workers == 1
+            assert pool.submit("doc", GUARD).done()
+
+    def test_error_counted_and_raised(self, db):
+        with TransformPool(db, workers=2) as pool:
+            future = pool.submit("doc", "MORPH nosuchlabel [ x ]")
+            with pytest.raises(Exception):
+                future.result(timeout=30)
+        assert db.stats.events.get("serve.errors") == 1
+
+    def test_stats_strips_prefix(self, db):
+        with TransformPool(db, workers=2) as pool:
+            pool.transform_many([("doc", GUARD)] * 3)
+            stats = pool.stats()
+        assert stats["requests"] == 3
+        assert stats["completed"] == 3
+
+
+class TestServeLoop:
+    def _run(self, db, lines, **kwargs):
+        out = io.StringIO()
+        stats = serve_loop(db, io.StringIO("\n".join(lines) + "\n"), out, **kwargs)
+        return stats, [json.loads(line) for line in out.getvalue().splitlines()]
+
+    def test_request_response_in_order(self, db):
+        lines = [
+            json.dumps({"id": i, "doc": "doc", "guard": GUARD}) for i in range(10)
+        ]
+        stats, responses = self._run(db, lines, workers=4)
+        assert [r["id"] for r in responses] == list(range(10))
+        assert all(r["ok"] for r in responses)
+        serial = db.transform("doc", GUARD).xml()
+        assert all(r["xml"] == serial for r in responses)
+        assert stats.requests == 10 and stats.ok == 10 and stats.errors == 0
+
+    def test_stream_request(self, db):
+        lines = [json.dumps({"id": 1, "doc": "doc", "guard": GUARD, "stream": True})]
+        _, responses = self._run(db, lines, workers=2)
+        sink = io.StringIO()
+        db.stream_transform("doc", GUARD, sink)
+        assert responses[0]["xml"] == sink.getvalue()
+
+    def test_bad_json_is_a_response_not_a_crash(self, db):
+        lines = [
+            "this is not json",
+            json.dumps({"id": 2, "doc": "doc", "guard": GUARD}),
+        ]
+        stats, responses = self._run(db, lines, workers=2)
+        assert responses[0] == {"id": None, "ok": False, "error": "bad JSON line"}
+        assert responses[1]["ok"]
+        assert stats.errors == 1 and stats.ok == 1
+
+    def test_malformed_request_reports_missing_fields(self, db):
+        lines = [json.dumps({"id": 7, "doc": "doc"})]
+        _, responses = self._run(db, lines, workers=2)
+        assert responses[0]["id"] == 7
+        assert not responses[0]["ok"]
+        assert "guard" in responses[0]["error"]
+
+    def test_transform_error_carries_message(self, db):
+        lines = [json.dumps({"id": 1, "doc": "doc", "guard": "MORPH zzz [ q ]"})]
+        stats, responses = self._run(db, lines, workers=2)
+        assert not responses[0]["ok"]
+        assert "zzz" in responses[0]["error"]
+        assert stats.errors == 1
+
+    def test_stats_command_drains_first(self, db):
+        lines = [
+            json.dumps({"id": 1, "doc": "doc", "guard": GUARD}),
+            json.dumps({"cmd": "stats"}),
+        ]
+        _, responses = self._run(db, lines, workers=2)
+        assert responses[0]["id"] == 1  # the pending response came first
+        assert responses[1]["ok"] and responses[1]["stats"]["completed"] >= 1
+
+    def test_quit_stops_reading(self, db):
+        lines = [
+            json.dumps({"cmd": "quit"}),
+            json.dumps({"id": 9, "doc": "doc", "guard": GUARD}),
+        ]
+        stats, responses = self._run(db, lines, workers=2)
+        assert responses == []
+        assert stats.requests == 0
+        assert isinstance(stats, ServeStats)
+
+
+class TestServeForever:
+    def test_tcp_round_trip(self, db):
+        server = serve_forever(db, port=0, workers=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address
+            with socket.create_connection((host, port), timeout=10) as conn:
+                conn.sendall(
+                    (json.dumps({"id": 1, "doc": "doc", "guard": GUARD}) + "\n").encode()
+                )
+                with conn.makefile("r", encoding="utf-8") as reader:
+                    response = json.loads(reader.readline())
+                conn.sendall((json.dumps({"cmd": "quit"}) + "\n").encode())
+            assert response["id"] == 1 and response["ok"]
+            assert response["xml"] == db.transform("doc", GUARD).xml()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
