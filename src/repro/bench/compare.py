@@ -1,0 +1,182 @@
+"""Baseline comparison for bench reports: ``xmorph bench --compare``.
+
+Diffs a fresh ``BENCH_pipeline.json``-shaped report against a committed
+baseline, workload by workload (keyed by guard text): warm mean and
+warm p95 wall seconds, plus cold wall seconds for context.  A workload
+whose warm mean or p95 slowed down by more than ``threshold``
+(relative, e.g. ``0.25`` = 25 %) is a **regression**; ``xmorph bench
+--compare BASELINE.json`` exits non-zero when any exist, which is what
+lets CI gate on the perf trajectory instead of hoping.
+
+Wall-clock baselines only transfer between comparable machines — CI
+re-baselines in-job (two runs back to back) rather than comparing
+against a laptop's numbers; committed baselines are for tracking a
+single dedicated box over time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class WorkloadDelta:
+    """One guard's baseline-vs-current movement."""
+
+    guard: str
+    metric_deltas: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: Metric name -> relative change ((current - base) / base).
+    relative: dict[str, float] = field(default_factory=dict)
+    regressed_metrics: list[str] = field(default_factory=list)
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressed_metrics)
+
+
+@dataclass
+class ComparisonReport:
+    """The full diff of two bench reports."""
+
+    threshold: float
+    deltas: list[WorkloadDelta] = field(default_factory=list)
+    #: Guards present in only one of the two reports.
+    only_in_baseline: list[str] = field(default_factory=list)
+    only_in_current: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[WorkloadDelta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def pretty(self) -> str:
+        lines = [
+            f"baseline comparison (threshold {self.threshold * 100:.0f}%):"
+        ]
+        for delta in self.deltas:
+            lines.append(f"  {delta.guard}")
+            for metric, (base, current) in sorted(delta.metric_deltas.items()):
+                change = delta.relative[metric]
+                marker = "  <-- REGRESSION" if metric in delta.regressed_metrics else ""
+                lines.append(
+                    f"    {metric:<18} {base * 1e3:9.2f}ms -> {current * 1e3:9.2f}ms"
+                    f"  ({change:+.1%}){marker}"
+                )
+        for guard in self.only_in_baseline:
+            lines.append(f"  {guard}: only in baseline (skipped)")
+        for guard in self.only_in_current:
+            lines.append(f"  {guard}: not in baseline (skipped)")
+        verdict = (
+            "ok: no workload regressed past the threshold"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} workload(s) regressed"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "ok": self.ok,
+            "workloads": [
+                {
+                    "guard": delta.guard,
+                    "metrics": {
+                        metric: {
+                            "baseline": base,
+                            "current": current,
+                            "relative": delta.relative[metric],
+                            "regressed": metric in delta.regressed_metrics,
+                        }
+                        for metric, (base, current) in delta.metric_deltas.items()
+                    },
+                }
+                for delta in self.deltas
+            ],
+            "only_in_baseline": self.only_in_baseline,
+            "only_in_current": self.only_in_current,
+        }
+
+
+#: The per-guard metrics the gate watches: (metric label, path in the
+#: guard entry).  Cold wall time is reported but never gated — it is
+#: dominated by one-off I/O noise on shared CI runners.
+_GATED_METRICS = (
+    ("warm_mean", ("warm", "wall_seconds_mean")),
+    ("warm_p95", ("warm", "wall_seconds_p95")),
+)
+_CONTEXT_METRICS = (("cold", ("cold", "wall_seconds")),)
+
+
+def _lookup(entry: dict, path: tuple[str, ...]) -> Optional[float]:
+    value: object = entry
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def compare_reports(
+    baseline: dict, current: dict, threshold: float = 0.25
+) -> ComparisonReport:
+    """Diff two pipeline bench reports; flags slowdowns past ``threshold``.
+
+    Workloads are matched by guard text.  A missing metric (e.g. a
+    baseline written before ``wall_seconds_p95`` existed, estimated
+    from its retained samples when possible) is skipped, never flagged.
+    """
+    from repro.bench.pipeline import sample_percentile
+
+    def by_guard(report: dict) -> dict[str, dict]:
+        return {entry["guard"]: entry for entry in report.get("guards", [])}
+
+    def patched_p95(entry: dict) -> None:
+        warm = entry.get("warm")
+        if isinstance(warm, dict) and "wall_seconds_p95" not in warm:
+            samples = warm.get("wall_seconds")
+            if isinstance(samples, list) and samples:
+                warm["wall_seconds_p95"] = sample_percentile(samples, 0.95)
+
+    base_entries = by_guard(baseline)
+    current_entries = by_guard(current)
+    for entry in list(base_entries.values()) + list(current_entries.values()):
+        patched_p95(entry)
+
+    report = ComparisonReport(threshold=threshold)
+    for guard, current_entry in current_entries.items():
+        base_entry = base_entries.get(guard)
+        if base_entry is None:
+            report.only_in_current.append(guard)
+            continue
+        delta = WorkloadDelta(guard=guard)
+        for metric, path in _GATED_METRICS + _CONTEXT_METRICS:
+            base_value = _lookup(base_entry, path)
+            current_value = _lookup(current_entry, path)
+            if base_value is None or current_value is None or base_value <= 0:
+                continue
+            delta.metric_deltas[metric] = (base_value, current_value)
+            change = (current_value - base_value) / base_value
+            delta.relative[metric] = change
+            gated = any(metric == name for name, _ in _GATED_METRICS)
+            if gated and change > threshold:
+                delta.regressed_metrics.append(metric)
+        report.deltas.append(delta)
+    report.only_in_baseline = [
+        guard for guard in base_entries if guard not in current_entries
+    ]
+    return report
+
+
+def compare_files(
+    baseline_path: str, current_report: dict, threshold: float = 0.25
+) -> ComparisonReport:
+    """Load a baseline JSON file and diff ``current_report`` against it."""
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    return compare_reports(baseline, current_report, threshold=threshold)

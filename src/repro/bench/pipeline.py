@@ -34,6 +34,18 @@ DEFAULT_GUARDS = {
 }
 
 
+def sample_percentile(samples: list[float], q: float) -> float:
+    """Exact small-sample percentile (linear interpolation between
+    order statistics) — bench runs keep every sample, so no bucketing."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(max(q, 0.0), 1.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
 def _timed_transform(db: Database, name: str, guard: str) -> dict:
     """One transform with wall/simulated/block deltas."""
     sim_start = db.stats.simulated_seconds
@@ -77,6 +89,7 @@ def repeated_guard_bench(
         "warm": {
             "wall_seconds_mean": warm_mean,
             "wall_seconds_best": warm_best,
+            "wall_seconds_p95": sample_percentile(warm_wall, 0.95),
             "wall_seconds": warm_wall,
             "simulated_seconds": sum(r["simulated_seconds"] for r in warm_runs),
             "blocks": sum(r["blocks"] for r in warm_runs),

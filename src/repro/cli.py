@@ -18,7 +18,11 @@ Examples::
     xmorph trace --db bib.db dblp "MORPH author" --json
     xmorph fsck --db bib.db --repair
     xmorph serve --db bib.db --workers 8 --readonly
+    xmorph serve --db bib.db --port 9900 --trace-sample 10 --slow-ms 50
+    xmorph metrics --port 9900
+    xmorph top --port 9900 --plain
     xmorph bench --parallel --workers 8
+    xmorph bench --compare BENCH_pipeline.json --threshold 0.25
 """
 
 from __future__ import annotations
@@ -260,6 +264,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker count to measure in --parallel mode (repeatable; default 1 2 4 8)",
     )
+    bench.add_argument(
+        "--compare",
+        metavar="BASELINE.json",
+        default=None,
+        help=(
+            "diff this run's mean/p95 per workload against a baseline "
+            "bench report; exit 3 when a workload regresses past the "
+            "threshold"
+        ),
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed relative slowdown vs the baseline (default 0.25 = 25%%)",
+    )
     bench.set_defaults(handler=_cmd_bench)
 
     serve = commands.add_parser(
@@ -297,7 +317,74 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="open the store with a shared reader lock (mode='r')",
     )
+    serve.add_argument(
+        "--trace-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="trace one request in N into a JSONL file (0 = off)",
+    )
+    serve.add_argument(
+        "--trace-file",
+        default=None,
+        help="where sampled request traces are appended (default DB.traces.jsonl)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log requests slower than MS milliseconds end to end",
+    )
+    serve.add_argument(
+        "--slow-log",
+        default=None,
+        help="where slow-query records are appended (default DB.slow.jsonl)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="print Prometheus metrics of a serve process or a database",
+        description=(
+            "With --port, scrape a live `xmorph serve --port` process's "
+            "GET /metrics endpoint and print the exposition text.  With "
+            "--db, open the database read-only and print a one-shot "
+            "snapshot of its lifetime counters and latency histograms."
+        ),
+    )
+    metrics.add_argument("--db", default=None, help="database file to snapshot")
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument(
+        "--port", type=int, default=None, help="scrape a live serve process"
+    )
+    metrics.set_defaults(handler=_cmd_metrics)
+
+    top = commands.add_parser(
+        "top",
+        help="live dashboard over a serve process's metrics endpoint",
+        description=(
+            "Poll GET /metrics of an `xmorph serve --port` process and "
+            "render requests/s, in-flight, windowed and lifetime latency "
+            "quantiles, cache hit ratios and degraded-serial/timeout "
+            "events.  Uses curses on a terminal, plain text otherwise."
+        ),
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, required=True)
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N polls (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--plain", action="store_true", help="force plain-text output (no curses)"
+    )
+    top.set_defaults(handler=_cmd_top)
 
     return parser
 
@@ -546,6 +633,12 @@ def _cmd_bench(arguments) -> int:
     output = None if raw_output == "-" else raw_output
 
     if arguments.parallel:
+        if arguments.compare:
+            print(
+                "error: --compare works on pipeline reports (drop --parallel)",
+                file=sys.stderr,
+            )
+            return 2
         from repro.bench.parallel import run_parallel_bench
 
         report = run_parallel_bench(
@@ -596,23 +689,50 @@ def _cmd_bench(arguments) -> int:
         print(json_module.dumps(report, indent=2))
     else:
         print(f"wrote {output}")
+    if arguments.compare:
+        from repro.bench.compare import compare_files
+
+        comparison = compare_files(
+            arguments.compare, report, threshold=arguments.threshold
+        )
+        print(comparison.pretty())
+        if not comparison.ok:
+            return 3
     return 0
 
 
 def _cmd_serve(arguments) -> int:
-    from repro.serve import serve_forever, serve_loop
+    from repro.serve import ServeTelemetry, serve_forever, serve_loop
 
     mode = "r" if arguments.readonly else "w"
     with Database(arguments.db, mode=mode) as db:
+        trace_file = arguments.trace_file
+        if trace_file is None and arguments.trace_sample > 0:
+            trace_file = arguments.db + ".traces.jsonl"
+        slow_log = arguments.slow_log
+        if slow_log is None and arguments.slow_ms is not None:
+            slow_log = arguments.db + ".slow.jsonl"
+        telemetry = ServeTelemetry(
+            stats=db.stats,
+            trace_sample=arguments.trace_sample,
+            trace_file=trace_file,
+            slow_ms=arguments.slow_ms,
+            slow_log=slow_log,
+        )
         if arguments.port is not None:
             server = serve_forever(
                 db,
                 port=arguments.port,
                 workers=arguments.workers,
                 deadline=arguments.deadline,
+                telemetry=telemetry,
             )
             host, port = server.server_address[:2]
             print(f"serving {arguments.db} on {host}:{port}", file=sys.stderr)
+            if trace_file:
+                print(f"sampled traces -> {trace_file}", file=sys.stderr)
+            if slow_log:
+                print(f"slow-query log -> {slow_log}", file=sys.stderr)
             try:
                 server.serve_forever()
             except KeyboardInterrupt:  # pragma: no cover - interactive exit
@@ -627,6 +747,7 @@ def _cmd_serve(arguments) -> int:
             sys.stdout,
             workers=arguments.workers,
             deadline=arguments.deadline,
+            telemetry=telemetry,
         )
         print(
             f"served {stats.requests} requests "
@@ -634,6 +755,45 @@ def _cmd_serve(arguments) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _cmd_metrics(arguments) -> int:
+    if (arguments.port is None) == (arguments.db is None):
+        print("error: pass exactly one of --port or --db", file=sys.stderr)
+        return 2
+    if arguments.port is not None:
+        from repro.serve.top import fetch_metrics
+
+        try:
+            text = fetch_metrics(arguments.host, arguments.port)
+        except OSError as error:
+            print(
+                f"error: cannot scrape {arguments.host}:{arguments.port}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        print(text, end="")
+        return 0
+    from repro.serve import render_database_metrics
+
+    with Database(arguments.db, mode="r") as db:
+        print(render_database_metrics(db), end="")
+    return 0
+
+
+def _cmd_top(arguments) -> int:
+    from repro.serve.top import run_top
+
+    try:
+        return run_top(
+            arguments.host,
+            arguments.port,
+            interval=arguments.interval,
+            iterations=arguments.iterations,
+            plain=arguments.plain,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ numbers in these sequences:
 from __future__ import annotations
 
 import threading
+import time
 from typing import Iterator, Optional
 
 from repro.obs import tracer as obs
@@ -79,6 +80,12 @@ class BaseIndex:
     def shape_vertex(self, data_type: DataType) -> Optional[ShapeType]:
         raise NotImplementedError
 
+    def record_timing(self, name: str, seconds: float) -> None:
+        """Report a measured latency (join builds).  The base feeds the
+        current tracer; storage-backed indexes also feed the database's
+        lifetime histograms."""
+        obs.observe(name, seconds)
+
     # Derived operations ----------------------------------------------------------
 
     def closest_lca_level(self, first: DataType, second: DataType) -> Optional[int]:
@@ -134,6 +141,7 @@ class BaseIndex:
                 return cached
             self.join_cache_misses += 1
             obs.count("join_cache.misses")
+            started = time.perf_counter()
             mapping: dict[int, list[XmlNode]] = {}
             level = self.closest_lca_level(first, second)
             if level is not None:
@@ -142,6 +150,7 @@ class BaseIndex:
                 ):
                     mapping.setdefault(id(anchor), []).append(partner)
             self._pair_maps[key] = mapping
+            self.record_timing("join.build_seconds", time.perf_counter() - started)
             return mapping
 
     def restrict_pass(

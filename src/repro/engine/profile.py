@@ -162,6 +162,22 @@ class ProfileReport:
                             for name, count in sorted(durability.items())
                         )
                     )
+            timings = self.storage.get("timings") or {}
+            if any(histogram.count for histogram in timings.values()):
+                # Lifetime latency percentiles (measured wall clock, not
+                # the cost model) for this database handle.
+                lines.append("latency percentiles (lifetime):")
+                for name in sorted(timings):
+                    histogram = timings[name]
+                    if not histogram.count:
+                        continue
+                    lines.append(
+                        f"  {name}: count={histogram.count}"
+                        f" p50={obs.format_duration(histogram.p50)}"
+                        f" p95={obs.format_duration(histogram.p95)}"
+                        f" p99={obs.format_duration(histogram.p99)}"
+                        f" max={obs.format_duration(histogram.maximum or 0.0)}"
+                    )
         return "\n".join(lines)
 
     def span_tree(self) -> str:
@@ -207,6 +223,7 @@ def profile_db_transform(database, name: str, guard: str) -> ProfileReport:
             "buffer_hit_ratio": database.pool.hit_ratio,
             "plan_cache": database.plan_cache.stats(),
             "events": _durability_events(stats),
+            "timings": stats.timing_snapshot(),
         },
     )
 
@@ -243,6 +260,7 @@ def profile_document(xml_text: str, guard: str) -> ProfileReport:
                 "buffer_hit_ratio": database.pool.hit_ratio,
                 "plan_cache": database.plan_cache.stats(),
                 "events": _durability_events(database.stats),
+                "timings": database.stats.timing_snapshot(),
             }
         finally:
             database.close()

@@ -4,15 +4,16 @@ Three pieces, one import:
 
 * **spans** (:mod:`repro.obs.tracer`): nested timed regions covering
   every pipeline stage — parse, per-operator type analysis, loss check,
-  render, shred — reported to a module-global current tracer that is a
-  near-zero-cost no-op by default;
+  render, shred — reported to a context-local current tracer (so each
+  serve request can own one) that is a near-zero-cost no-op by default;
 * **metrics** (:mod:`repro.obs.metrics`): counters, gauges and
   histograms (``btree.page_reads``, ``join.comparisons``,
   ``buffer.hit_ratio``, ``render.nodes_emitted``...), fed both by call
   sites and by the :class:`~repro.storage.stats.SystemStats` cost model
   so simulated figures and real traces share one source of truth;
-* **exporters** (:mod:`repro.obs.export`): a human-readable tree and a
-  lossless JSON-lines format.
+* **exporters** (:mod:`repro.obs.export`, :mod:`repro.obs.prom`): a
+  human-readable tree, a lossless JSON-lines format, and Prometheus
+  text exposition for live serve processes.
 
 Typical use::
 
@@ -35,14 +36,22 @@ from repro.obs.export import (
     to_json_lines,
     write_json_lines,
 )
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    estimate_quantile,
+)
+from repro.obs.prom import parse_prometheus, render_prometheus
 from repro.obs.tracer import (
     DISABLED,
     Span,
     Tracer,
     count,
+    current_trace_id,
     enabled,
     get_tracer,
+    new_trace_id,
     observe,
     set_tracer,
     span,
@@ -60,8 +69,14 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "tracing",
+    "new_trace_id",
+    "current_trace_id",
     "Histogram",
     "MetricsRegistry",
+    "BUCKET_BOUNDS",
+    "estimate_quantile",
+    "render_prometheus",
+    "parse_prometheus",
     "SpanRecord",
     "TraceRecord",
     "render_tree",

@@ -20,7 +20,10 @@ from typing import Optional
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Span, Tracer
 
-FORMAT_VERSION = 1
+#: v2 adds span ``status`` (error spans), histogram buckets inside the
+#: metrics record, and optional ``trace_id`` stamps on every record.
+#: :func:`from_json_lines` still reads v1 traces.
+FORMAT_VERSION = 2
 
 
 def format_duration(seconds: float) -> str:
@@ -41,6 +44,8 @@ def render_tree(tracer: Tracer) -> str:
         for span, depth in root.walk():
             attrs = " ".join(f"{key}={value}" for key, value in span.attrs.items())
             line = f"{'  ' * depth}{span.name}  {format_duration(span.duration)}"
+            if span.status != "ok":
+                line += f"  status={span.status}"
             if attrs:
                 line += f"  [{attrs}]"
             lines.append(line)
@@ -62,43 +67,61 @@ def render_metrics(metrics: MetricsRegistry) -> list[str]:
         lines.append("histograms:")
         for name in sorted(metrics.histograms):
             histogram = metrics.histograms[name]
-            lines.append(
+            line = (
                 f"  {name}: count={histogram.count} mean={histogram.mean:.4g}"
                 f" min={histogram.minimum:.4g} max={histogram.maximum:.4g}"
             )
+            if histogram.count:
+                line += (
+                    f" p50={histogram.p50:.4g} p95={histogram.p95:.4g}"
+                    f" p99={histogram.p99:.4g}"
+                )
+            lines.append(line)
     return lines
 
 
 # -- JSON lines ------------------------------------------------------------
 
 
-def to_json_lines(tracer: Tracer) -> str:
-    """Serialize a tracer: header line, span lines (depth-first), metrics."""
+def to_json_lines(tracer: Tracer, header: Optional[dict] = None) -> str:
+    """Serialize a tracer: header line, span lines (depth-first), metrics.
+
+    ``header`` fields are merged into the leading ``{"type": "trace"}``
+    record (request-scoped traces carry doc/guard/phase breakdowns
+    there).  A tracer with a ``trace_id`` stamps it on *every* record,
+    so one request's lines can be filtered out of a shared trace file.
+    """
     epoch = min((root.started for root in tracer.roots), default=0.0)
-    records: list[dict] = [{"type": "trace", "version": FORMAT_VERSION}]
+    stamp: dict = {"trace_id": tracer.trace_id} if tracer.trace_id else {}
+    head: dict = {"type": "trace", "version": FORMAT_VERSION, **stamp}
+    if header:
+        head.update(header)
+    records: list[dict] = [head]
     next_id = 1
 
     def emit(span: Span, parent_id: Optional[int]) -> None:
         nonlocal next_id
         span_id = next_id
         next_id += 1
-        records.append(
-            {
-                "type": "span",
-                "id": span_id,
-                "parent": parent_id,
-                "name": span.name,
-                "start": span.started - epoch,
-                "duration": span.duration,
-                "attrs": span.attrs,
-            }
-        )
+        record = {
+            "type": "span",
+            **stamp,
+            "id": span_id,
+            "parent": parent_id,
+            "name": span.name,
+            "start": span.started - epoch,
+            "duration": span.duration,
+            "attrs": span.attrs,
+        }
+        if span.status != "ok":
+            record["status"] = span.status
+        records.append(record)
         for child in span.children:
             emit(child, span_id)
 
     for root in tracer.roots:
         emit(root, None)
-    records.append({"type": "metrics", **tracer.metrics.as_dict()})
+    records.append({"type": "metrics", **stamp, **tracer.metrics.as_dict()})
     return "\n".join(json.dumps(record, default=str) for record in records)
 
 
@@ -110,6 +133,7 @@ class SpanRecord:
     start: float
     duration: float
     attrs: dict
+    status: str = "ok"
     children: list["SpanRecord"] = field(default_factory=list)
 
 
@@ -119,6 +143,10 @@ class TraceRecord:
 
     roots: list[SpanRecord]
     metrics: MetricsRegistry
+    #: Request trace id when the trace was request-scoped (else None).
+    trace_id: Optional[str] = None
+    #: Extra fields of the header record (doc, guard, timings...).
+    header: dict = field(default_factory=dict)
 
     def find(self, name: str) -> Optional[SpanRecord]:
         stack = list(reversed(self.roots))
@@ -144,18 +172,28 @@ def from_json_lines(text: str) -> TraceRecord:
     roots: list[SpanRecord] = []
     by_id: dict[int, SpanRecord] = {}
     metrics = MetricsRegistry()
+    trace_id: Optional[str] = None
+    header: dict = {}
     for line in text.splitlines():
         line = line.strip()
         if not line:
             continue
         data = json.loads(line)
         kind = data.get("type")
-        if kind == "span":
+        if kind == "trace":
+            trace_id = data.get("trace_id")
+            header = {
+                key: value
+                for key, value in data.items()
+                if key not in ("type", "version", "trace_id")
+            }
+        elif kind == "span":
             record = SpanRecord(
                 name=data["name"],
                 start=data["start"],
                 duration=data["duration"],
                 attrs=data.get("attrs", {}),
+                status=data.get("status", "ok"),
             )
             by_id[data["id"]] = record
             parent = data.get("parent")
@@ -165,7 +203,7 @@ def from_json_lines(text: str) -> TraceRecord:
                 by_id[parent].children.append(record)
         elif kind == "metrics":
             metrics = MetricsRegistry.from_dict(data)
-    return TraceRecord(roots=roots, metrics=metrics)
+    return TraceRecord(roots=roots, metrics=metrics, trace_id=trace_id, header=header)
 
 
 def write_json_lines(tracer: Tracer, path: str) -> str:

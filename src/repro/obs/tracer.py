@@ -7,30 +7,46 @@ transformation produces a tree mirroring Figure 8's pipeline.  Times
 come from :func:`time.perf_counter` (monotonic), so durations are safe
 against wall-clock adjustments.
 
-A module-global *current tracer* keeps the instrumentation call sites
+A context-local *current tracer* keeps the instrumentation call sites
 declarative — ``with obs.span("pipeline.render"): ...`` — without
-threading a tracer object through every layer.  The default tracer is
-**disabled**: its spans still measure their own duration (two
-``perf_counter`` calls, so coarse call sites can keep populating result
-fields such as ``render_seconds``), but nothing is recorded, no tree is
-retained and every counter/histogram update is a no-op.  Hot paths
-(per-block, per-node) must use counters, never per-item spans, so the
-disabled cost stays near zero.
+threading a tracer object through every layer.  The tracer lives in a
+:class:`contextvars.ContextVar`, so a serving process can give every
+request its own tracer (with its own ``trace_id``) on a worker thread
+without requests trampling each other; :class:`~repro.serve.TransformPool`
+captures the submitter's context so a tracer installed around a batch
+still sees its workers.  The default tracer is **disabled**: its spans
+still measure their own duration (two ``perf_counter`` calls, so coarse
+call sites can keep populating result fields such as
+``render_seconds``), but nothing is recorded, no tree is retained and
+every counter/histogram update is a no-op.  Hot paths (per-block,
+per-node) must use counters, never per-item spans, so the disabled cost
+stays near zero.
+
+A span that exits via an exception carries ``status="error"`` plus the
+exception type (and its stable ``XMnnn`` code when it has one) in its
+attrs, so a failed request's trace is distinguishable from a success.
 """
 
 from __future__ import annotations
 
+import contextvars
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from repro.obs.metrics import MetricsRegistry
 
 
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit request trace id."""
+    return uuid.uuid4().hex[:16]
+
+
 class Span:
     """One timed, attributed region; a context manager."""
 
-    __slots__ = ("name", "attrs", "started", "ended", "children", "_tracer")
+    __slots__ = ("name", "attrs", "started", "ended", "children", "status", "_tracer")
 
     def __init__(self, name: str, tracer: "Tracer", attrs: Optional[dict] = None):
         self.name = name
@@ -38,6 +54,8 @@ class Span:
         self.started: float = 0.0
         self.ended: Optional[float] = None
         self.children: list[Span] = []
+        #: ``"ok"``, or ``"error"`` when the span exited via an exception.
+        self.status: str = "ok"
         self._tracer = tracer
 
     def __enter__(self) -> "Span":
@@ -46,8 +64,14 @@ class Span:
         self.started = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, exc_type, exc_value, _traceback) -> None:
         self.ended = time.perf_counter()
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", exc_type.__name__)
+            code = getattr(exc_value, "code", None)
+            if code:
+                self.attrs.setdefault("code", code)
         if self._tracer.enabled:
             self._tracer._close(self)
 
@@ -81,11 +105,14 @@ class Tracer:
 
     ``Tracer()`` is enabled; ``Tracer(enabled=False)`` is the shared
     no-op default — its spans are timed but never retained, and its
-    counters are dropped.
+    counters are dropped.  ``trace_id`` tags a request-scoped tracer:
+    every record the exporter emits for it carries the id, so spans of
+    one serve request can be grepped out of a shared JSONL trace file.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, trace_id: Optional[str] = None):
         self.enabled = enabled
+        self.trace_id = trace_id
         self.metrics = MetricsRegistry()
         self.roots: list[Span] = []
         self._stack: list[Span] = []
@@ -150,20 +177,29 @@ class Tracer:
 #: The shared disabled tracer: timed-but-unrecorded spans, no-op metrics.
 DISABLED = Tracer(enabled=False)
 
-_current: Tracer = DISABLED
+#: The context-local current tracer.  Context-local (not plain global)
+#: so concurrent serve requests on pool threads each report to their own
+#: request tracer; a thread that never installed one sees DISABLED.
+_current: contextvars.ContextVar[Tracer] = contextvars.ContextVar(
+    "xmorph-tracer", default=DISABLED
+)
 
 
 def get_tracer() -> Tracer:
     """The tracer instrumentation call sites currently report to."""
-    return _current
+    return _current.get()
 
 
 def set_tracer(tracer: Tracer) -> Tracer:
     """Install ``tracer`` as current; returns the previous one."""
-    global _current
-    previous = _current
-    _current = tracer
+    previous = _current.get()
+    _current.set(tracer)
     return previous
+
+
+def current_trace_id() -> Optional[str]:
+    """The active request's trace id, if the current tracer has one."""
+    return _current.get().trace_id
 
 
 @contextmanager
@@ -182,20 +218,20 @@ def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
 
 def span(name: str, **attrs) -> Span:
     """A span on the current tracer: ``with obs.span("lang.parse"): ...``."""
-    return _current.span(name, **attrs)
+    return _current.get().span(name, **attrs)
 
 
 def count(name: str, value: int = 1) -> None:
-    tracer = _current
+    tracer = _current.get()
     if tracer.enabled:
         tracer.metrics.inc(name, value)
 
 
 def observe(name: str, value: float) -> None:
-    tracer = _current
+    tracer = _current.get()
     if tracer.enabled:
         tracer.metrics.observe(name, value)
 
 
 def enabled() -> bool:
-    return _current.enabled
+    return _current.get().enabled

@@ -20,6 +20,21 @@ suite in ``tests/serve``: parallel output is byte-identical to serial.
 """
 
 from repro.serve.pool import TransformPool
-from repro.serve.server import ServeStats, serve_forever, serve_loop
+from repro.serve.server import (
+    ServeStats,
+    render_database_metrics,
+    serve_forever,
+    serve_loop,
+)
+from repro.serve.telemetry import RequestTrace, ServeTelemetry, metrics_snapshot
 
-__all__ = ["TransformPool", "ServeStats", "serve_forever", "serve_loop"]
+__all__ = [
+    "TransformPool",
+    "ServeStats",
+    "ServeTelemetry",
+    "RequestTrace",
+    "serve_forever",
+    "serve_loop",
+    "metrics_snapshot",
+    "render_database_metrics",
+]

@@ -31,6 +31,7 @@ durability line) and the active tracer.
 from __future__ import annotations
 
 import concurrent.futures
+import contextvars
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from io import StringIO
@@ -41,6 +42,7 @@ from repro.obs import tracer as obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.interpreter import TransformResult
+    from repro.serve.telemetry import RequestTrace, ServeTelemetry
     from repro.storage.database import Database
 
 
@@ -59,11 +61,16 @@ class TransformPool:
         workers: int = 8,
         deadline: Optional[float] = None,
         max_queue: Optional[int] = None,
+        telemetry: Optional["ServeTelemetry"] = None,
     ):
         self.database = database
         self.workers = max(1, int(workers))
         #: Default per-request deadline in seconds (None = unbounded).
         self.deadline = deadline
+        #: Optional request-scoped telemetry (sampled traces, slow-query
+        #: log, latency histograms).  ``None`` keeps submission at its
+        #: bare-counter cost.
+        self.telemetry = telemetry
         #: Requests allowed in flight before submission degrades to
         #: inline serial execution.  Default: 4 deep per worker.
         self.max_queue = max_queue if max_queue is not None else self.workers * 4
@@ -109,8 +116,16 @@ class TransformPool:
         When the queue is saturated (or the pool is serial), the work
         runs inline on the calling thread and comes back as an
         already-completed future — bounded memory, no rejection.
+
+        With telemetry attached, the future carries its
+        :class:`~repro.serve.telemetry.RequestTrace` as
+        ``future.xmorph_trace`` so the response writer can time the
+        serialize phase and finish the trace.
         """
         self._event("serve.requests")
+        trace = (
+            self.telemetry.start(name, guard) if self.telemetry is not None else None
+        )
         executor = self._executor
         if executor is not None:
             with self._pending_lock:
@@ -118,23 +133,64 @@ class TransformPool:
                 if not saturated:
                     self._pending += 1
             if not saturated:
-                return executor.submit(self._guarded_run, name, guard, stream)
+                # Run the worker in a copy of the submitter's context so
+                # an outer tracer (EXPLAIN ANALYZE over transform_many,
+                # a test's obs.tracing block) still sees worker spans,
+                # and a per-request tracer installed by the worker never
+                # leaks outside its task.
+                context = contextvars.copy_context()
+                future = executor.submit(
+                    context.run, self._guarded_run, name, guard, stream, trace
+                )
+                future.xmorph_trace = trace
+                return future
             # Saturated: run on the caller's thread (a workers=1 pool is
             # serial by construction, not degradation, so no counter).
             self._event("serve.degraded_serial")
+            if trace is not None:
+                trace.degraded = True
         future: "concurrent.futures.Future" = concurrent.futures.Future()
         try:
-            future.set_result(self._guarded_run_inline(name, guard, stream))
+            future.set_result(self._guarded_run_inline(name, guard, stream, trace))
         except BaseException as error:  # noqa: B036 - the future carries it,
             # matching ThreadPoolExecutor's own capture semantics.
             future.set_exception(error)
+        future.xmorph_trace = trace
         return future
 
-    def _guarded_run(self, name: str, guard: str, stream: bool):
+    def _record_error(self, error: BaseException, trace) -> None:
+        self._event("serve.errors")
+        code = getattr(error, "code", None)
+        # Per-code breakdown: {"cmd": "stats"} distinguishes timeouts
+        # (XM540) from lock conflicts (XM520) from uncoded failures.
+        self._event(f"serve.errors.{code}" if code else "serve.errors.uncoded")
+        if trace is not None:
+            trace.fail(error)
+
+    def _traced_run(self, name: str, guard: str, stream: bool, trace):
+        """Run one transform, timing it (and tracing it) per ``trace``."""
+        if trace is None:
+            return self._run(name, guard, stream)
+        trace.begin()
         try:
-            result = self._run(name, guard, stream)
-        except BaseException:
-            self._event("serve.errors")
+            if trace.tracer is None:
+                return self._run(name, guard, stream)
+            previous = obs.set_tracer(trace.tracer)
+            try:
+                with trace.tracer.span(
+                    "serve.request", doc=name, stream=stream
+                ):
+                    return self._run(name, guard, stream)
+            finally:
+                obs.set_tracer(previous)
+        finally:
+            trace.end_execute()
+
+    def _guarded_run(self, name: str, guard: str, stream: bool, trace=None):
+        try:
+            result = self._traced_run(name, guard, stream, trace)
+        except BaseException as error:  # noqa: B036 - counted, then re-raised
+            self._record_error(error, trace)
             raise
         else:
             self._event("serve.completed")
@@ -143,11 +199,11 @@ class TransformPool:
             with self._pending_lock:
                 self._pending -= 1
 
-    def _guarded_run_inline(self, name: str, guard: str, stream: bool):
+    def _guarded_run_inline(self, name: str, guard: str, stream: bool, trace=None):
         try:
-            result = self._run(name, guard, stream)
-        except BaseException:
-            self._event("serve.errors")
+            result = self._traced_run(name, guard, stream, trace)
+        except BaseException as error:  # noqa: B036 - counted, then re-raised
+            self._record_error(error, trace)
             raise
         else:
             self._event("serve.completed")
@@ -179,6 +235,7 @@ class TransformPool:
         ]
         results = []
         for name, guard, future in futures:
+            trace = getattr(future, "xmorph_trace", None)
             try:
                 results.append(future.result(timeout=deadline))
             except concurrent.futures.TimeoutError:
@@ -186,7 +243,15 @@ class TransformPool:
                 # background and its result is dropped with the future.
                 future.cancel()
                 self._event("serve.timeouts")
-                raise TransformTimeoutError(name, guard, deadline) from None
+                self._event("serve.errors.XM540")
+                error = TransformTimeoutError(name, guard, deadline)
+                if trace is not None and self.telemetry is not None:
+                    trace.fail(error)
+                    self.telemetry.finish(trace)
+                raise error from None
+            finally:
+                if self.telemetry is not None:
+                    self.telemetry.finish(trace)
         return results
 
     # -- introspection -------------------------------------------------------

@@ -6,6 +6,7 @@ a load generator can drive it with nothing but pipes::
     {"id": 1, "doc": "dblp", "guard": "MORPH author [ name ]"}
     {"id": 2, "doc": "dblp", "guard": "...", "stream": true}
     {"cmd": "stats"}
+    {"cmd": "metrics"}
     {"cmd": "quit"}
 
 Responses mirror the ids, in request order::
@@ -16,6 +17,12 @@ Responses mirror the ids, in request order::
 (``code`` is the stable XM-code when the failure has one — lock
 conflicts are ``XM520``, timeouts ``XM540``, read-only violations
 ``XM550`` — and ``null`` for uncoded type/parse errors.)
+
+``{"cmd": "metrics"}`` answers with the database's Prometheus text
+exposition in a JSON envelope, and a raw ``GET /metrics HTTP/1.x``
+request line on the same port gets a one-shot HTTP response — the TCP
+server doubles as a scrape endpoint (``curl http://host:port/metrics``,
+``xmorph top``); see ``docs/OBSERVABILITY.md``.
 
 The loop pipelines: the reader thread keeps submitting requests to the
 pool while a responder thread writes each response the moment its turn
@@ -30,18 +37,59 @@ substrate (buffer pool, plan cache, join memos) exists for.
 
 from __future__ import annotations
 
+import concurrent.futures
 import json
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import IO, Optional
 
-from repro.errors import XMorphError
+from repro.errors import TransformTimeoutError, XMorphError
 from repro.serve.pool import TransformPool
+from repro.serve.telemetry import ServeTelemetry, metrics_snapshot
 
 #: In-flight responses per worker before request reading blocks
 #: (bounded buffering = backpressure on a fast client).
 _WINDOW_PER_WORKER = 2
+
+
+def render_database_metrics(database, pool=None) -> str:
+    """The live Prometheus exposition text of one database (+ pool)."""
+    from repro.obs.prom import render_prometheus
+
+    counters, gauges, histograms = metrics_snapshot(database, pool)
+    return render_prometheus(counters, gauges=gauges, histograms=histograms)
+
+
+def _http_response(status: str, body: str, content_type: str) -> str:
+    payload = body.encode("utf-8")
+    return (
+        f"HTTP/1.0 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n" + body
+    )
+
+
+def _handle_http(database, pool, line: str) -> str:
+    """A one-shot HTTP response for a ``GET <path>`` request line.
+
+    The line protocol doubles as a minimal scrape endpoint: a client
+    (curl, a Prometheus scraper) that opens the TCP port and sends
+    ``GET /metrics HTTP/1.1`` gets a well-formed HTTP response and the
+    connection closes.  Only ``/metrics`` exists.
+    """
+    parts = line.split()
+    path = parts[1] if len(parts) > 1 else "/"
+    if path.split("?")[0] == "/metrics":
+        return _http_response(
+            "200 OK",
+            render_database_metrics(database, pool),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+    return _http_response("404 Not Found", "only /metrics is served\n", "text/plain")
 
 
 @dataclass
@@ -61,10 +109,17 @@ def serve_loop(
     writer: IO[str],
     workers: int = 4,
     deadline: Optional[float] = None,
+    telemetry: Optional[ServeTelemetry] = None,
 ) -> ServeStats:
     """Serve newline-delimited JSON requests until EOF or ``quit``."""
     stats = ServeStats()
-    with TransformPool(database, workers=workers, deadline=deadline) as pool:
+    if telemetry is None:
+        # Even an unconfigured loop (no sampling, no slow log) records
+        # request latency histograms, so /metrics always has quantiles.
+        telemetry = ServeTelemetry(stats=database.stats)
+    with TransformPool(
+        database, workers=workers, deadline=deadline, telemetry=telemetry
+    ) as pool:
         # One responder thread writes responses in request order, each
         # the moment its future resolves; the bounded queue throttles a
         # client that pipelines faster than the pool completes.
@@ -87,8 +142,21 @@ def serve_loop(
                         # Every earlier response has been written, so
                         # the counters reflect all prior requests.
                         _write(writer, {"ok": True, "stats": pool.stats()})
+                    elif kind == "metrics":
+                        _write(
+                            writer,
+                            {
+                                "ok": True,
+                                "prometheus": render_database_metrics(
+                                    database, pool
+                                ),
+                            },
+                        )
+                    elif kind == "raw":
+                        writer.write(payload)
+                        writer.flush()
                     else:
-                        _respond(writer, stats, request_id, payload, deadline)
+                        _respond(writer, stats, request_id, payload, deadline, telemetry)
             except BaseException as error:  # noqa: B036 - re-raised by the
                 # reader thread once the queue is drained (see below).
                 failure.append(error)
@@ -102,6 +170,11 @@ def serve_loop(
                 line = line.strip()
                 if not line:
                     continue
+                if line.startswith(("GET ", "HEAD ")):
+                    # An HTTP client (curl, a Prometheus scraper) hit
+                    # the line-protocol port: answer and close.
+                    responses.put(("raw", None, _handle_http(database, pool, line)))
+                    break
                 try:
                     request = json.loads(line)
                 except ValueError:
@@ -115,6 +188,9 @@ def serve_loop(
                     break
                 if command == "stats":
                     responses.put(("stats", None, None))
+                    continue
+                if command == "metrics":
+                    responses.put(("metrics", None, None))
                     continue
                 if (
                     not isinstance(request, dict)
@@ -152,11 +228,33 @@ def serve_loop(
     return stats
 
 
-def _respond(writer, stats: ServeStats, request_id, future, deadline) -> None:
+def _respond(
+    writer, stats: ServeStats, request_id, future, deadline, telemetry=None
+) -> None:
+    trace = getattr(future, "xmorph_trace", None)
     try:
         result = future.result(timeout=deadline)
+    except concurrent.futures.TimeoutError:
+        # The worker finishes in the background; its result is dropped.
+        future.cancel()
+        doc = trace.doc if trace is not None else "?"
+        guard = trace.guard if trace is not None else "?"
+        error = TransformTimeoutError(doc, guard, deadline)
+        stats.errors += 1
+        if trace is not None:
+            trace.fail(error)
+        if telemetry is not None and telemetry.stats is not None:
+            telemetry.stats.event("serve.timeouts")
+            telemetry.stats.event("serve.errors.XM540")
+        _write(
+            writer,
+            {"id": request_id, "ok": False, "error": str(error), "code": error.code},
+        )
+        return
     except XMorphError as error:
         stats.errors += 1
+        if trace is not None:
+            trace.fail(error)
         _write(
             writer,
             {
@@ -169,11 +267,20 @@ def _respond(writer, stats: ServeStats, request_id, future, deadline) -> None:
         return
     except Exception as error:  # noqa: BLE001 - a response, never a crash
         stats.errors += 1
+        if trace is not None:
+            trace.fail(error)
         _write(writer, {"id": request_id, "ok": False, "error": str(error)})
         return
-    stats.ok += 1
-    xml = result if isinstance(result, str) else result.xml()
-    _write(writer, {"id": request_id, "ok": True, "xml": xml})
+    else:
+        stats.ok += 1
+        started = time.perf_counter()
+        xml = result if isinstance(result, str) else result.xml()
+        _write(writer, {"id": request_id, "ok": True, "xml": xml})
+        if trace is not None:
+            trace.serialize_seconds = time.perf_counter() - started
+    finally:
+        if telemetry is not None:
+            telemetry.finish(trace)
 
 
 def _write(writer, payload: dict) -> None:
@@ -187,6 +294,7 @@ def serve_forever(
     port: int = 0,
     workers: int = 4,
     deadline: Optional[float] = None,
+    telemetry: Optional[ServeTelemetry] = None,
 ):
     """A threading TCP server running :func:`serve_loop` per connection.
 
@@ -197,11 +305,22 @@ def serve_forever(
     """
     import socketserver
 
+    shared = telemetry if telemetry is not None else ServeTelemetry(
+        stats=database.stats
+    )
+
     class Handler(socketserver.StreamRequestHandler):
         def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
             reader = self.rfile and _decode_lines(self.rfile)
             writer = _EncodedWriter(self.wfile)
-            serve_loop(database, reader, writer, workers=workers, deadline=deadline)
+            serve_loop(
+                database,
+                reader,
+                writer,
+                workers=workers,
+                deadline=deadline,
+                telemetry=shared,
+            )
 
     class Server(socketserver.ThreadingTCPServer):
         allow_reuse_address = True

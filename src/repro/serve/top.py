@@ -1,0 +1,274 @@
+"""``xmorph top`` — a live terminal view of a serving process.
+
+Polls the Prometheus endpoint of an ``xmorph serve --port`` process
+(one ``GET /metrics`` per interval over a fresh TCP connection) and
+renders a vmstat-style dashboard: requests per second, in-flight
+requests, windowed and lifetime latency quantiles, cache hit ratios,
+timeouts/degraded-serial events and per-code error counts.
+
+Windowed quantiles come from the histogram's *cumulative bucket
+counters*: diffing two consecutive scrapes bucket-by-bucket yields the
+bucket counts of just that window, which feed the same
+:func:`~repro.obs.metrics.estimate_quantile` walk the server itself
+uses — no per-request data ever crosses the wire.
+
+The display uses :mod:`curses` when stdout is a real terminal and falls
+back to plain text lines (one block per poll) under pipes, dumb
+terminals, or ``--plain``.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import time
+from typing import Optional, TextIO
+
+from repro.obs.metrics import estimate_quantile
+from repro.obs.prom import histogram_buckets, parse_prometheus, sample_value
+
+
+def fetch_metrics(host: str, port: int, timeout: float = 2.0) -> str:
+    """One ``GET /metrics`` scrape; returns the exposition text body."""
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+        chunks = []
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    response = b"".join(chunks).decode("utf-8", errors="replace")
+    head, separator, body = response.partition("\r\n\r\n")
+    if not separator:
+        head, separator, body = response.partition("\n\n")
+    status = head.splitlines()[0] if head else ""
+    if "200" not in status:
+        raise ConnectionError(f"metrics endpoint answered: {status or 'nothing'}")
+    return body
+
+
+def window_quantiles(
+    previous: dict, current: dict, family: str, quantiles=(0.5, 0.95)
+) -> list[Optional[float]]:
+    """Quantiles of one histogram family over the poll window.
+
+    Both arguments are parsed scrapes (:func:`parse_prometheus`).
+    Diffing the cumulative ``le`` buckets isolates the window's
+    observations; a bucket bound missing from a scrape inherits the
+    nearest lower emitted bound's cumulative count (exactly how the
+    renderer compresses runs of empty buckets).
+    """
+    bounds = sorted(
+        {le for le, _count in histogram_buckets(previous, family)}
+        | {le for le, _count in histogram_buckets(current, family)}
+    )
+    if not bounds:
+        return [None] * len(quantiles)
+
+    def cumulative_at(scrape: dict, le: float) -> float:
+        best = 0.0
+        for bound, count in histogram_buckets(scrape, family):
+            if bound <= le:
+                best = count
+            else:
+                break
+        return best
+
+    finite = [le for le in bounds if le != float("inf")]
+    window: list[int] = []
+    previous_delta = 0.0
+    for le in finite + [float("inf")]:
+        delta = cumulative_at(current, le) - cumulative_at(previous, le)
+        window.append(max(0, round(delta - previous_delta)))
+        previous_delta = delta
+    return [
+        estimate_quantile(window, q, bounds=finite) for q in quantiles
+    ]
+
+
+def compute_view(
+    previous: Optional[dict],
+    previous_time: Optional[float],
+    current: dict,
+    current_time: float,
+) -> dict:
+    """Everything the dashboard shows, from two consecutive scrapes."""
+    elapsed = (
+        max(1e-9, current_time - previous_time) if previous_time is not None else None
+    )
+
+    def rate(name: str) -> float:
+        if previous is None or elapsed is None:
+            return 0.0
+        delta = sample_value(current, name) - sample_value(previous, name)
+        return max(0.0, delta) / elapsed
+
+    def lifetime_quantile(family: str, q: float) -> Optional[float]:
+        empty: dict = {}
+        return window_quantiles(empty, current, family, (q,))[0]
+
+    window_p50, window_p95 = (
+        window_quantiles(previous, current, "xmorph_serve_request_seconds")
+        if previous is not None
+        else (None, None)
+    )
+    error_codes = {}
+    for name, family in current.items():
+        prefix = "xmorph_serve_errors_"
+        if name.startswith(prefix) and name.endswith("_total"):
+            code = name[len(prefix):-len("_total")]
+            if code:
+                error_codes[code] = next(iter(family.values()))
+    return {
+        "rps": rate("xmorph_serve_requests_total"),
+        "completed_rps": rate("xmorph_serve_completed_total"),
+        "error_rps": rate("xmorph_serve_errors_total"),
+        "requests": sample_value(current, "xmorph_serve_requests_total"),
+        "errors": sample_value(current, "xmorph_serve_errors_total"),
+        "timeouts": sample_value(current, "xmorph_serve_timeouts_total"),
+        "degraded": sample_value(current, "xmorph_serve_degraded_serial_total"),
+        "slow": sample_value(current, "xmorph_serve_slow_queries_total"),
+        "in_flight": sample_value(current, "xmorph_serve_pending"),
+        "workers": sample_value(current, "xmorph_serve_workers"),
+        "window_p50": window_p50,
+        "window_p95": window_p95,
+        "p50": lifetime_quantile("xmorph_serve_request_seconds", 0.5),
+        "p95": lifetime_quantile("xmorph_serve_request_seconds", 0.95),
+        "p99": lifetime_quantile("xmorph_serve_request_seconds", 0.99),
+        "plan_hit_ratio": _hit_ratio(
+            current, "xmorph_plan_cache_hits_total", "xmorph_plan_cache_misses_total"
+        ),
+        "buffer_hit_ratio": sample_value(current, "xmorph_buffer_hit_ratio"),
+        "error_codes": error_codes,
+    }
+
+
+def _hit_ratio(samples: dict, hits_name: str, misses_name: str) -> Optional[float]:
+    hits = sample_value(samples, hits_name)
+    misses = sample_value(samples, misses_name)
+    total = hits + misses
+    return hits / total if total else None
+
+
+def _ms(value: Optional[float]) -> str:
+    return f"{value * 1e3:8.2f}ms" if value is not None else "       -"
+
+
+def _pct(value: Optional[float]) -> str:
+    return f"{value * 100:5.1f}%" if value is not None else "    -"
+
+
+def render_view(view: dict, host: str, port: int) -> list[str]:
+    """The dashboard as text lines (shared by curses and plain modes)."""
+    codes = view["error_codes"]
+    code_text = (
+        "  ".join(f"{code}={int(count)}" for code, count in sorted(codes.items()))
+        or "none"
+    )
+    return [
+        f"xmorph top — {host}:{port}",
+        "",
+        f"  rps {view['rps']:8.1f}   completed/s {view['completed_rps']:8.1f}"
+        f"   errors/s {view['error_rps']:6.1f}",
+        f"  in-flight {view['in_flight']:4.0f} / {view['workers']:.0f} workers"
+        f"    requests {view['requests']:10.0f}   errors {view['errors']:.0f}",
+        "",
+        f"  latency (window)   p50 {_ms(view['window_p50'])}"
+        f"   p95 {_ms(view['window_p95'])}",
+        f"  latency (lifetime) p50 {_ms(view['p50'])}"
+        f"   p95 {_ms(view['p95'])}   p99 {_ms(view['p99'])}",
+        "",
+        f"  plan cache {_pct(view['plan_hit_ratio'])} hit"
+        f"    buffer pool {_pct(view['buffer_hit_ratio'])} hit",
+        f"  timeouts {view['timeouts']:.0f}   degraded-serial {view['degraded']:.0f}"
+        f"   slow-queries {view['slow']:.0f}",
+        f"  error codes: {code_text}",
+    ]
+
+
+def run_top(
+    host: str,
+    port: int,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    plain: bool = False,
+    out: TextIO = sys.stdout,
+) -> int:
+    """Poll and render until interrupted (or ``iterations`` polls)."""
+    use_curses = not plain and out is sys.stdout and out.isatty()
+    if use_curses:
+        try:
+            import curses  # noqa: F401 - availability probe
+        except ImportError:  # pragma: no cover - stripped-down python
+            use_curses = False
+    if use_curses:  # pragma: no cover - needs a real terminal
+        return _run_curses(host, port, interval, iterations)
+    return _run_plain(host, port, interval, iterations, out)
+
+
+def _run_plain(host, port, interval, iterations, out) -> int:
+    previous: Optional[dict] = None
+    previous_time: Optional[float] = None
+    polls = 0
+    while iterations is None or polls < iterations:
+        if polls:
+            time.sleep(interval)
+        try:
+            text = fetch_metrics(host, port)
+        except OSError as error:
+            print(f"xmorph top: cannot scrape {host}:{port}: {error}", file=sys.stderr)
+            return 1
+        now = time.monotonic()
+        current = parse_prometheus(text)
+        view = compute_view(previous, previous_time, current, now)
+        for line in render_view(view, host, port):
+            out.write(line + "\n")
+        out.write("\n")
+        out.flush()
+        previous, previous_time = current, now
+        polls += 1
+    return 0
+
+
+def _run_curses(host, port, interval, iterations) -> int:  # pragma: no cover
+    import curses
+
+    def loop(screen) -> int:
+        curses.curs_set(0)
+        screen.nodelay(True)
+        previous: Optional[dict] = None
+        previous_time: Optional[float] = None
+        polls = 0
+        error: Optional[str] = None
+        while iterations is None or polls < iterations:
+            try:
+                text = fetch_metrics(host, port)
+                current = parse_prometheus(text)
+                now = time.monotonic()
+                view = compute_view(previous, previous_time, current, now)
+                lines = render_view(view, host, port)
+                previous, previous_time = current, now
+                error = None
+            except OSError as scrape_error:
+                lines = [f"xmorph top — {host}:{port}", "", f"  scrape failed: {scrape_error}"]
+                error = str(scrape_error)
+            screen.erase()
+            height, width = screen.getmaxyx()
+            for row, line in enumerate(lines[: height - 1]):
+                screen.addnstr(row, 0, line, width - 1)
+            screen.addnstr(
+                height - 1, 0, "q to quit — refreshing every "
+                f"{interval:g}s", width - 1,
+            )
+            screen.refresh()
+            polls += 1
+            deadline = time.monotonic() + interval
+            while time.monotonic() < deadline:
+                key = screen.getch()
+                if key in (ord("q"), ord("Q")):
+                    return 0
+                time.sleep(0.05)
+        return 0 if error is None else 1
+
+    return curses.wrapper(loop)

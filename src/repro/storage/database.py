@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator, Optional, Sequence
 
@@ -210,12 +211,16 @@ class Database:
             # Caching disabled: compile unconditionally (no single-flight
             # either — there is nothing to share a result through).
             self.plan_cache.get(guard, index.fingerprint)  # counts the miss
+            started = time.perf_counter()
             result = Interpreter(index).compile(guard)
+            self.stats.observe("plan.compile_seconds", time.perf_counter() - started)
             self._charge_compile(name)
             return result
 
         def compile_plan() -> CompiledPlan:
+            started = time.perf_counter()
             result = Interpreter(index).compile(guard)
+            self.stats.observe("plan.compile_seconds", time.perf_counter() - started)
             self._charge_compile(name)
             return CompiledPlan.from_result(result, index.fingerprint)
 
@@ -539,6 +544,13 @@ class StoredDocumentIndex(BaseIndex):
         return nodes
 
     # -- extras -----------------------------------------------------------------
+
+    def record_timing(self, name: str, seconds: float) -> None:
+        # Join builds on a stored document land in the database's
+        # lifetime histograms (the Prometheus endpoint reads those),
+        # which already mirror into any attached tracer registry —
+        # calling super() too would double-count under observed().
+        self.database.stats.observe(name, seconds)
 
     def node_count(self) -> int:
         return self._node_count

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 from typing import Mapping, Optional
 
 from repro.faults import FAULTS
@@ -80,7 +81,12 @@ class Journal:
             )
             _write_all(fd, blob)
             FAULTS.fire("journal.fsync")
+            started = time.perf_counter()
             os.fsync(fd)
+            if self.stats is not None:
+                self.stats.observe(
+                    "journal.fsync_seconds", time.perf_counter() - started
+                )
         finally:
             os.close(fd)
         # The data is durable; now make the *name* durable too, or a

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import OrderedDict
 from typing import Mapping, Optional
 
@@ -105,7 +106,9 @@ class PagedFile:
             self.stats.block_read()
             return bytearray(shadowed)
         FAULTS.fire("pages.pread")
+        started = time.perf_counter()
         slot = os.pread(self._fd, SLOT_SIZE, page_id * SLOT_SIZE)
+        self.stats.observe("storage.page_read_seconds", time.perf_counter() - started)
         self.stats.block_read()
         if len(slot) != SLOT_SIZE:
             self.stats.event("pages.checksum_failures")

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is standalone)
-    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.metrics import Histogram, MetricsRegistry
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,6 +81,12 @@ class SystemStats:
     #: here so events fired before a tracer attaches (e.g. journal
     #: replay at open) still surface in reports.
     events: dict[str, int] = field(default_factory=dict)
+    #: Lifetime latency histograms (``plan.compile_seconds``,
+    #: ``storage.page_read_seconds``, ``serve.request_seconds`` …):
+    #: real wall-clock timings bucketed for tail-quantile estimation,
+    #: kept for the process lifetime so the Prometheus endpoint and
+    #: ``{"cmd": "metrics"}`` can report p50/p95/p99 of a live server.
+    timings: dict[str, "Histogram"] = field(default_factory=dict)
     #: Optional metrics sink; when set, charges also bump trace counters.
     metrics: Optional["MetricsRegistry"] = None
     #: Guards every read-modify-write above.  Charges arrive from all of
@@ -132,6 +138,36 @@ class SystemStats:
             self.events[name] = self.events.get(name, 0) + count
         if self.metrics is not None:
             self.metrics.inc(name, count)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a wall-clock latency sample into a lifetime histogram.
+
+        Unlike the modelled ``io_seconds``/``cpu_seconds`` charges these
+        are *measured* durations (plan compiles, page reads, fsyncs,
+        serve requests), so tail quantiles reflect the actual machine.
+        Mirrored into any attached metrics registry, like :meth:`event`.
+        """
+        from repro.obs.metrics import Histogram
+
+        with self._lock:
+            histogram = self.timings.get(name)
+            if histogram is None:
+                histogram = self.timings[name] = Histogram()
+            histogram.observe(seconds)
+        if self.metrics is not None:
+            self.metrics.observe(name, seconds)
+
+    def timing_snapshot(self) -> dict[str, "Histogram"]:
+        """A consistent copy of the lifetime histograms (for exporters)."""
+        from repro.obs.metrics import Histogram
+
+        with self._lock:
+            snapshot: dict[str, Histogram] = {}
+            for name, histogram in self.timings.items():
+                copy = Histogram()
+                copy.merge(histogram)
+                snapshot[name] = copy
+        return snapshot
 
     # -- derived quantities ---------------------------------------------------
 

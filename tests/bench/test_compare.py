@@ -1,0 +1,114 @@
+"""Baseline comparison for bench reports (xmorph bench --compare)."""
+
+import json
+
+from repro.bench.compare import compare_files, compare_reports
+from repro.bench.pipeline import sample_percentile
+
+
+def _report(guards: dict[str, dict]) -> dict:
+    return {
+        "schema": "xmorph-bench-pipeline/v1",
+        "guards": [
+            {"guard": guard, **metrics} for guard, metrics in guards.items()
+        ],
+    }
+
+
+def _entry(warm_mean: float, warm_p95: float, cold: float = 1.0) -> dict:
+    return {
+        "cold": {"wall_seconds": cold},
+        "warm": {"wall_seconds_mean": warm_mean, "wall_seconds_p95": warm_p95},
+    }
+
+
+class TestSamplePercentile:
+    def test_empty(self):
+        assert sample_percentile([], 0.95) == 0.0
+
+    def test_single_sample(self):
+        assert sample_percentile([0.3], 0.95) == 0.3
+
+    def test_interpolates_between_order_statistics(self):
+        assert sample_percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+        assert sample_percentile([4.0, 1.0, 3.0, 2.0], 1.0) == 4.0
+        assert sample_percentile([4.0, 1.0, 3.0, 2.0], 0.0) == 1.0
+
+
+class TestCompareReports:
+    def test_no_movement_is_ok(self):
+        base = _report({"G": _entry(0.1, 0.12)})
+        assert compare_reports(base, base).ok
+
+    def test_warm_mean_regression_flags(self):
+        base = _report({"G": _entry(0.1, 0.12)})
+        current = _report({"G": _entry(0.2, 0.12)})
+        report = compare_reports(base, current, threshold=0.25)
+        assert not report.ok
+        assert report.regressions[0].regressed_metrics == ["warm_mean"]
+        assert "REGRESSION" in report.pretty()
+        assert "FAIL" in report.pretty()
+
+    def test_warm_p95_regression_flags(self):
+        base = _report({"G": _entry(0.1, 0.1)})
+        current = _report({"G": _entry(0.1, 0.2)})
+        assert not compare_reports(base, current, threshold=0.25).ok
+
+    def test_cold_is_context_never_gated(self):
+        base = _report({"G": _entry(0.1, 0.12, cold=0.5)})
+        current = _report({"G": _entry(0.1, 0.12, cold=5.0)})
+        report = compare_reports(base, current, threshold=0.25)
+        assert report.ok
+        assert "cold" in report.deltas[0].metric_deltas
+
+    def test_improvement_is_never_a_regression(self):
+        base = _report({"G": _entry(0.2, 0.25)})
+        current = _report({"G": _entry(0.05, 0.06)})
+        assert compare_reports(base, current, threshold=0.25).ok
+
+    def test_within_threshold_is_ok(self):
+        base = _report({"G": _entry(0.100, 0.100)})
+        current = _report({"G": _entry(0.120, 0.120)})  # +20% < 25%
+        assert compare_reports(base, current, threshold=0.25).ok
+
+    def test_unmatched_guards_reported_not_flagged(self):
+        base = _report({"OLD": _entry(0.1, 0.1)})
+        current = _report({"NEW": _entry(9.9, 9.9)})
+        report = compare_reports(base, current)
+        assert report.ok
+        assert report.only_in_baseline == ["OLD"]
+        assert report.only_in_current == ["NEW"]
+
+    def test_old_baseline_without_p95_backfills_from_samples(self):
+        base = _report(
+            {
+                "G": {
+                    "cold": {"wall_seconds": 1.0},
+                    "warm": {
+                        "wall_seconds_mean": 0.1,
+                        "wall_seconds": [0.08, 0.1, 0.12],
+                    },
+                }
+            }
+        )
+        current = _report({"G": _entry(0.1, 0.5)})
+        report = compare_reports(base, current, threshold=0.25)
+        assert "warm_p95" in report.deltas[0].metric_deltas
+        assert not report.ok
+
+    def test_as_dict_round_trips_through_json(self):
+        base = _report({"G": _entry(0.1, 0.12)})
+        current = _report({"G": _entry(0.3, 0.12)})
+        payload = json.loads(
+            json.dumps(compare_reports(base, current).as_dict())
+        )
+        assert payload["ok"] is False
+        assert payload["workloads"][0]["metrics"]["warm_mean"]["regressed"]
+
+
+class TestCompareFiles:
+    def test_loads_baseline_from_disk(self, tmp_path):
+        baseline = tmp_path / "BENCH_pipeline.json"
+        baseline.write_text(json.dumps(_report({"G": _entry(0.1, 0.12)})))
+        current = _report({"G": _entry(0.1, 0.12)})
+        assert compare_files(str(baseline), current).ok

@@ -44,7 +44,7 @@ class TestJsonLines:
 
     def test_header_and_record_types(self):
         records = [json.loads(line) for line in to_json_lines(traced_run()).splitlines()]
-        assert records[0] == {"type": "trace", "version": 1}
+        assert records[0] == {"type": "trace", "version": 2}
         kinds = [record["type"] for record in records]
         assert kinds.count("span") == 4
         assert kinds[-1] == "metrics"

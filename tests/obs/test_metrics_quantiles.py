@@ -1,0 +1,126 @@
+"""Histogram bucketing and quantile estimation (obs.metrics)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    estimate_quantile,
+)
+
+
+class TestBucketBounds:
+    def test_four_per_decade_from_micro_to_mega(self):
+        assert len(BUCKET_BOUNDS) == 49
+        assert math.isclose(BUCKET_BOUNDS[0], 1e-6)
+        assert math.isclose(BUCKET_BOUNDS[-1], 1e6)
+
+    def test_strictly_increasing(self):
+        assert all(a < b for a, b in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]))
+
+
+class TestEmptyHistogram:
+    def test_quantiles_are_none(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.p50 is None
+        assert histogram.p95 is None
+        assert histogram.p99 is None
+        assert histogram.mean == 0.0
+
+    def test_estimate_quantile_empty_counts(self):
+        assert estimate_quantile([0] * (len(BUCKET_BOUNDS) + 1), 0.5) is None
+
+
+class TestSingleObservation:
+    def test_every_quantile_is_the_observation(self):
+        histogram = Histogram()
+        histogram.observe(0.0123)
+        # min/max clamping makes a single sample come back exactly.
+        assert histogram.p50 == 0.0123
+        assert histogram.p95 == 0.0123
+        assert histogram.p99 == 0.0123
+        assert histogram.minimum == histogram.maximum == 0.0123
+        assert histogram.count == 1
+
+    def test_zero_lands_in_first_bucket(self):
+        histogram = Histogram()
+        histogram.observe(0.0)
+        assert histogram.buckets[0] == 1
+        assert histogram.p50 == 0.0
+
+
+class TestOverflowBucket:
+    def test_above_top_bound_goes_to_overflow(self):
+        histogram = Histogram()
+        histogram.observe(5e6)  # past the 1e6 top bound
+        assert histogram.buckets[-1] == 1
+        assert sum(histogram.buckets[:-1]) == 0
+
+    def test_overflow_quantile_clamped_to_observed_max(self):
+        histogram = Histogram()
+        for value in (2e6, 3e6, 9e6):
+            histogram.observe(value)
+        assert histogram.p99 <= 9e6
+        assert histogram.p50 >= 2e6
+
+
+class TestMergeAndSerialization:
+    def test_merge_adds_buckets_and_widens_range(self):
+        left, right = Histogram(), Histogram()
+        left.observe(0.001)
+        right.observe(10.0)
+        left.merge(right)
+        assert left.count == 2
+        assert left.minimum == 0.001
+        assert left.maximum == 10.0
+        assert sum(left.buckets) == 2
+
+    def test_dict_round_trip_preserves_quantiles(self):
+        histogram = Histogram()
+        for value in (0.001, 0.01, 0.1, 1.0, 10.0):
+            histogram.observe(value)
+        clone = Histogram.from_dict(histogram.as_dict())
+        assert clone.buckets == histogram.buckets
+        assert clone.p50 == histogram.p50
+        assert clone.p95 == histogram.p95
+
+    def test_registry_merge_combines_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("latency", 0.1)
+        b.observe("latency", 0.2)
+        a.merge(b)
+        assert a.histogram("latency").count == 2
+
+
+class TestQuantileProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=1e-7, max_value=1e7, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quantiles_monotone_and_within_range(self, samples):
+        histogram = Histogram()
+        for value in samples:
+            histogram.observe(value)
+        quantiles = [histogram.quantile(q) for q in (0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0)]
+        assert all(q is not None for q in quantiles)
+        # Monotone non-decreasing in q...
+        assert all(a <= b + 1e-12 for a, b in zip(quantiles, quantiles[1:]))
+        # ...and clamped to the observed range.
+        assert quantiles[0] >= min(samples) - 1e-12
+        assert quantiles[-1] <= max(samples) + 1e-12
+
+    @given(st.floats(min_value=1e-6, max_value=1e6, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_single_sample_identity(self, value):
+        histogram = Histogram()
+        histogram.observe(value)
+        assert histogram.quantile(0.5) == value
