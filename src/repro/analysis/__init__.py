@@ -29,17 +29,40 @@ from repro.analysis.checker import (
     analyze_index,
 )
 from repro.analysis.diagnostics import CODES, Diagnostic, Severity
-from repro.analysis.render import render_diagnostic, render_json, render_text
+from repro.analysis.evolve import (
+    VERDICT_BROKEN,
+    VERDICT_COMPATIBLE,
+    VERDICT_DEGRADED,
+    EvolutionReport,
+    GuardSpec,
+    GuardVerdict,
+    analyze_evolution,
+    check_guard_evolution,
+    load_guards,
+)
+from repro.analysis.render import (
+    render_diagnostic,
+    render_github,
+    render_json,
+    render_text,
+)
 from repro.analysis.suggest import did_you_mean, edit_distance
 
 __all__ = [
     "AnalysisResult",
     "analyze",
     "analyze_index",
+    "analyze_evolution",
+    "check_guard_evolution",
     "CODES",
     "Diagnostic",
     "Severity",
+    "EvolutionReport",
+    "GuardSpec",
+    "GuardVerdict",
+    "load_guards",
     "render_diagnostic",
+    "render_github",
     "render_json",
     "render_text",
     "did_you_mean",
@@ -47,4 +70,7 @@ __all__ = [
     "EXIT_CLEAN",
     "EXIT_ERRORS",
     "EXIT_WARNINGS_STRICT",
+    "VERDICT_BROKEN",
+    "VERDICT_COMPATIBLE",
+    "VERDICT_DEGRADED",
 ]

@@ -45,6 +45,10 @@ class AnalysisResult:
     diagnostics: list[Diagnostic] = field(default_factory=list)
     loss: Optional[LossReport] = None
     target_shape: Optional[Shape] = None
+    #: Label sites (with per-stage resolutions) and the source-path →
+    #: span map; the evolution analyzer compares these across shapes.
+    sites: list = field(default_factory=list)
+    label_spans: dict = field(default_factory=dict)
 
     @property
     def guard_type(self) -> Optional[GuardType]:
@@ -181,6 +185,8 @@ def analyze_index(index, guard: str, query: Optional[str] = None) -> AnalysisRes
         collection.sites, contexts, enforcement.type_fill
     )
     result.diagnostics.extend(label_diags)
+    result.sites = collection.sites
+    result.label_spans = label_spans
 
     if evaluation is None:
         return result._finish()

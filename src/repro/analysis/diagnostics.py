@@ -9,6 +9,13 @@ query) text responsible.  The code space mirrors the pipeline:
 * ``XM2xx`` — type analysis (Section VIII's two-stage analysis)
 * ``XM3xx`` — information loss (Section V's theorems)
 * ``XM4xx`` — lint (style and dead-code findings)
+* ``XM6xx`` — schema evolution (:mod:`repro.analysis.evolve`)
+
+Evolution findings relate *two* locations — the guard clause that
+stops working and the shape change that broke it — so a diagnostic may
+carry a ``related`` note: a second diagnostic (same code, ``info``
+severity) whose span points into the rendered shape-diff source
+(``<evolution>``).
 """
 
 from __future__ import annotations
@@ -58,6 +65,14 @@ CODES: dict[str, str] = {
     "XM404": "query references types the guard's target shape cannot produce",
     "XM405": "redundant CAST wrapper (the guard does not need it)",
     "XM406": "redundant TYPE-FILL wrapper (no labels were synthesized)",
+    # XM6xx — schema evolution
+    "XM601": "guard references a type the evolved shape cannot produce",
+    "XM602": "query navigates a path the evolved guard output cannot produce",
+    "XM603": "guard output shape changes across the evolution",
+    "XM604": "guard information-loss status changes across the evolution",
+    "XM605": "guard output cardinalities change across the evolution",
+    "XM606": "guard label resolves to different source types after the evolution",
+    "XM607": "ambiguous type pairing in the shape diff",
 }
 
 
@@ -70,8 +85,12 @@ class Diagnostic:
     message: str
     span: Optional[Span] = None
     hint: Optional[str] = None
-    #: Which source text the span points into (``<guard>`` or ``<query>``).
+    #: Which source text the span points into (``<guard>``, ``<query>``
+    #: or ``<evolution>``).
     source_name: str = "<guard>"
+    #: A companion note pointing at a second location (the evolution
+    #: analyzer links a guard clause to the shape change that broke it).
+    related: Optional["Diagnostic"] = None
 
     def __post_init__(self) -> None:
         if self.code not in CODES:
@@ -95,6 +114,8 @@ class Diagnostic:
         }
         if self.hint is not None:
             payload["hint"] = self.hint
+        if self.related is not None:
+            payload["related"] = self.related.to_dict()
         return payload
 
     def __str__(self) -> str:

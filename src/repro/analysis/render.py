@@ -54,6 +54,12 @@ def render_diagnostic(diagnostic: Diagnostic, sources: Mapping[str, str]) -> str
         lines.extend(_excerpt(source, diagnostic.span))
     if diagnostic.hint is not None:
         lines.append(f"  = help: {diagnostic.hint}")
+    related = diagnostic.related
+    if related is not None:
+        lines.append(f"  = note: {related.location}: {related.message}")
+        related_source = sources.get(related.source_name)
+        if related.span is not None and related_source is not None:
+            lines.extend("  " + line for line in _excerpt(related_source, related.span))
     return "\n".join(lines)
 
 
@@ -67,3 +73,44 @@ def render_json(diagnostics: Iterable[Diagnostic]) -> str:
     return "\n".join(
         json.dumps(d.to_dict(), separators=(", ", ": ")) for d in diagnostics
     )
+
+
+#: Map diagnostic severities onto GitHub workflow-command levels.
+_GITHUB_LEVELS = {"error": "error", "warning": "warning", "info": "notice"}
+
+
+def _github_escape(text: str) -> str:
+    """Escape a message for a ``::level ...::message`` workflow command."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _github_property(text: str) -> str:
+    """Escape a command property value (title=, file=)."""
+    return _github_escape(text).replace(":", "%3A").replace(",", "%2C")
+
+
+def render_github(
+    diagnostics: Iterable[Diagnostic],
+    file: str | None = None,
+) -> str:
+    """GitHub Actions annotations: one ``::level`` command per diagnostic.
+
+    When ``file`` names the file the diagnostic's source text came from
+    (a ``.guard`` file under ``--guards``), the annotation renders
+    inline on that file in a pull request; otherwise the location stays
+    in the title and the annotation attaches to the workflow run.
+    """
+    lines = []
+    for diagnostic in diagnostics:
+        level = _GITHUB_LEVELS[str(diagnostic.severity)]
+        properties = [f"title={_github_property(f'{diagnostic.code} {diagnostic.location}')}"]
+        if file is not None:
+            properties.append(f"file={_github_property(file)}")
+            if diagnostic.span is not None:
+                properties.append(f"line={diagnostic.span.line}")
+                properties.append(f"col={diagnostic.span.column}")
+        message = diagnostic.message
+        if diagnostic.related is not None:
+            message += f" [{diagnostic.related.location}: {diagnostic.related.message}]"
+        lines.append(f"::{level} {','.join(properties)}::{_github_escape(message)}")
+    return "\n".join(lines)

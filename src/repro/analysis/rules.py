@@ -36,6 +36,12 @@ class LabelSite:
     bang: bool = False
     dead_head: Optional[str] = None  # "DROP" / "RESTRICT" when under one
     resolved: tuple[str, ...] = ()   # dotted source paths once resolved
+    #: Set by :func:`check_labels`: how many vertices matched, and
+    #: whether the site's stage had a context to resolve against at all.
+    #: ``matched`` can exceed ``len(resolved)`` when a match has no
+    #: backing source (a NEW-introduced name in a later stage).
+    matched: int = 0
+    checked: bool = False
 
 
 @dataclass
@@ -204,6 +210,8 @@ def check_labels(
             continue
         context = contexts[site.stage]
         matches = context.match_label(site.label)
+        site.checked = True
+        site.matched = len(matches)
         site.resolved = tuple(
             vertex.source.dotted for vertex in matches if vertex.source is not None
         )

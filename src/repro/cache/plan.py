@@ -195,6 +195,33 @@ class PlanCache:
                 # it failed/was invalidated and this thread becomes the
                 # new leader.
 
+    def apply_evolution(self, fingerprint: str, verdicts: "dict[str, str]") -> dict:
+        """Selectively invalidate after a schema evolution.
+
+        ``verdicts`` maps guard text to the evolution analyzer's verdict
+        (``compatible`` / ``degraded`` / ``broken``).  Plans compiled
+        against ``fingerprint`` whose guard the analyzer marked
+        non-compatible are dropped — they would compute the wrong (or
+        no) answer under the evolved shape; compatible ones stay, and
+        guards the analyzer never saw are left alone.  Returns
+        ``{"kept": n, "invalidated": m}``.
+        """
+        with self._lock:
+            kept = invalidated = 0
+            for key in list(self._plans):
+                guard, plan_fingerprint = key
+                if plan_fingerprint != fingerprint or guard not in verdicts:
+                    continue
+                if verdicts[guard] == "compatible":
+                    kept += 1
+                else:
+                    del self._plans[key]
+                    invalidated += 1
+            self.invalidations += invalidated
+            if invalidated:
+                obs.count("plan_cache.invalidations", invalidated)
+            return {"kept": kept, "invalidated": invalidated}
+
     def invalidate(self, fingerprint: str) -> int:
         """Drop every plan compiled against one shape fingerprint."""
         with self._lock:

@@ -9,6 +9,8 @@ Examples::
     xmorph shape books.xml
     xmorph check books.xml "MORPH author [ name book [ title ] ]"
     xmorph check books.xml "MORPH athor [ name ]" --format=json --strict
+    xmorph evolve old.xml new.xml --guards guards/ --strict
+    xmorph evolve olddoc newdoc --db bib.db --guards guards/ --format=json
     xmorph transform books.xml "MORPH author [ name ]" --indent 2
     xmorph query books.xml --guard "MORPH author [ name ]" \
         --query "for $a in /author return $a/name/text()"
@@ -77,14 +79,73 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "github"],
         default="text",
-        help="text (caret excerpts) or json (one JSON object per diagnostic)",
+        help=(
+            "text (caret excerpts), json (one JSON object per diagnostic), "
+            "or github (workflow-command annotations for CI)"
+        ),
     )
     check.add_argument(
         "--strict", action="store_true", help="treat warnings as failures (exit 2)"
     )
     check.set_defaults(handler=_cmd_check)
+
+    evolve = commands.add_parser(
+        "evolve",
+        help="statically check a guard corpus across a schema evolution",
+        description=(
+            "Grade every guard in --guards against an old and a new "
+            "arrangement of the data: 'compatible' guards produce the "
+            "same output shape with the same loss status, 'degraded' "
+            "guards still run but their output or loss status changes "
+            "(XM603/XM604/XM605), 'broken' guards reference types or "
+            "paths the evolved shape cannot produce (XM601/XM602).  "
+            "OLD and NEW are XML files, or stored document names with "
+            "--db.  Exit 0 when every guard is compatible, 1 on broken "
+            "guards, 2 on degraded guards under --strict; with "
+            "--expect, exit 0 iff the verdicts match the expectation "
+            "file exactly."
+        ),
+    )
+    evolve.add_argument("old", help="the current arrangement (XML file, or name with --db)")
+    evolve.add_argument("new", help="the evolved arrangement (XML file, or name with --db)")
+    evolve.add_argument(
+        "--db",
+        default=None,
+        help=(
+            "treat OLD and NEW as stored document names; also invalidates "
+            "the database's non-compatible cached plans and pre-warms "
+            "compatible ones under the new shape"
+        ),
+    )
+    evolve.add_argument(
+        "--guards",
+        required=True,
+        help="directory of .guard files (NAME.query sidecars are checked too)",
+    )
+    evolve.add_argument(
+        "--format",
+        choices=["text", "json", "github"],
+        default="text",
+        help=(
+            "text (caret excerpts), json (one xmorph-evolve/v1 object), "
+            "or github (workflow-command annotations for CI)"
+        ),
+    )
+    evolve.add_argument(
+        "--strict", action="store_true", help="treat degraded guards as failures (exit 2)"
+    )
+    evolve.add_argument(
+        "--expect",
+        default=None,
+        metavar="EXPECTED.json",
+        help=(
+            "JSON file mapping guard name to expected verdict; exit 1 on "
+            "any mismatch (regression mode for CI corpora)"
+        ),
+    )
+    evolve.set_defaults(handler=_cmd_evolve)
 
     run = commands.add_parser(
         "run",
@@ -413,12 +474,67 @@ def _cmd_check(arguments) -> int:
         rendered = result.render_json()
         if rendered:
             print(rendered)
+    elif arguments.format == "github":
+        from repro.analysis import render_github
+
+        rendered = render_github(result.diagnostics)
+        if rendered:
+            print(rendered)
+        print(result.summary(), file=sys.stderr)
     else:
         rendered = result.render_text()
         if rendered:
             print(rendered)
         print(result.summary())
     return result.exit_code(strict=arguments.strict)
+
+
+def _cmd_evolve(arguments) -> int:
+    from repro.analysis.evolve import analyze_evolution, load_expectations, load_guards
+
+    guards = load_guards(arguments.guards)
+    if not guards:
+        print(f"error: no .guard files in {arguments.guards}", file=sys.stderr)
+        return 2
+    if arguments.db is not None:
+        with Database(arguments.db) as db:
+            report = db.check_evolution(arguments.old, arguments.new, guards)
+    else:
+        report = analyze_evolution(
+            _read(arguments.old), _read(arguments.new), guards
+        )
+    if arguments.format == "json":
+        print(report.render_json())
+    elif arguments.format == "github":
+        rendered = report.render_github()
+        if rendered:
+            print(rendered)
+        print(report.summary(), file=sys.stderr)
+    else:
+        print(report.render_text())
+    if arguments.expect is not None:
+        expectations = load_expectations(arguments.expect)
+        mismatches = []
+        for name, expected in sorted(expectations.items()):
+            actual = report.verdict_of(name)
+            if actual != expected:
+                mismatches.append(f"{name}: expected {expected}, got {actual}")
+        for verdict in report.verdicts:
+            if verdict.name not in expectations:
+                mismatches.append(
+                    f"{verdict.name}: no expectation recorded "
+                    f"(got {verdict.verdict})"
+                )
+        if mismatches:
+            print("verdict mismatches:", file=sys.stderr)
+            for line in mismatches:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(
+            f"{len(expectations)} verdict(s) match expectations", file=sys.stderr
+        )
+        return 0
+    return report.exit_code(strict=arguments.strict)
 
 
 def _profile_report(arguments):

@@ -108,6 +108,22 @@ class Interpreter:
         with obs.span("analysis.diagnose"):
             return analyze_index(self.index, guard, query)
 
+    def check_evolution(self, new_source, guard: str, query: str | None = None):
+        """Will ``guard`` survive evolving this document to ``new_source``?
+
+        ``new_source`` is the evolved arrangement (XML text, forest, or
+        index).  Returns a :class:`repro.analysis.GuardVerdict` whose
+        ``verdict`` is ``"compatible"``, ``"degraded"`` or ``"broken"``,
+        with XM6xx diagnostics spanning both the guard clause and the
+        shape change responsible.  Never raises for guard problems.
+        """
+        from repro.analysis.evolve import as_index, check_guard_evolution
+
+        with obs.span("analysis.evolve"):
+            return check_guard_evolution(
+                self.index, as_index(new_source), guard, query
+            )
+
     def transform(self, guard: str) -> TransformResult:
         """Compile, enforce, and render a guard (Ψ⟦P⟧ = render(G, ξ⟦P⟧(S)))."""
         return self.render_compiled(self.compile(guard))

@@ -195,6 +195,46 @@ class Database:
         """Everything but rendering — touches only shape records."""
         return self._plan(name, guard)
 
+    def check_evolution(self, old_name: str, new_name: str, guards, warm: bool = True):
+        """Grade a guard corpus across two stored arrangements of the data.
+
+        ``old_name`` holds the current arrangement, ``new_name`` the
+        evolved one (store it first); ``guards`` is anything
+        :func:`repro.analysis.analyze_evolution` accepts.  Beyond the
+        report, this keeps the plan cache honest: plans compiled against
+        the old fingerprint whose guard the analyzer marked degraded or
+        broken are invalidated — exactly those, compatible plans stay —
+        and (with ``warm=True``) compatible guards are pre-compiled
+        under the new fingerprint so the first post-evolution request
+        hits the cache.  Counts ``evolve.compatible`` / ``.degraded`` /
+        ``.broken`` / ``.plans_invalidated`` / ``.plans_warmed`` events,
+        visible in metrics and ``EXPLAIN ANALYZE``.
+        """
+        from repro.analysis.evolve import analyze_evolution
+
+        old_index = self.index(old_name)
+        report = analyze_evolution(old_index, self.index(new_name), guards)
+        for verdict_name, count in report.counts.items():
+            if count:
+                self.stats.event(f"evolve.{verdict_name}", count)
+        cache_outcome = self.plan_cache.apply_evolution(
+            old_index.fingerprint,
+            {verdict.guard: verdict.verdict for verdict in report.verdicts},
+        )
+        if cache_outcome["invalidated"]:
+            self.stats.event("evolve.plans_invalidated", cache_outcome["invalidated"])
+        if warm and self.plan_cache.capacity > 0:
+            for verdict in report.compatible:
+                try:
+                    self._plan(new_name, verdict.guard)
+                except Exception:
+                    # "compatible" is a relative judgement: a guard that
+                    # was already rejected under the old shape (same
+                    # unpermitted loss on both sides) still won't compile.
+                    continue
+                self.stats.event("evolve.plans_warmed")
+        return report
+
     def _plan(self, name: str, guard: str) -> TransformResult:
         """Compile a guard, reusing a cached plan for an unchanged shape.
 

@@ -66,3 +66,122 @@ class TestGuardOutputDiff:
         text = diff.pretty()
         assert "moved: publisher" in text
         assert "unchanged types:" in text
+
+
+class TestMatchingByParent:
+    """The (name, parent-name) matcher: same-named types under
+    different parents must not be conflated."""
+
+    def test_same_name_different_parents_tracked_separately(self):
+        # 'name' lives under both author and publisher; dropping only
+        # the publisher one must not disturb the author one.
+        before, after = shapes(
+            "<r><author><name/></author><publisher><name/></publisher></r>",
+            "<r><author><name/></author><publisher><id/></publisher></r>",
+        )
+        diff = diff_shapes(before, after)
+        removed = [c for c in diff.removed if c.name == "name"]
+        assert len(removed) == 1
+        assert "publisher" in removed[0].detail
+        assert "name" not in diff.unchanged  # its placement partly changed
+
+    def test_move_and_relabel_together(self):
+        # x moves under b while y appears under a: one move, one
+        # removal, one addition — not a spurious x->y "rename".
+        before, after = shapes(
+            "<r><a><x/></a><b/></r>",
+            "<r><a><y/></a><b><x/></b></r>",
+        )
+        diff = diff_shapes(before, after)
+        assert [c.name for c in diff.moved] == ["x"]
+        assert "parent a -> b" in diff.moved[0].detail
+        assert [c.name for c in diff.added] == ["y"]
+        assert not diff.removed
+
+    def test_ambiguous_pairing_noted(self):
+        # Two same-keyed placements on each side: the pairing is
+        # deterministic (root-path order) but flagged, not silent.
+        before, after = shapes(
+            "<r><a><x/><x/></a><b><a><x/></a></b></r>",
+            "<r><a><x/></a><b><a><x/><x/></a></b></r>",
+        )
+        diff = diff_shapes(before, after)
+        assert any("ambiguous match for 'x'" in note for note in diff.notes)
+        assert any("note: ambiguous" in line for line in diff.pretty().splitlines())
+
+    def test_unambiguous_shapes_carry_no_notes(self, fig1a, fig1b):
+        diff = diff_shapes(extract_shape(fig1a), extract_shape(fig1b))
+        assert diff.notes == []
+
+
+class TestCardinalityDirections:
+    def test_tightening(self):
+        before, after = shapes(
+            "<r><a><x/><x/></a><a><x/></a></r>",
+            "<r><a><x/></a><a><x/></a></r>",
+        )
+        diff = diff_shapes(before, after)
+        (change,) = diff.cardinality_changes
+        assert change.detail == "1..2 -> 1..1"
+
+    def test_loosening_to_optional(self):
+        before, after = shapes(
+            "<r><a><x/></a><a><x/></a></r>",
+            "<r><a><x/></a><a/></r>",
+        )
+        diff = diff_shapes(before, after)
+        (change,) = diff.cardinality_changes
+        assert change.detail == "1..1 -> 0..1"
+
+    def test_change_carries_paths(self):
+        before, after = shapes(
+            "<r><a><x/></a></r>",
+            "<r><a><x/><x/></a></r>",
+        )
+        diff = diff_shapes(before, after)
+        (change,) = diff.cardinality_changes
+        assert change.before_paths == ("r.a.x",)
+        assert change.after_paths == ("r.a.x",)
+
+
+class TestDegenerateShapes:
+    def test_empty_vs_empty(self):
+        from repro.shape.shape import Shape
+
+        diff = diff_shapes(Shape(), Shape())
+        assert diff.identical
+        assert diff.unchanged == []
+
+    def test_empty_vs_populated(self):
+        from repro.shape.shape import Shape
+
+        after = extract_shape(parse_document("<r><a/></r>"))
+        diff = diff_shapes(Shape(), after)
+        assert {c.name for c in diff.added} == {"r", "a"}
+        assert not diff.removed and not diff.moved
+
+    def test_disjoint_shapes(self):
+        before, after = shapes("<p><q/></p>", "<s><t/></s>")
+        diff = diff_shapes(before, after)
+        assert {c.name for c in diff.removed} == {"p", "q"}
+        assert {c.name for c in diff.added} == {"s", "t"}
+        assert diff.unchanged == []
+
+    def test_recursive_types(self):
+        # Self-nested elements: part within part.  Deepening the
+        # recursion adds placements without destabilizing the rest.
+        before, after = shapes(
+            "<r><part><part/></part></r>",
+            "<r><part><part><part/></part></part></r>",
+        )
+        diff = diff_shapes(before, after)
+        assert [c.name for c in diff.added] == ["part"]
+        assert "under part" in diff.added[0].detail
+        assert not diff.removed
+
+    def test_recursive_identical(self):
+        before, after = shapes(
+            "<r><part><part/></part></r>",
+            "<r><part><part/></part></r>",
+        )
+        assert diff_shapes(before, after).identical

@@ -255,3 +255,119 @@ class TestErrors:
         db = str(tmp_path / "empty.db")
         assert main(["ls", "--db", db]) == 0
         assert main(["db-transform", "--db", db, "nope", "MORPH x"]) == 1
+
+
+class TestEvolveCommand:
+    @pytest.fixture
+    def evolution(self, tmp_path):
+        old = tmp_path / "old.xml"
+        new = tmp_path / "new.xml"
+        old.write_text(
+            "<catalog><book><title>X</title><isbn>1</isbn></book></catalog>"
+        )
+        new.write_text("<catalog><book><title>X</title></book></catalog>")
+        guards = tmp_path / "guards"
+        guards.mkdir()
+        (guards / "keep.guard").write_text("MORPH book [ title isbn ]\n")
+        (guards / "titles.guard").write_text("MORPH book [ title ]\n")
+        return str(old), str(new), str(guards)
+
+    def test_text_output_and_exit_code(self, evolution, capsys):
+        old, new, guards = evolution
+        assert main(["evolve", old, new, "--guards", guards]) == 1
+        out = capsys.readouterr().out
+        assert "== shape evolution ==" in out
+        assert "removed: isbn" in out
+        assert "keep: broken" in out
+        assert "titles: compatible" in out
+        assert "error[XM601]" in out
+
+    def test_json_output(self, evolution, capsys):
+        import json
+
+        old, new, guards = evolution
+        assert main(["evolve", old, new, "--guards", guards, "--format=json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "xmorph-evolve/v1"
+        assert payload["counts"] == {"compatible": 1, "degraded": 0, "broken": 1}
+
+    def test_github_output_names_guard_files(self, evolution, capsys):
+        old, new, guards = evolution
+        assert main(["evolve", old, new, "--guards", guards, "--format=github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error " in out
+        assert "keep.guard" in out
+
+    def test_strict_flags_degraded(self, tmp_path, capsys):
+        old = tmp_path / "old.xml"
+        new = tmp_path / "new.xml"
+        old.write_text(
+            "<d><b><t>X</t><a><n>A</n></a></b><b><t>Y</t><a><n>B</n></a></b></d>"
+        )
+        new.write_text(
+            "<d><b><t>X</t><a><n>A</n></a></b><b><t>Y</t></b></d>"
+        )
+        guards = tmp_path / "guards"
+        guards.mkdir()
+        (guards / "g.guard").write_text("MORPH b [ t a [ n ] ]\n")
+        args = ["evolve", str(old), str(new), "--guards", str(guards)]
+        assert main(args) == 0
+        assert main(args + ["--strict"]) == 2
+        assert "warning[XM605]" in capsys.readouterr().out
+
+    def test_expect_mismatch_fails(self, evolution, tmp_path, capsys):
+        import json
+
+        old, new, guards = evolution
+        expect = tmp_path / "expected.json"
+        expect.write_text(json.dumps({"keep": "compatible", "titles": "compatible"}))
+        code = main(["evolve", old, new, "--guards", guards, "--expect", str(expect)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "keep: expected compatible, got broken" in err
+
+    def test_expect_flags_unexpected_guards(self, evolution, tmp_path, capsys):
+        import json
+
+        old, new, guards = evolution
+        expect = tmp_path / "expected.json"
+        expect.write_text(json.dumps({"keep": "broken"}))
+        code = main(["evolve", old, new, "--guards", guards, "--expect", str(expect)])
+        assert code == 1
+        assert "titles: no expectation recorded" in capsys.readouterr().err
+
+    def test_empty_guards_dir_is_an_error(self, evolution, tmp_path, capsys):
+        old, new, _guards = evolution
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert main(["evolve", old, new, "--guards", str(empty)]) == 2
+        assert "no .guard files" in capsys.readouterr().err
+
+    def test_db_mode_runs_against_stored_documents(self, evolution, tmp_path, capsys):
+        old, new, guards = evolution
+        db = str(tmp_path / "evo.db")
+        assert main(["shred", "--db", db, "v1", old]) == 0
+        assert main(["shred", "--db", db, "v2", new]) == 0
+        capsys.readouterr()
+        code = main(["evolve", "v1", "v2", "--db", db, "--guards", guards])
+        assert code == 1
+        assert "keep: broken" in capsys.readouterr().out
+
+
+class TestGithubFormat:
+    def test_check_github_annotations(self, doc, capsys):
+        code = main(["check", doc, "MORPH athor [ name ]", "--format=github"])
+        assert code == 1
+        captured = capsys.readouterr()
+        line = captured.out.splitlines()[0]
+        assert line.startswith("::error title=XM201")
+        assert "athor" in line
+        assert "summary" not in captured.out  # summary goes to stderr
+
+    def test_check_github_clean_guard_annotates_only_notices(self, doc, capsys):
+        code = main(["check", doc, "MORPH author [ name ]", "--format=github"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "::error" not in out and "::warning" not in out
+        for line in out.splitlines():
+            assert line.startswith("::notice")

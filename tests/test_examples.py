@@ -62,3 +62,64 @@ class TestExamples:
         assert "streamed" in out
         assert "for $v1 in /datasets/dataset" in out
         assert "loses 0.0%" in out
+
+
+EVOLUTIONS = os.path.join(EXAMPLES, "evolutions")
+SCENARIOS = sorted(
+    entry
+    for entry in os.listdir(EVOLUTIONS)
+    if os.path.isdir(os.path.join(EVOLUTIONS, entry))
+)
+
+
+class TestEvolutionCorpus:
+    """Every corpus scenario's verdicts must match its expected.json."""
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_verdicts_match_expectations(self, scenario):
+        import json
+
+        from repro.analysis.evolve import analyze_evolution, load_guards
+
+        root = os.path.join(EVOLUTIONS, scenario)
+        with open(os.path.join(root, "old.xml")) as handle:
+            old_xml = handle.read()
+        with open(os.path.join(root, "new.xml")) as handle:
+            new_xml = handle.read()
+        with open(os.path.join(root, "expected.json")) as handle:
+            expected = json.load(handle)
+        guards = load_guards(os.path.join(root, "guards"))
+        assert guards, f"{scenario} has no guards"
+        report = analyze_evolution(old_xml, new_xml, guards)
+        actual = {verdict.name: verdict.verdict for verdict in report.verdicts}
+        assert actual == expected
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_cli_expect_mode(self, scenario):
+        from repro.cli import main
+
+        root = os.path.join(EVOLUTIONS, scenario)
+        assert (
+            main(
+                [
+                    "evolve",
+                    os.path.join(root, "old.xml"),
+                    os.path.join(root, "new.xml"),
+                    "--guards",
+                    os.path.join(root, "guards"),
+                    "--format=json",
+                    "--expect",
+                    os.path.join(root, "expected.json"),
+                ]
+            )
+            == 0
+        )
+
+    def test_corpus_covers_all_three_verdicts(self):
+        import json
+
+        seen = set()
+        for scenario in SCENARIOS:
+            with open(os.path.join(EVOLUTIONS, scenario, "expected.json")) as handle:
+                seen.update(json.load(handle).values())
+        assert seen == {"compatible", "degraded", "broken"}
