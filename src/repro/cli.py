@@ -326,6 +326,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker count to measure in --parallel mode (repeatable; default 1 2 4 8)",
     )
     bench.add_argument(
+        "--mode",
+        choices=("thread", "process", "both"),
+        default="both",
+        help="executor(s) to measure in --parallel mode (default both)",
+    )
+    bench.add_argument(
         "--compare",
         metavar="BASELINE.json",
         default=None,
@@ -359,7 +365,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--db", required=True, help="database file to serve")
     serve.add_argument(
-        "--workers", type=int, default=4, help="transform pool threads"
+        "--workers", type=int, default=4, help="transform pool workers"
+    )
+    serve.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "executor flavor: 'thread' shares one handle under the GIL, "
+            "'process' forks workers over shared-reader snapshots "
+            "(implies --readonly; see docs/CONCURRENCY.md)"
+        ),
     )
     serve.add_argument(
         "--deadline",
@@ -763,20 +779,24 @@ def _cmd_bench(arguments) -> int:
             requests=arguments.requests,
             workers=tuple(arguments.workers) if arguments.workers else (1, 2, 4, 8),
             guards=guards,
+            mode=arguments.mode,
         )
         print(
-            f"serial   {report['serial']['throughput_rps']:8.1f} req/s"
+            f"serial        {report['serial']['throughput_rps']:8.1f} req/s"
             f"  over {report['serial']['requests']} requests"
         )
         for run in report["parallel"]:
             print(
-                f"x{run['workers']:<7} {run['throughput_rps']:8.1f} req/s"
+                f"{run['mode']:<7} x{run['workers']:<4} "
+                f"{run['throughput_rps']:8.1f} req/s"
                 f"  ({run['wall_seconds'] * 1000:.1f} ms)"
             )
-        print(
-            f"best: {report['speedup_vs_serial']:.2f}x at "
-            f"{report['best_workers']} workers — {report['analysis']}"
-        )
+        for mode_name, summary in sorted(report["modes"].items()):
+            print(
+                f"{mode_name}: {summary['speedup_vs_serial']:.2f}x at "
+                f"{summary['best_workers']} workers"
+            )
+        print(f"best: {report['speedup_vs_serial']:.2f}x — {report['analysis']}")
         if output is None:
             print(json_module.dumps(report, indent=2))
         else:
@@ -820,7 +840,10 @@ def _cmd_bench(arguments) -> int:
 def _cmd_serve(arguments) -> int:
     from repro.serve import ServeTelemetry, serve_forever, serve_loop
 
-    mode = "r" if arguments.readonly else "w"
+    # Process workers each reopen the store as a shared reader, so the
+    # serving handle must be one too (a writer's LOCK_EX would refuse
+    # the workers' LOCK_SH).
+    mode = "r" if arguments.readonly or arguments.mode == "process" else "w"
     with Database(arguments.db, mode=mode) as db:
         trace_file = arguments.trace_file
         if trace_file is None and arguments.trace_sample > 0:
@@ -842,6 +865,7 @@ def _cmd_serve(arguments) -> int:
                 workers=arguments.workers,
                 deadline=arguments.deadline,
                 telemetry=telemetry,
+                pool_mode=arguments.mode,
             )
             host, port = server.server_address[:2]
             print(f"serving {arguments.db} on {host}:{port}", file=sys.stderr)
@@ -864,6 +888,7 @@ def _cmd_serve(arguments) -> int:
             workers=arguments.workers,
             deadline=arguments.deadline,
             telemetry=telemetry,
+            pool_mode=arguments.mode,
         )
         print(
             f"served {stats.requests} requests "

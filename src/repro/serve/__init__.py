@@ -8,20 +8,34 @@ thread-safe storage/cache substrate:
 * :class:`TransformPool` — a bounded thread-pool executor for guard
   transforms with per-request deadlines (``XM540`` on miss), graceful
   degradation to serial execution on queue exhaustion, and ``serve.*``
-  counters wired into :mod:`repro.obs` and ``EXPLAIN ANALYZE``;
+  counters wired into :mod:`repro.obs` and ``EXPLAIN ANALYZE``; the
+  right executor on free-threaded builds;
+* :class:`ProcessTransformPool` — forked workers over shared-reader
+  snapshots (``Database(mode="r")``) with zero-copy mmap'd page frames,
+  plan-cost inline routing, worker respawn and per-process plan-cache
+  warmup; the executor that beats the GIL for pure-Python rendering;
 * :func:`serve_loop` / :func:`serve_forever` — a line-oriented JSON
-  request loop (stdin/stdout or TCP) behind ``xmorph serve``;
+  request loop (stdin/stdout or TCP) behind ``xmorph serve``, taking
+  either pool flavor (``--mode thread|process``);
 * :meth:`Database.transform_many <repro.storage.Database.transform_many>`
   — the batched convenience API.
 
-Concurrency model, lock ordering and pool sizing advice live in
-``docs/CONCURRENCY.md``.  Correctness is pinned by the property-based
-suite in ``tests/serve``: parallel output is byte-identical to serial.
+Concurrency model, the thread-vs-process decision table and pool sizing
+advice live in ``docs/CONCURRENCY.md``.  Correctness is pinned by the
+property-based suite in ``tests/serve``: parallel output is
+byte-identical to serial, in every mode.
 """
 
 from repro.serve.pool import TransformPool
+from repro.serve.procpool import (
+    ProcessTransformPool,
+    RemoteTransformError,
+    RemoteTransformResult,
+    plan_cost_estimate,
+)
 from repro.serve.server import (
     ServeStats,
+    make_pool,
     render_database_metrics,
     serve_forever,
     serve_loop,
@@ -30,9 +44,14 @@ from repro.serve.telemetry import RequestTrace, ServeTelemetry, metrics_snapshot
 
 __all__ = [
     "TransformPool",
+    "ProcessTransformPool",
+    "RemoteTransformError",
+    "RemoteTransformResult",
+    "plan_cost_estimate",
     "ServeStats",
     "ServeTelemetry",
     "RequestTrace",
+    "make_pool",
     "serve_forever",
     "serve_loop",
     "metrics_snapshot",

@@ -33,6 +33,7 @@ from __future__ import annotations
 import concurrent.futures
 import contextvars
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from io import StringIO
 from typing import TYPE_CHECKING, Optional, Sequence
@@ -109,13 +110,24 @@ class TransformPool:
         return self.database.transform(name, guard)
 
     def submit(
-        self, name: str, guard: str, stream: bool = False
+        self,
+        name: str,
+        guard: str,
+        stream: bool = False,
+        deadline: Optional[float] = None,
     ) -> "concurrent.futures.Future":
         """Queue one transform; returns its future.
 
         When the queue is saturated (or the pool is serial), the work
         runs inline on the calling thread and comes back as an
-        already-completed future — bounded memory, no rejection.
+        already-completed future — bounded memory, no rejection.  The
+        inline path still honors ``deadline`` (defaulting to the pool's):
+        pure Python cannot be preempted, so an inline transform that
+        overran its budget raises ``XM540`` *instead of* returning the
+        late result — exactly what the threaded path's
+        ``future.result(timeout=...)`` would have done — and its phase
+        timings land in the same ``serve.*`` histograms, so degraded
+        requests never silently vanish from the p95s.
 
         With telemetry attached, the future carries its
         :class:`~repro.serve.telemetry.RequestTrace` as
@@ -123,6 +135,7 @@ class TransformPool:
         serialize phase and finish the trace.
         """
         self._event("serve.requests")
+        deadline = deadline if deadline is not None else self.deadline
         trace = (
             self.telemetry.start(name, guard) if self.telemetry is not None else None
         )
@@ -150,11 +163,29 @@ class TransformPool:
             if trace is not None:
                 trace.degraded = True
         future: "concurrent.futures.Future" = concurrent.futures.Future()
+        started = time.perf_counter()
         try:
-            future.set_result(self._guarded_run_inline(name, guard, stream, trace))
+            result = self._guarded_run_inline(name, guard, stream, trace)
         except BaseException as error:  # noqa: B036 - the future carries it,
             # matching ThreadPoolExecutor's own capture semantics.
             future.set_exception(error)
+        else:
+            elapsed = time.perf_counter() - started
+            if deadline is not None and elapsed > deadline:
+                # The budget was blown while we were un-preemptable: the
+                # result is as late (and as dropped) as a timed-out
+                # worker's would be.
+                self._event("serve.timeouts")
+                error = TransformTimeoutError(name, guard, deadline)
+                self._record_error(error, trace)
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        if self.telemetry is not None:
+            # Inline requests have no response writer guaranteed to call
+            # finish(); record their histogram samples now (idempotent —
+            # a later finish() from _collect/_respond is a no-op).
+            self.telemetry.finish(trace)
         future.xmorph_trace = trace
         return future
 
@@ -230,7 +261,7 @@ class TransformPool:
     def _collect(self, requests, stream: bool, deadline: Optional[float]) -> list:
         deadline = deadline if deadline is not None else self.deadline
         futures = [
-            (name, guard, self.submit(name, guard, stream=stream))
+            (name, guard, self.submit(name, guard, stream=stream, deadline=deadline))
             for name, guard in requests
         ]
         results = []
@@ -255,6 +286,9 @@ class TransformPool:
         return results
 
     # -- introspection -------------------------------------------------------
+
+    #: Executor flavor, mirrored by ProcessTransformPool ("process").
+    mode = "thread"
 
     @property
     def pending(self) -> int:

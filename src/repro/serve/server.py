@@ -54,6 +54,43 @@ from repro.serve.telemetry import ServeTelemetry, metrics_snapshot
 _WINDOW_PER_WORKER = 2
 
 
+def make_pool(
+    database,
+    workers: int = 4,
+    deadline: Optional[float] = None,
+    telemetry: Optional[ServeTelemetry] = None,
+    mode: str = "thread",
+    **pool_kwargs,
+):
+    """The right executor for ``mode``: thread or process pool.
+
+    ``"thread"`` shares the caller's handle (any open mode);
+    ``"process"`` forks workers that each reopen the store read-only,
+    so the parent handle must itself be ``mode="r"`` — the pool raises
+    ``StorageError`` otherwise.  See ``docs/CONCURRENCY.md#decision``
+    for when each wins.
+    """
+    if mode == "process":
+        from repro.serve.procpool import ProcessTransformPool
+
+        return ProcessTransformPool(
+            database,
+            workers=workers,
+            deadline=deadline,
+            telemetry=telemetry,
+            **pool_kwargs,
+        )
+    if mode != "thread":
+        raise ValueError(f"unknown pool mode: {mode!r} (use 'thread' or 'process')")
+    return TransformPool(
+        database,
+        workers=workers,
+        deadline=deadline,
+        telemetry=telemetry,
+        **pool_kwargs,
+    )
+
+
 def render_database_metrics(database, pool=None) -> str:
     """The live Prometheus exposition text of one database (+ pool)."""
     from repro.obs.prom import render_prometheus
@@ -110,16 +147,35 @@ def serve_loop(
     workers: int = 4,
     deadline: Optional[float] = None,
     telemetry: Optional[ServeTelemetry] = None,
+    pool_mode: str = "thread",
+    pool=None,
 ) -> ServeStats:
-    """Serve newline-delimited JSON requests until EOF or ``quit``."""
+    """Serve newline-delimited JSON requests until EOF or ``quit``.
+
+    ``pool`` lends an already-running executor (``serve_forever`` shares
+    one process pool across every connection — forking per connection
+    would pay worker startup on each); the loop then leaves shutdown to
+    the owner.  Otherwise one is built per ``pool_mode`` and torn down
+    at EOF.
+    """
     stats = ServeStats()
     if telemetry is None:
         # Even an unconfigured loop (no sampling, no slow log) records
         # request latency histograms, so /metrics always has quantiles.
         telemetry = ServeTelemetry(stats=database.stats)
-    with TransformPool(
-        database, workers=workers, deadline=deadline, telemetry=telemetry
-    ) as pool:
+    import contextlib
+
+    if pool is not None:
+        pool_context = contextlib.nullcontext(pool)
+    else:
+        pool_context = make_pool(
+            database,
+            workers=workers,
+            deadline=deadline,
+            telemetry=telemetry,
+            mode=pool_mode,
+        )
+    with pool_context as pool:
         # One responder thread writes responses in request order, each
         # the moment its future resolves; the bounded queue throttles a
         # client that pipelines faster than the pool completes.
@@ -295,6 +351,7 @@ def serve_forever(
     workers: int = 4,
     deadline: Optional[float] = None,
     telemetry: Optional[ServeTelemetry] = None,
+    pool_mode: str = "thread",
 ):
     """A threading TCP server running :func:`serve_loop` per connection.
 
@@ -302,11 +359,27 @@ def serve_forever(
     caller can read ``server_address`` and drive ``serve_forever()`` /
     ``shutdown()`` itself).  Every connection shares the one database
     handle — concurrency comes from the shared pool-safe substrate.
+
+    ``pool_mode="process"`` forks the worker fleet **once** and lends
+    it to every connection (``server_close`` tears it down); thread
+    mode keeps the historical pool-per-connection shape, which costs
+    nothing because threads are cheap and the substrate is shared.
     """
     import socketserver
 
     shared = telemetry if telemetry is not None else ServeTelemetry(
         stats=database.stats
+    )
+    shared_pool = (
+        make_pool(
+            database,
+            workers=workers,
+            deadline=deadline,
+            telemetry=shared,
+            mode=pool_mode,
+        )
+        if pool_mode == "process"
+        else None
     )
 
     class Handler(socketserver.StreamRequestHandler):
@@ -320,13 +393,24 @@ def serve_forever(
                 workers=workers,
                 deadline=deadline,
                 telemetry=shared,
+                pool_mode=pool_mode,
+                pool=shared_pool,
             )
 
     class Server(socketserver.ThreadingTCPServer):
         allow_reuse_address = True
         daemon_threads = True
 
-    return Server((host, port), Handler)
+        def server_close(self) -> None:
+            if shared_pool is not None:
+                shared_pool.shutdown()
+            super().server_close()
+
+    server = Server((host, port), Handler)
+    #: Exposed so callers (tests, ``xmorph top`` demos) can inspect the
+    #: shared executor; ``None`` in thread mode.
+    server.xmorph_pool = shared_pool
+    return server
 
 
 def _decode_lines(binary_reader):

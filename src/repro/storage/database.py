@@ -66,6 +66,10 @@ class Database:
         if mode not in ("r", "w"):
             raise StorageError(f"mode must be 'r' or 'w', got {mode!r}")
         self.mode = mode
+        #: Whether this handle consults the write-ahead journal; worker
+        #: processes must match it so every snapshot overlays (or
+        #: ignores) a sealed journal identically.
+        self.durable = durable
         self.stats = SystemStats(model or CostModel())
         # Single-writer / many-reader advisory lock: two live writers
         # interleaving journaled flushes would corrupt each other's
@@ -434,6 +438,10 @@ class Database:
     def close(self) -> None:
         if self.mode != "r":
             self.pool.flush()
+        else:
+            # Drop cached memoryviews into the mmap so the mapping can
+            # be unmapped eagerly instead of lingering behind exports.
+            self.pool.drop_cache()
         self._file.close()
         self._lock.release()
 

@@ -22,6 +22,7 @@ on open.  Every syscall site reports to the failpoint registry
 
 from __future__ import annotations
 
+import mmap
 import os
 import threading
 import time
@@ -30,7 +31,13 @@ from typing import Mapping, Optional
 
 from repro.errors import PageError, ReadOnlyDatabaseError
 from repro.faults import FAULTS
-from repro.storage.checksum import TRAILER_SIZE, seal_page, verify_page
+from repro.storage.checksum import (
+    TRAILER_MAGIC,
+    TRAILER_SIZE,
+    page_crc,
+    seal_page,
+    verify_page,
+)
 from repro.storage.stats import SystemStats
 
 PAGE_SIZE = 4096
@@ -47,6 +54,16 @@ class PagedFile:
     the on-disk pages — a read-only open with a sealed-but-unreplayed
     journal reads *through* the journal batch without writing anything,
     giving every concurrent reader the same frozen post-commit snapshot.
+
+    A read-only file is additionally **memory-mapped** (``PROT_READ``):
+    :meth:`read_page` returns a zero-copy :class:`memoryview` over the
+    mapping instead of a heap ``bytearray``.  The mapping is file-backed,
+    so N reader *processes* (a :class:`~repro.serve.ProcessTransformPool`'s
+    forked workers) share one physical copy of every hot page through
+    the OS page cache — only the small header fields a B+tree node
+    decode unpacks are copied per process ("copy-on-read headers").
+    The CRC32C trailer is still verified on first touch, directly over
+    the mapped slot, without materializing the payload.
     """
 
     def __init__(
@@ -61,6 +78,10 @@ class PagedFile:
         self.stats = stats
         self.readonly = readonly
         self._overlay: dict[int, bytes] = dict(overlay or {})
+        self._mmap: Optional[mmap.mmap] = None
+        #: Page ids whose mapped slot already passed CRC verification
+        #: (the trailer is checked once per open, not once per read).
+        self._verified: set[int] = set()
         flags = os.O_RDONLY if readonly else os.O_RDWR | os.O_CREAT
         self._fd = os.open(path, flags, 0o644)
         try:
@@ -79,6 +100,12 @@ class PagedFile:
             if self._overlay:
                 # A journal batch may extend the file past its on-disk end.
                 self._page_count = max(self._page_count, max(self._overlay) + 1)
+            if readonly and size:
+                try:
+                    self._mmap = mmap.mmap(self._fd, size, access=mmap.ACCESS_READ)
+                except (OSError, ValueError):  # pragma: no cover - platform
+                    # without mmap support; pread still serves every page.
+                    self._mmap = None
         except BaseException:
             # The descriptor must not outlive a failed constructor.
             os.close(self._fd)
@@ -99,12 +126,19 @@ class PagedFile:
         self.stats.block_write()
         return page_id
 
-    def read_page(self, page_id: int) -> bytearray:
+    def read_page(self, page_id: int):
+        """The page payload: a ``bytearray`` (writable files) or a
+        zero-copy ``memoryview`` into the mapping (read-only files)."""
         self._check(page_id)
         shadowed = self._overlay.get(page_id)
         if shadowed is not None:
             self.stats.block_read()
             return bytearray(shadowed)
+        if (
+            self._mmap is not None
+            and (page_id + 1) * SLOT_SIZE <= len(self._mmap)
+        ):
+            return self._read_mapped(page_id)
         FAULTS.fire("pages.pread")
         started = time.perf_counter()
         slot = os.pread(self._fd, SLOT_SIZE, page_id * SLOT_SIZE)
@@ -121,6 +155,27 @@ class PagedFile:
         except PageError:
             self.stats.event("pages.checksum_failures")
             raise
+
+    def _read_mapped(self, page_id: int) -> memoryview:
+        """A zero-copy view of a mapped page, CRC-checked on first touch."""
+        FAULTS.fire("pages.pread")
+        started = time.perf_counter()
+        offset = page_id * SLOT_SIZE
+        slot = memoryview(self._mmap)[offset : offset + SLOT_SIZE]
+        payload = slot[:PAGE_SIZE]
+        if page_id not in self._verified:
+            trailer = slot[PAGE_SIZE:]
+            stored = int.from_bytes(trailer[4:], "little")
+            computed = page_crc(page_id, payload)
+            if bytes(trailer[:4]) != TRAILER_MAGIC or stored != computed:
+                self.stats.event("pages.checksum_failures")
+                from repro.errors import ChecksumError
+
+                raise ChecksumError(self.path, page_id, stored, computed)
+            self._verified.add(page_id)
+        self.stats.observe("storage.page_read_seconds", time.perf_counter() - started)
+        self.stats.block_read()
+        return payload
 
     def write_page(self, page_id: int, data: bytes) -> None:
         if self.readonly:
@@ -144,6 +199,15 @@ class PagedFile:
         os.fsync(self._fd)
 
     def close(self) -> None:
+        if self._mmap is not None:
+            # Cached memoryviews may still reference the mapping (the
+            # buffer pool holds them); CPython keeps the pages alive
+            # until the last view dies, but close what we can eagerly.
+            try:
+                self._mmap.close()
+            except BufferError:
+                pass
+            self._mmap = None
         os.close(self._fd)
 
     def _check(self, page_id: int) -> None:
@@ -218,7 +282,9 @@ class BufferPool:
         #: Re-entrant: flush() runs under it and _install() may trigger
         #: flush(); B+tree descents also nest get() inside locked().
         self.lock = threading.RLock()
-        self._pages: OrderedDict[int, bytearray] = OrderedDict()
+        #: Writable files cache ``bytearray`` buffers; read-only mmap'd
+        #: files cache zero-copy ``memoryview``s into the mapping.
+        self._pages: OrderedDict[int, "bytearray | memoryview"] = OrderedDict()
         self._dirty: set[int] = set()
         #: Cache accounting (feeds the ``buffer.hit_ratio`` metric).
         self.hits = 0
@@ -248,8 +314,12 @@ class BufferPool:
             self._install(page_id, bytearray(PAGE_SIZE))
             return page_id
 
-    def get(self, page_id: int) -> bytearray:
-        """The page's buffer (cached); mutations need :meth:`mark_dirty`."""
+    def get(self, page_id: int):
+        """The page's buffer (cached); mutations need :meth:`mark_dirty`.
+
+        Writable files yield ``bytearray``s; read-only mmap'd files
+        yield read-only ``memoryview``s (zero-copy, shared across any
+        forked reader processes)."""
         with self.lock:
             cached = self._pages.get(page_id)
             metrics = self.stats.metrics
@@ -306,7 +376,7 @@ class BufferPool:
     def resident(self) -> int:
         return len(self._pages)
 
-    def _install(self, page_id: int, data: bytearray) -> None:
+    def _install(self, page_id: int, data) -> None:
         self._pages[page_id] = data
         self._pages.move_to_end(page_id)
         self.stats.allocate(PAGE_SIZE)

@@ -205,3 +205,63 @@ class TestServeForever:
             server.shutdown()
             server.server_close()
             thread.join(timeout=10)
+
+
+class TestDegradedInlineDeadlines:
+    """The inline (degraded-serial / workers=1) path keeps the pool's
+    deadline contract and histogram coverage — degraded requests never
+    silently vanish from the p95s or outlive their budget."""
+
+    def test_inline_overrun_raises_xm540(self, db):
+        real = db.transform
+
+        def slow(name, guard):
+            time.sleep(0.05)
+            return real(name, GUARD)
+
+        db.transform = slow
+        with TransformPool(db, workers=1) as pool:
+            future = pool.submit("doc", GUARD, deadline=0.001)
+            with pytest.raises(TransformTimeoutError) as excinfo:
+                future.result()
+            assert excinfo.value.code == "XM540"
+        assert db.stats.events.get("serve.timeouts") == 1
+        assert db.stats.events.get("serve.errors.XM540") == 1
+
+    def test_inline_under_deadline_returns_result(self, db):
+        with TransformPool(db, workers=1, deadline=30) as pool:
+            assert pool.submit("doc", GUARD).result().xml()
+        assert "serve.timeouts" not in db.stats.events
+
+    def test_saturated_inline_records_histograms(self, db):
+        from repro.serve import ServeTelemetry
+
+        telemetry = ServeTelemetry(stats=db.stats)
+        gate = threading.Event()
+        _slow_transform(db, gate, slow_guard="SLOW")
+        try:
+            with TransformPool(
+                db, workers=2, max_queue=2, telemetry=telemetry
+            ) as pool:
+                stuck = [pool.submit("doc", "SLOW") for _ in range(2)]
+                while pool.pending < 2:
+                    time.sleep(0.01)
+                snapshot = db.stats.timing_snapshot()
+                before = (
+                    snapshot["serve.request_seconds"].count
+                    if "serve.request_seconds" in snapshot
+                    else 0
+                )
+                fast = pool.submit("doc", GUARD)
+                assert fast.done()
+                assert fast.xmorph_trace.degraded
+                after = db.stats.timing_snapshot()
+                # The degraded request's phases landed in the same
+                # histograms the threaded path feeds, immediately.
+                assert after["serve.request_seconds"].count == before + 1
+                assert after["serve.execute_seconds"].count >= before + 1
+                gate.set()
+                for future in stuck:
+                    future.result(timeout=30)
+        finally:
+            gate.set()
