@@ -14,12 +14,15 @@ job; see ``docs/PERFORMANCE.md`` for the file schema.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import tempfile
 import time
+from dataclasses import replace
 from typing import Optional
 
+from repro.engine.interpreter import Interpreter
 from repro.storage.database import Database
 from repro.workloads.dblp import generate_dblp
 
@@ -63,6 +66,55 @@ def _timed_transform(db: Database, name: str, guard: str) -> dict:
     }
 
 
+def render_compare(
+    db: Database, name: str, guard: str, repeat: int = 5
+) -> Optional[dict]:
+    """Warm-path render time: specialized renderer vs interpreter.
+
+    Both engines render the *same* cached plan over the same warmed
+    index (plan cache and join memos hot), so the comparison isolates
+    the render loop itself — the thing plan compilation specializes.
+    Returns ``None`` when the database has ``compile_renders`` off.
+    """
+    plan = db.compile(name, guard)
+    if plan.compiled_render is None:
+        return None
+    interpreter = Interpreter(db.index(name))
+    interpreted_plan = replace(plan, compiled_render=None, rendered=None)
+    # One unmeasured round apiece warms lazy sequences and join memos.
+    interpreter.render_compiled(plan)
+    interpreter.render_compiled(interpreted_plan)
+    compiled_seconds: list[float] = []
+    interpreted_seconds: list[float] = []
+    # Renders allocate one object per emitted node, so collector pauses
+    # land on whichever engine happens to be running and swamp the
+    # per-engine means; pause collection for the timed rounds (the same
+    # hygiene ``timeit`` applies by default).
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeat):
+            compiled_seconds.append(
+                interpreter.render_compiled(plan).render_seconds
+            )
+            interpreted_seconds.append(
+                interpreter.render_compiled(interpreted_plan).render_seconds
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    compiled_mean = sum(compiled_seconds) / len(compiled_seconds)
+    interpreted_mean = sum(interpreted_seconds) / len(interpreted_seconds)
+    return {
+        "repeat": repeat,
+        "compiled_mean_seconds": compiled_mean,
+        "interpreted_mean_seconds": interpreted_mean,
+        "compiled_best_seconds": min(compiled_seconds),
+        "interpreted_best_seconds": min(interpreted_seconds),
+        "speedup_mean": interpreted_mean / compiled_mean if compiled_mean else 0.0,
+    }
+
+
 def repeated_guard_bench(
     db: Database, name: str, guard: str, repeat: int = 5
 ) -> dict:
@@ -100,6 +152,7 @@ def repeated_guard_bench(
             "hits": plan_stats["hits"] - plan_stats_before["hits"],
             "misses": plan_stats["misses"] - plan_stats_before["misses"],
         },
+        "render_compare": render_compare(db, name, guard, repeat=max(repeat, 3)),
     }
 
 
@@ -109,6 +162,7 @@ def run_pipeline_bench(
     repeat: int = 5,
     guards: Optional[dict[str, str]] = None,
     db_path: Optional[str] = None,
+    compile_renders: bool = True,
 ) -> dict:
     """Run the repeated-guard benchmark over a generated DBLP slice.
 
@@ -122,7 +176,7 @@ def run_pipeline_bench(
         scratch = tempfile.TemporaryDirectory(prefix="xmorph-bench-")
         db_path = os.path.join(scratch.name, "bench.db")
     try:
-        db = Database(db_path, durable=False)
+        db = Database(db_path, durable=False, compile_renders=compile_renders)
         try:
             forest = generate_dblp(publications)
             descriptor = db.store_document("dblp", forest)
@@ -145,6 +199,19 @@ def run_pipeline_bench(
             report["plan_cache"] = db.plan_cache.stats()
             report["max_speedup_wall_mean"] = max(
                 (g["speedup_wall_mean"] for g in report["guards"]), default=0.0
+            )
+            compares = [
+                g["render_compare"]
+                for g in report["guards"]
+                if g.get("render_compare")
+            ]
+            compiled_total = sum(c["compiled_mean_seconds"] for c in compares)
+            interpreted_total = sum(c["interpreted_mean_seconds"] for c in compares)
+            # Aggregate compiled-vs-interpreted warm render speedup over
+            # all guards (total time ratio, so long guards dominate) —
+            # the number the CI gate compares against --min-compiled-speedup.
+            report["render_compiled_speedup"] = (
+                interpreted_total / compiled_total if compiled_total else 0.0
             )
         finally:
             db.close()

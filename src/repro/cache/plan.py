@@ -33,9 +33,37 @@ from repro.obs import tracer as obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.algebra.semantics import EvaluationResult
+    from repro.engine.compile import CompiledRender
     from repro.engine.interpreter import TransformResult
     from repro.shape.shape import Shape
     from repro.typing.loss import LossReport
+
+
+def _canonical(value):
+    """Rewrite a descriptor so JSON canonicalization is injective.
+
+    ``json.dumps`` silently coerces non-string dict keys, so ``{1: x}``
+    and ``{"1": x}`` would serialize — and therefore fingerprint —
+    identically while describing different shapes.  Non-string keys are
+    tagged with their type name behind a ``\\x00`` sentinel (which never
+    appears in shredder-produced keys); string keys that do start with
+    the sentinel are escaped the same way, keeping the mapping
+    injective.  Descriptors with only ordinary string keys — everything
+    the shredder writes — canonicalize exactly as before, so stored
+    fingerprints remain valid.
+    """
+    if isinstance(value, dict):
+        tagged = {}
+        for key, item in value.items():
+            if isinstance(key, str):
+                name = "\x00str\x00" + key if key.startswith("\x00") else key
+            else:
+                name = f"\x00{type(key).__name__}\x00{key}"
+            tagged[name] = _canonical(item)
+        return tagged
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    return value
 
 
 def shape_fingerprint(descriptor: dict) -> str:
@@ -45,9 +73,13 @@ def shape_fingerprint(descriptor: dict) -> str:
     dict the shredder writes (:func:`repro.storage.shredder.shred`);
     canonical JSON makes the fingerprint independent of dict ordering,
     so a descriptor decoded from storage hashes identically to the one
-    computed at shred time.
+    computed at shred time.  Dict keys are type-tagged before hashing
+    (see :func:`_canonical`): descriptors differing only in ``1`` vs
+    ``"1"`` keys must not share plans.
     """
-    canonical = json.dumps(descriptor, sort_keys=True, separators=(",", ":"))
+    canonical = json.dumps(
+        _canonical(descriptor), sort_keys=True, separators=(",", ":")
+    )
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
@@ -61,6 +93,13 @@ class CompiledPlan:
     loss: "LossReport"
     evaluation: "EvaluationResult"
     compile_seconds: float
+    #: The specialized renderer generated at plan-compile time
+    #: (:mod:`repro.engine.compile`); ``None`` when compilation is
+    #: disabled or fell back to the interpreter.  Because it is a plan
+    #: field, eviction, :meth:`PlanCache.invalidate` and
+    #: :meth:`PlanCache.apply_evolution` drop it together with the rest
+    #: of the plan — no separate invalidation channel to get wrong.
+    compiled_render: "Optional[CompiledRender]" = None
 
     @classmethod
     def from_result(cls, result: "TransformResult", fingerprint: str) -> "CompiledPlan":
@@ -71,6 +110,7 @@ class CompiledPlan:
             loss=result.loss,
             evaluation=result.evaluation,
             compile_seconds=result.compile_seconds,
+            compiled_render=result.compiled_render,
         )
 
     def to_result(self) -> "TransformResult":
@@ -83,6 +123,7 @@ class CompiledPlan:
             loss=self.loss,
             evaluation=self.evaluation,
             compile_seconds=self.compile_seconds,
+            compiled_render=self.compiled_render,
         )
 
 
@@ -161,6 +202,16 @@ class PlanCache:
         compiles itself — an invalidation between compile and wake-up
         must win, never be papered over by a stale shared result.
         """
+        if self.capacity <= 0:
+            # Disabled cache: `put` is a no-op, so single-flight would
+            # degenerate — waiters block on the leader, re-loop, never
+            # find a cached plan, and end up compiling *serially* while
+            # inflating `contended`.  Compile directly (and concurrently)
+            # instead; only the miss is counted.
+            with self._lock:
+                self.misses += 1
+                obs.count("plan_cache.misses")
+            return compile_plan()
         key = (guard, fingerprint)
         while True:
             with self._lock:

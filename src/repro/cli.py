@@ -175,6 +175,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the JSON-lines trace to PATH ('-' for stdout)",
     )
+    run.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="render with the batch interpreter instead of the specialized plan renderer",
+    )
     run.set_defaults(handler=_cmd_run)
 
     trace = commands.add_parser(
@@ -347,6 +352,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="allowed relative slowdown vs the baseline (default 0.25 = 25%%)",
     )
+    bench.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="bench the batch interpreter only (skip specialized renderers)",
+    )
+    bench.add_argument(
+        "--min-compiled-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "fail (exit 3) unless the compiled warm render is at least X "
+            "times faster than the interpreter across the benched guards"
+        ),
+    )
     bench.set_defaults(handler=_cmd_bench)
 
     serve = commands.add_parser(
@@ -393,6 +413,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--readonly",
         action="store_true",
         help="open the store with a shared reader lock (mode='r')",
+    )
+    serve.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="serve with the batch interpreter (no specialized plan renderers)",
     )
     serve.add_argument(
         "--trace-sample",
@@ -556,10 +581,13 @@ def _cmd_evolve(arguments) -> int:
 def _profile_report(arguments):
     from repro.engine.profile import profile_db_transform, profile_document
 
+    compile_renders = not getattr(arguments, "no_compile", False)
     if arguments.db is not None:
-        with Database(arguments.db) as db:
+        with Database(arguments.db, compile_renders=compile_renders) as db:
             return profile_db_transform(db, arguments.document, arguments.guard)
-    return profile_document(_read(arguments.document), arguments.guard)
+    return profile_document(
+        _read(arguments.document), arguments.guard, compile_renders=compile_renders
+    )
 
 
 def _diagnose_failure(arguments) -> bool:
@@ -810,6 +838,7 @@ def _cmd_bench(arguments) -> int:
         publications=arguments.publications,
         repeat=arguments.repeat,
         guards=guards,
+        compile_renders=not arguments.no_compile,
     )
     for entry in report["guards"]:
         print(
@@ -821,10 +850,31 @@ def _cmd_bench(arguments) -> int:
             f"  ({entry['plan_cache']['hits']} plan-cache hits)\n"
             f"  speedup {entry['speedup_wall_mean']:.1f}x"
         )
+        compare = entry.get("render_compare")
+        if compare:
+            print(
+                f"  render  compiled {compare['compiled_mean_seconds'] * 1000:.2f} ms"
+                f"  vs interpreted {compare['interpreted_mean_seconds'] * 1000:.2f} ms"
+                f"  ({compare['speedup_mean']:.1f}x)"
+            )
+    if report.get("render_compiled_speedup"):
+        print(
+            f"compiled render speedup (aggregate): "
+            f"{report['render_compiled_speedup']:.1f}x"
+        )
     if output is None:
         print(json_module.dumps(report, indent=2))
     else:
         print(f"wrote {output}")
+    if arguments.min_compiled_speedup is not None:
+        achieved = report.get("render_compiled_speedup") or 0.0
+        if achieved < arguments.min_compiled_speedup:
+            print(
+                f"error: compiled render speedup {achieved:.2f}x is below the "
+                f"--min-compiled-speedup {arguments.min_compiled_speedup:.2f}x gate",
+                file=sys.stderr,
+            )
+            return 3
     if arguments.compare:
         from repro.bench.compare import compare_files
 
@@ -844,7 +894,9 @@ def _cmd_serve(arguments) -> int:
     # serving handle must be one too (a writer's LOCK_EX would refuse
     # the workers' LOCK_SH).
     mode = "r" if arguments.readonly or arguments.mode == "process" else "w"
-    with Database(arguments.db, mode=mode) as db:
+    with Database(
+        arguments.db, mode=mode, compile_renders=not arguments.no_compile
+    ) as db:
         trace_file = arguments.trace_file
         if trace_file is None and arguments.trace_sample > 0:
             trace_file = arguments.db + ".traces.jsonl"

@@ -77,6 +77,16 @@ class BaseIndex:
     def type_of(self, node: XmlNode) -> DataType:
         raise NotImplementedError
 
+    def count_of(self, data_type: DataType) -> int:
+        """Cardinality of a type's sequence (the ``pathcard`` statistic).
+
+        Subclasses with stored per-type counts override this to avoid
+        materializing the sequence; the plan compiler uses it both for
+        join-side selection and for baking the synthesized-empty
+        placeholder decision into generated renderers.
+        """
+        return len(self.nodes_of(data_type))
+
     def shape_vertex(self, data_type: DataType) -> Optional[ShapeType]:
         raise NotImplementedError
 
@@ -145,10 +155,29 @@ class BaseIndex:
             mapping: dict[int, list[XmlNode]] = {}
             level = self.closest_lca_level(first, second)
             if level is not None:
-                for anchor, partner in closest_join(
-                    self.nodes_of(first), self.nodes_of(second), level
-                ):
-                    mapping.setdefault(id(anchor), []).append(partner)
+                anchors = self.nodes_of(first)
+                partners = self.nodes_of(second)
+                # Cardinality-driven side selection: hash-group the
+                # smaller sequence, probe the larger.  Probing partners
+                # in document order keeps each anchor's partner list in
+                # document order either way, so the two plans produce
+                # identical maps.
+                if len(anchors) <= len(partners):
+                    width = level + 1
+                    groups: dict[tuple[int, ...], list[XmlNode]] = {}
+                    for anchor in anchors:
+                        if len(anchor.dewey) < width:
+                            continue
+                        groups.setdefault(anchor.dewey.prefix(width), []).append(anchor)
+                    for partner in partners:
+                        if len(partner.dewey) < width:
+                            continue
+                        for anchor in groups.get(partner.dewey.prefix(width), ()):
+                            if partner is not anchor:
+                                mapping.setdefault(id(anchor), []).append(partner)
+                else:
+                    for anchor, partner in closest_join(anchors, partners, level):
+                        mapping.setdefault(id(anchor), []).append(partner)
             self._pair_maps[key] = mapping
             self.record_timing("join.build_seconds", time.perf_counter() - started)
             return mapping

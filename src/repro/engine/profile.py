@@ -110,6 +110,21 @@ class ProfileReport:
                 f"nodes_read={rendered.nodes_read} "
                 f"joins={rendered.joins}"
             )
+            compiled = self.result.compiled_render
+            if rendered.compiled and compiled is not None:
+                lines.append(f"render.compiled: {compiled.describe()}")
+                for edge in compiled.edge_plans:
+                    level = edge["lca_level"]
+                    detail = f" lca_level={level}" if level is not None else ""
+                    lines.append(
+                        f"  {edge['child']}  [{edge['kind']}]"
+                        f"  anchors={edge['anchor_rows']}"
+                        f" candidates={edge['child_rows']}{detail}"
+                    )
+            elif rendered.compiled:
+                lines.append("render.compiled: yes")
+            else:
+                lines.append("render.compiled: no (interpreted)")
         metric_lines = obs.render_metrics(self.tracer.metrics)
         if metric_lines:
             lines.append("")
@@ -237,7 +252,9 @@ def _durability_events(stats) -> dict:
     return events
 
 
-def profile_document(xml_text: str, guard: str) -> ProfileReport:
+def profile_document(
+    xml_text: str, guard: str, compile_renders: bool = True
+) -> ProfileReport:
     """Profile XML text end to end: shred into a throwaway store, then
     transform — so the trace includes shredding and storage actuals."""
     import os
@@ -247,7 +264,11 @@ def profile_document(xml_text: str, guard: str) -> ProfileReport:
 
     tracer = obs.Tracer()
     with tempfile.TemporaryDirectory(prefix="xmorph-profile-") as scratch:
-        database = Database(os.path.join(scratch, "profile.db"), durable=False)
+        database = Database(
+            os.path.join(scratch, "profile.db"),
+            durable=False,
+            compile_renders=compile_renders,
+        )
         try:
             with obs.tracing(tracer), database.observed(tracer):
                 database.store_document("document", xml_text)

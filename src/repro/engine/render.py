@@ -47,6 +47,9 @@ class RenderResult:
     joins: int = 0
     #: id(shape type) -> number of output instances ("actual rows").
     rows_by_type: dict[int, int] = field(default_factory=dict)
+    #: True when produced by a specialized plan renderer
+    #: (:mod:`repro.engine.compile`) rather than this interpreter.
+    compiled: bool = False
 
     def source_of(self, node: XmlNode) -> Optional[XmlNode]:
         return self.provenance.get(id(node))
@@ -141,16 +144,32 @@ class _Renderer:
     def _attach_children(self, shape_type: ShapeType, instances: list[_Instance]) -> None:
         for child_type in self.shape.children(shape_type):
             if child_type.source is not None:
-                if child_type.synthesized and not self.index.nodes_of(child_type.source):
+                # One fetch serves both the synthesized-empty check and
+                # the join below; the emptiness test is on the raw
+                # sequence — a RESTRICT filter emptying a *backed* type
+                # must not turn it into a placeholder.
+                raw = self.index.nodes_of(child_type.source)
+                self.result.nodes_read += len(raw)
+                if child_type.synthesized and not raw:
                     self._attach_placeholder(child_type, instances)
                 else:
-                    self._attach_backed(child_type, instances)
+                    candidates = raw
+                    if child_type.restrict_filter is not None:
+                        candidates = self.index.restrict_pass(
+                            raw, child_type.source, child_type.restrict_filter
+                        )
+                    self._attach_backed(child_type, instances, candidates)
             elif child_type.synthesized:
                 self._attach_placeholder(child_type, instances)
             else:
                 self._attach_new(child_type, instances)
 
-    def _attach_backed(self, child_type: ShapeType, parents: list[_Instance]) -> None:
+    def _attach_backed(
+        self,
+        child_type: ShapeType,
+        parents: list[_Instance],
+        candidates: list[XmlNode],
+    ) -> None:
         """The closest join: pair parent anchors with child source nodes.
 
         All matched child instances across every parent are collected
@@ -158,7 +177,6 @@ class _Renderer:
         per-edge, not per-parent-instance, keeping the read side linear
         (the pipelined sort-merge behaviour of Section VII).
         """
-        candidates = self._source_nodes(child_type)
         pair_map = self._join(parents, child_type, candidates)
         produced: list[_Instance] = []
         for parent in parents:
@@ -268,7 +286,9 @@ class _Renderer:
                 if produced:
                     self._attach_children(child_type, produced)
             elif child_type.source is not None:
-                self._attach_backed(child_type, wrappers)
+                self._attach_backed(
+                    child_type, wrappers, self._source_nodes(child_type)
+                )
             else:
                 self._attach_new(child_type, wrappers)
 

@@ -173,7 +173,9 @@ def _rehydrate_error(kind: str, message: str, code: Optional[str]):
 # -- the worker process ------------------------------------------------------
 
 
-def _worker_main(path: str, conn, cache_pages: int, durable: bool) -> None:
+def _worker_main(
+    path: str, conn, cache_pages: int, durable: bool, compile_renders: bool = True
+) -> None:
     """One worker: open a shared-reader snapshot, serve the pipe until EOF.
 
     Messages in: ``("req", req_id, doc, guard, stream, budget, trace_id,
@@ -186,7 +188,17 @@ def _worker_main(path: str, conn, cache_pages: int, durable: bool) -> None:
     from repro.obs import export as obs_export
     from repro.storage.database import Database
 
-    database = Database(path, mode="r", cache_pages=cache_pages, durable=durable)
+    # ``compile_renders`` mirrors the parent handle: each worker compiles
+    # (and ``warm``s) plans in its own process, so the specialized
+    # renderers are generated post-fork against the worker's own
+    # snapshot — nothing compiled crosses the pipe.
+    database = Database(
+        path,
+        mode="r",
+        cache_pages=cache_pages,
+        durable=durable,
+        compile_renders=compile_renders,
+    )
     try:
         while True:
             try:
@@ -441,7 +453,7 @@ class ProcessTransformPool:
         process = self._mp.Process(
             target=_worker_main,
             args=(self._path, child_conn, self._worker_cache_pages,
-                  self.database.durable),
+                  self.database.durable, self.database.compile_renders),
             name="xmorph-serve-worker",
             daemon=True,
         )

@@ -62,6 +62,7 @@ class Database:
         durable: bool = True,
         cache_plans: int = 64,
         mode: str = "w",
+        compile_renders: bool = True,
     ):
         if mode not in ("r", "w"):
             raise StorageError(f"mode must be 'r' or 'w', got {mode!r}")
@@ -119,6 +120,10 @@ class Database:
         #: Compiled guard plans keyed by (guard text, shape fingerprint);
         #: ``cache_plans=0`` disables plan caching entirely.
         self.plan_cache = PlanCache(cache_plans)
+        #: Generate a specialized renderer per plan (the ``--no-compile``
+        #: escape hatch turns this off; rendering falls back to the
+        #: batch interpreter, byte-identically).
+        self.compile_renders = compile_renders
         #: When true, a vmstat-style sample is recorded after every type
         #: sequence load (drives the Figure 11–13 time series).
         self.sample_progress = False
@@ -256,14 +261,14 @@ class Database:
             # either — there is nothing to share a result through).
             self.plan_cache.get(guard, index.fingerprint)  # counts the miss
             started = time.perf_counter()
-            result = Interpreter(index).compile(guard)
+            result = Interpreter(index, compile_renders=self.compile_renders).compile(guard)
             self.stats.observe("plan.compile_seconds", time.perf_counter() - started)
             self._charge_compile(name)
             return result
 
         def compile_plan() -> CompiledPlan:
             started = time.perf_counter()
-            result = Interpreter(index).compile(guard)
+            result = Interpreter(index, compile_renders=self.compile_renders).compile(guard)
             self.stats.observe("plan.compile_seconds", time.perf_counter() - started)
             self._charge_compile(name)
             return CompiledPlan.from_result(result, index.fingerprint)

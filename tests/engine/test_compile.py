@@ -1,0 +1,351 @@
+"""The specialized plan renderer (repro.engine.compile) and its cache
+carry-through: byte-identical parity with the interpreter, counter and
+trace parity, the plan-cache bugfixes that rode along, and the
+single-fetch fix in the interpretive renderer.
+"""
+
+import os
+
+import pytest
+
+import repro
+from repro import obs
+from repro.cache import CompiledPlan, PlanCache, shape_fingerprint
+from repro.closeness import DocumentIndex
+from repro.engine.compile import CompiledRender
+from repro.engine.interpreter import Interpreter
+from repro.engine.profile import profile_document
+from repro.storage import Database
+from repro.workloads import generate_dblp
+from repro.xmltree.serializer import serialize
+
+from tests.conftest import FIG1A
+from tests.engine.test_parity import GUARD_DIR, corpus_guards
+
+DBLP_GUARDS = [
+    "CAST MORPH author [ title [ year ] ]",
+    "CAST MORPH dblp [ author [ title [ year [ pages ] url ] ] ]",
+    "CAST MORPH (RESTRICT year [ ee ])",
+    "CAST MORPH (RESTRICT article [ ee crossref ])",
+    "CAST (MUTATE (NEW record) [ author title ])",
+    "CAST (TYPE-FILL MORPH article [ title isbn ])",
+]
+
+
+def named_rows(shape, rows_by_type):
+    """rows_by_type re-keyed by out_name (id() keys differ per shape)."""
+    named: dict[str, int] = {}
+
+    def visit(vertex):
+        if id(vertex) in rows_by_type:
+            named[vertex.out_name] = named.get(vertex.out_name, 0) + rows_by_type[
+                id(vertex)
+            ]
+        for child in shape.children(vertex):
+            visit(child)
+
+    for root in shape.roots():
+        visit(root)
+    return named
+
+
+def render_both(forest, guard):
+    """(interpreter RenderResult+shape, compiled RenderResult+shape).
+
+    Each engine gets a *fresh* forest copy and index so join-memo
+    warmth cannot leak between them.
+    """
+    text = serialize(forest)
+
+    interp = Interpreter(repro.parse_forest(text))
+    plan_i = interp.compile(guard)
+    res_i = interp.render_compiled(plan_i)
+    assert res_i.rendered is not None and not res_i.rendered.compiled
+
+    comp = Interpreter(repro.parse_forest(text), compile_renders=True)
+    plan_c = comp.compile(guard)
+    assert plan_c.compiled_render is not None, "specialization unexpectedly fell back"
+    res_c = comp.render_compiled(plan_c)
+    assert res_c.rendered is not None and res_c.rendered.compiled
+    return (res_i, plan_i.evaluation.shape), (res_c, plan_c.evaluation.shape)
+
+
+def assert_identical(forest, guard):
+    (res_i, shape_i), (res_c, shape_c) = render_both(forest, guard)
+    ri, rc = res_i.rendered, res_c.rendered
+    assert rc.forest.canonical() == ri.forest.canonical()
+    assert serialize(rc.forest) == serialize(ri.forest)
+    assert _dewey_walk(rc.forest) == _dewey_walk(ri.forest)
+    assert rc.nodes_written == ri.nodes_written
+    assert rc.nodes_read == ri.nodes_read
+    assert rc.joins == ri.joins
+    assert len(rc.provenance) == len(ri.provenance)
+    assert named_rows(shape_c, rc.rows_by_type) == named_rows(shape_i, ri.rows_by_type)
+    # No zero entries ever appear in rows_by_type (interpreter invariant).
+    assert all(count > 0 for count in rc.rows_by_type.values())
+
+
+def _dewey_walk(forest):
+    """(name, dewey) in document order — inline numbering must equal
+    the interpreter's renumber() pass exactly."""
+    out = []
+
+    def visit(node):
+        out.append((node.name, str(node.dewey)))
+        for child in node.children:
+            visit(child)
+
+    for root in forest.roots:
+        visit(root)
+    return out
+
+
+@pytest.fixture(scope="module")
+def books():
+    with open(os.path.join(GUARD_DIR, "books.xml"), encoding="utf-8") as handle:
+        return repro.parse_forest(handle.read())
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return generate_dblp(60)
+
+
+class TestCorpusParity:
+    """Every example guard: compiled output is byte-identical."""
+
+    @pytest.mark.parametrize("guard", corpus_guards())
+    def test_corpus_guard(self, books, guard):
+        assert_identical(books, guard)
+
+    @pytest.mark.parametrize("guard", DBLP_GUARDS)
+    def test_dblp_guard(self, dblp, guard):
+        assert_identical(dblp, guard)
+
+    def test_fig1a_special_types(self):
+        forest = repro.parse_forest(FIG1A)
+        for guard in (
+            "CAST MORPH (RESTRICT name [ author ])",
+            "CAST (MUTATE (NEW scribe) [ author ])",
+            "CAST (TYPE-FILL MORPH author [ name isbn ])",
+        ):
+            assert_identical(forest, guard)
+
+
+class TestTraceParity:
+    """Traced runs: identical spans, counters and histograms."""
+
+    @pytest.mark.parametrize("guard", DBLP_GUARDS)
+    def test_traced_metrics_match(self, guard):
+        snapshots = []
+        for compile_renders in (False, True):
+            interp = Interpreter(generate_dblp(40), compile_renders=compile_renders)
+            plan = interp.compile(guard)
+            tracer = obs.Tracer()
+            with obs.tracing(tracer):
+                result = interp.render_compiled(plan)
+            assert (result.rendered.compiled is True) == compile_renders
+            spans = [
+                (
+                    span.name,
+                    span.attrs.get("child"),
+                    span.attrs.get("anchors"),
+                    span.attrs.get("candidates"),
+                    span.attrs.get("pairs"),
+                )
+                for span in tracer.iter_spans()
+                if span.name == "render.join"
+            ]
+            counters = {
+                name: value
+                for name, value in tracer.metrics.counters.items()
+                if name.startswith("render.") or name == "join.comparisons"
+            }
+            pairs = tracer.metrics.histograms.get("join.pairs")
+            snapshots.append(
+                (spans, counters, (pairs.count, pairs.total) if pairs else None)
+            )
+        assert snapshots[0] == snapshots[1]
+
+
+class TestCompiledArtifact:
+    def test_source_and_describe(self, books):
+        interp = Interpreter(books, compile_renders=True)
+        plan = interp.compile("CAST MORPH author [ name ]")
+        artifact = plan.compiled_render
+        assert isinstance(artifact, CompiledRender)
+        assert "def _render(index" in artifact.source_code
+        assert "edges specialized" in artifact.describe()
+        assert artifact.edge_plans, "edge plans recorded for EXPLAIN ANALYZE"
+
+    def test_join_levels_and_cardinalities_recorded(self, books):
+        interp = Interpreter(books, compile_renders=True)
+        plan = interp.compile("CAST MORPH author [ title ]")
+        joins = [e for e in plan.compiled_render.edge_plans if e["kind"] == "join"]
+        assert joins and all(e["lca_level"] is not None for e in joins)
+        assert all(e["anchor_rows"] > 0 and e["child_rows"] > 0 for e in joins)
+
+    def test_rerun_is_deterministic(self, books):
+        interp = Interpreter(books, compile_renders=True)
+        plan = interp.compile("CAST MORPH author [ name book [ title ] ]")
+        first = interp.render_compiled(plan)
+        second = interp.render_compiled(plan)
+        assert serialize(first.rendered.forest) == serialize(second.rendered.forest)
+
+    def test_try_compile_falls_back_and_counts(self, books, monkeypatch):
+        import repro.engine.compile as compile_module
+
+        def boom(shape, index):
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(compile_module, "_Codegen", boom)
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            interp = Interpreter(books, compile_renders=True)
+            plan = interp.compile("CAST MORPH author [ name ]")
+        assert plan.compiled_render is None
+        assert tracer.metrics.counters.get("render.compile_fallback") == 1
+        # The transform still works — interpreted.
+        result = interp.render_compiled(plan)
+        assert result.rendered is not None and not result.rendered.compiled
+
+
+class TestDatabaseKnob:
+    def test_compile_on_by_default_and_survives_cache_hit(self, tmp_path):
+        db = Database(str(tmp_path / "on.db"), durable=False)
+        try:
+            db.store_document("doc", repro.parse_forest(FIG1A))
+            guard = "CAST MORPH author [ name ]"
+            cold = db.transform("doc", guard)
+            warm = db.transform("doc", guard)
+            assert cold.rendered.compiled and warm.rendered.compiled
+            assert db.plan_cache.hits >= 1
+            assert serialize(warm.rendered.forest) == serialize(cold.rendered.forest)
+        finally:
+            db.close()
+
+    def test_no_compile_knob(self, tmp_path):
+        db = Database(str(tmp_path / "off.db"), durable=False, compile_renders=False)
+        try:
+            db.store_document("doc", repro.parse_forest(FIG1A))
+            result = db.transform("doc", "CAST MORPH author [ name ]")
+            assert not result.rendered.compiled
+            assert result.compiled_render is None
+        finally:
+            db.close()
+
+    def test_profile_reports_compiled_line(self):
+        report = profile_document(FIG1A, "CAST MORPH author [ name ]")
+        assert "render.compiled:" in report.pretty()
+        assert "edges specialized" in report.pretty()
+        uncompiled = profile_document(
+            FIG1A, "CAST MORPH author [ name ]", compile_renders=False
+        )
+        assert "render.compiled: no (interpreted)" in uncompiled.pretty()
+
+
+def _plan(guard="G", fingerprint="f" * 16, compiled_render=None):
+    return CompiledPlan(
+        guard=guard,
+        fingerprint=fingerprint,
+        target_shape=None,
+        loss=None,
+        evaluation=None,
+        compile_seconds=0.0,
+        compiled_render=compiled_render,
+    )
+
+
+class TestPlanCacheCarryThrough:
+    def test_apply_evolution_drops_compiled_render_with_plan(self):
+        cache = PlanCache(capacity=8)
+        marker = object()
+        cache.put(_plan("compatible-guard", "doc1", compiled_render=marker))
+        cache.put(_plan("broken-guard", "doc1", compiled_render=marker))
+        outcome = cache.apply_evolution(
+            "doc1", {"compatible-guard": "compatible", "broken-guard": "broken"}
+        )
+        assert outcome == {"kept": 1, "invalidated": 1}
+        kept = cache.get("compatible-guard", "doc1")
+        assert kept is not None and kept.compiled_render is marker
+        assert cache.get("broken-guard", "doc1") is None
+
+    def test_invalidate_drops_compiled_render(self):
+        cache = PlanCache(capacity=8)
+        cache.put(_plan("g", "doc1", compiled_render=object()))
+        assert cache.invalidate("doc1") == 1
+        assert cache.get("g", "doc1") is None
+
+    def test_get_or_compile_capacity_zero_short_circuits(self):
+        """Bugfix: a disabled cache must compile directly, not enter the
+        single-flight protocol (which would serialize all compilers
+        behind a leader whose `put` is a no-op)."""
+        cache = PlanCache(capacity=0)
+        calls = []
+
+        def compile_plan():
+            calls.append(1)
+            return _plan("g")
+
+        first = cache.get_or_compile("g", "f" * 16, compile_plan)
+        second = cache.get_or_compile("g", "f" * 16, compile_plan)
+        assert first is not second and len(calls) == 2
+        assert cache.misses == 2
+        assert cache.contended == 0
+        assert len(cache) == 0
+
+
+class TestFingerprintCollisions:
+    def test_int_and_str_keys_differ(self):
+        """Bugfix regression: json.dumps coerces non-string dict keys to
+        strings, so ``{1: x}`` and ``{"1": x}`` used to collide."""
+        assert shape_fingerprint({"counts": {1: "x"}}) != shape_fingerprint(
+            {"counts": {"1": "x"}}
+        )
+
+    def test_tagged_escape_cannot_be_forged(self):
+        # A *string* key that happens to look like the internal tag for
+        # an int key must not collide with the real int key either.
+        forged = {"counts": {"\x00int\x001": "x"}}
+        real = {"counts": {1: "x"}}
+        assert shape_fingerprint(forged) != shape_fingerprint(real)
+
+    def test_plain_string_descriptors_unchanged(self):
+        # All-string descriptors (the normal case) hash as before:
+        # stability here is what keeps stored fingerprints valid.
+        descriptor = {"counts": {"0": 1}, "types": [[0, ["data"]]]}
+        assert shape_fingerprint(descriptor) == shape_fingerprint(
+            {"types": [[0, ["data"]]], "counts": {"0": 1}}
+        )
+
+
+class _CountingIndex(DocumentIndex):
+    def __init__(self, forest):
+        super().__init__(forest)
+        self.fetches: dict[str, int] = {}
+
+    def nodes_of(self, data_type):
+        self.fetches[data_type.dotted] = self.fetches.get(data_type.dotted, 0) + 1
+        return super().nodes_of(data_type)
+
+
+class TestSingleFetch:
+    def test_interpreter_fetches_each_source_type_once_per_render(self):
+        """Bugfix: the synthesized-empty probe in ``_attach_children``
+        used to fetch the source sequence and then fetch it *again* in
+        ``_attach_backed``, double-counting ``nodes_read``."""
+        index = _CountingIndex(repro.parse_forest(FIG1A))
+        interp = Interpreter(index)
+        plan = interp.compile("CAST MORPH author [ name book [ title ] ]")
+        # Warm once so the memoized pair maps stop fetching internally;
+        # the remaining fetches are the render's own source reads.
+        interp.render_compiled(plan)
+        index.fetches.clear()
+        result = interp.render_compiled(plan)
+        # Each type appears once in this shape, so one fetch each.
+        assert all(count == 1 for count in index.fetches.values()), index.fetches
+        # nodes_read agrees with the compiled engine on the same doc.
+        comp = Interpreter(repro.parse_forest(FIG1A), compile_renders=True)
+        cplan = comp.compile("CAST MORPH author [ name book [ title ] ]")
+        cres = comp.render_compiled(cplan)
+        assert result.rendered.nodes_read == cres.rendered.nodes_read
