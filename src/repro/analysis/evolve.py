@@ -560,10 +560,15 @@ def _root_count_changes(
     The target shape carries no cardinality for its roots — the guard
     renders one output root per instance of the anchor's source type —
     so :func:`_card_changes` (matched *edges*) cannot see this.  The
-    prediction reads the index's type sequences, the same substrate the
-    pathcard adornments come from: resolution drift or a source-side
-    cardinality change that leaves the count intact stays compatible,
-    while a merge or split of same-named types that alters it degrades.
+    prediction uses ``count_of`` (the ``pathcard`` statistic), the same
+    substrate the adornments come from: resolution drift or a
+    source-side cardinality change that leaves the count intact stays
+    compatible, while a merge or split of same-named types that alters
+    it degrades.  ``count_of`` rather than ``len(nodes_of(...))``
+    matters for the incremental-update path: a stored index's counts
+    load eagerly with its shape, so grading against a *pre-update*
+    index never lazily reads type sequences from the already-patched
+    store under stale type ids.
     """
 
     def key(shape: Shape, vertex: ShapeType) -> tuple:
@@ -578,8 +583,8 @@ def _root_count_changes(
     for old_root, new_root in zip(old_roots, new_roots):
         if old_root.source is None or new_root.source is None:
             continue
-        old_count = len(old_index.nodes_of(old_root.source))
-        new_count = len(new_index.nodes_of(new_root.source))
+        old_count = old_index.count_of(old_root.source)
+        new_count = new_index.count_of(new_root.source)
         if old_count != new_count:
             changed.append(
                 (new_root, new_root.source.dotted, old_count, new_count)

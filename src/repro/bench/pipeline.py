@@ -156,6 +156,58 @@ def repeated_guard_bench(
     }
 
 
+def update_vs_reshred_bench(
+    db: Database, name: str, forest, repeat: int = 5
+) -> dict:
+    """Single-subtree edit cost: incremental update vs full re-shred.
+
+    The workload the incremental updater (:mod:`repro.storage.update`)
+    exists for — one publication appended to an otherwise-unchanged
+    corpus — measured both ways: ``repeat`` timed append-inserts (each
+    reverted by an untimed delete so every round starts from the same
+    state) against ``repeat`` timed drop + re-store cycles of the whole
+    forest.  The ratio is the number the CI gate compares against
+    ``--min-update-speedup``.
+    """
+    from repro.storage.update import DeleteSubtree, InsertSubtree
+
+    root = forest.roots[0]
+    sample = root.children[-1].copy_subtree()
+    appended_slot = f"{root.dewey}.{len(root.children) + 1}"
+    subtree_nodes = 0
+    incremental_seconds: list[float] = []
+    for _ in range(repeat):
+        subtree = sample.copy_subtree()
+        start = time.perf_counter()
+        result = db.apply_batch(name, [InsertSubtree(str(root.dewey), subtree)])
+        incremental_seconds.append(time.perf_counter() - start)
+        subtree_nodes = result.nodes_added
+        # Revert (untimed) so every round appends into the same state.
+        db.apply_batch(name, [DeleteSubtree(appended_slot)])
+    reshred_seconds: list[float] = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        db.drop_document(name)
+        db.store_document(name, forest)
+        reshred_seconds.append(time.perf_counter() - start)
+    incremental_mean = sum(incremental_seconds) / len(incremental_seconds)
+    reshred_mean = sum(reshred_seconds) / len(reshred_seconds)
+    incremental_best = min(incremental_seconds)
+    reshred_best = min(reshred_seconds)
+    return {
+        "repeat": repeat,
+        "subtree_nodes": subtree_nodes,
+        "incremental_mean_seconds": incremental_mean,
+        "incremental_best_seconds": incremental_best,
+        "reshred_mean_seconds": reshred_mean,
+        "reshred_best_seconds": reshred_best,
+        "speedup_mean": reshred_mean / incremental_mean if incremental_mean else 0.0,
+        "speedup_best": (
+            reshred_best / incremental_best if incremental_best else 0.0
+        ),
+    }
+
+
 def run_pipeline_bench(
     output_path: Optional[str] = None,
     publications: int = 800,
@@ -212,6 +264,11 @@ def run_pipeline_bench(
             # the number the CI gate compares against --min-compiled-speedup.
             report["render_compiled_speedup"] = (
                 interpreted_total / compiled_total if compiled_total else 0.0
+            )
+            # Last: the update bench drops and re-stores the document,
+            # so it must not run before the guard benches.
+            report["update_vs_reshred"] = update_vs_reshred_bench(
+                db, "dblp", forest, repeat=repeat
             )
         finally:
             db.close()

@@ -273,6 +273,16 @@ class PlanCache:
                 obs.count("plan_cache.invalidations", invalidated)
             return {"kept": kept, "invalidated": invalidated}
 
+    def guards_for(self, fingerprint: str) -> list[str]:
+        """Guard texts of every plan cached against one fingerprint.
+
+        The incremental-update commit path uses this as the corpus for
+        its evolution grading: only guards that actually hold a cached
+        plan are worth classifying before deciding what to invalidate.
+        """
+        with self._lock:
+            return [guard for guard, fp in self._plans if fp == fingerprint]
+
     def invalidate(self, fingerprint: str) -> int:
         """Drop every plan compiled against one shape fingerprint."""
         with self._lock:

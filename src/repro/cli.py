@@ -15,6 +15,7 @@ Examples::
     xmorph query books.xml --guard "MORPH author [ name ]" \
         --query "for $a in /author return $a/name/text()"
     xmorph shred --db bib.db dblp dblp.xml
+    xmorph update --db bib.db dblp --insert "1=new-article.xml" --delete 1.5
     xmorph db-transform --db bib.db dblp "MORPH author"
     xmorph run books.xml "MORPH author [ name ]" --profile
     xmorph trace --db bib.db dblp "MORPH author" --json
@@ -216,6 +217,49 @@ def _build_parser() -> argparse.ArgumentParser:
     listing.add_argument("--db", required=True)
     listing.set_defaults(handler=_cmd_ls)
 
+    update = commands.add_parser(
+        "update",
+        help="apply subtree edits to a stored document incrementally",
+        description=(
+            "Patch a stored document in place — no full re-shred.  The "
+            "edits form ONE batch applied in the order given on the "
+            "command line, each op addressing the document as left by "
+            "the previous one, committed through a single journaled "
+            "flush (a crash recovers to the old or the new document, "
+            "never a hybrid).  XML operands are file paths when a file "
+            "of that name exists, inline XML otherwise.  Insert parents "
+            "and delete/replace targets are dotted Dewey numbers "
+            "(xmorph ls / db-transform show them); an insert parent of "
+            "'-' inserts at the root level (write it as --insert=-=XML "
+            "so the leading dash is not read as an option), and @POS "
+            "picks the 1-based child slot (default: append)."
+        ),
+    )
+    update.add_argument("--db", required=True, help="database file")
+    update.add_argument("name", help="document name inside the database")
+    update.add_argument(
+        "--insert",
+        action=_UpdateOpAction,
+        metavar="PARENT[@POS]=XML",
+        help="insert a subtree under PARENT at child slot POS (repeatable)",
+    )
+    update.add_argument(
+        "--delete",
+        action=_UpdateOpAction,
+        metavar="DEWEY",
+        help="delete the subtree rooted at DEWEY (repeatable)",
+    )
+    update.add_argument(
+        "--replace",
+        action=_UpdateOpAction,
+        metavar="DEWEY=XML",
+        help="replace the subtree rooted at DEWEY (repeatable)",
+    )
+    update.add_argument(
+        "--json", action="store_true", help="emit the batch result as one JSON object"
+    )
+    update.set_defaults(handler=_cmd_update, ops=None)
+
     fsck = commands.add_parser(
         "fsck",
         help="check a database file: checksums, journal, btree, catalog",
@@ -365,6 +409,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "fail (exit 3) unless the compiled warm render is at least X "
             "times faster than the interpreter across the benched guards"
+        ),
+    )
+    bench.add_argument(
+        "--min-update-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "fail (exit 3) unless an incremental single-subtree update is "
+            "at least X times faster than a full re-shred"
         ),
     )
     bench.set_defaults(handler=_cmd_bench)
@@ -681,6 +735,75 @@ def _cmd_ls(arguments) -> int:
     return 0
 
 
+class _UpdateOpAction(argparse.Action):
+    """Collect --insert/--delete/--replace as (kind, operand) in the
+    order they appear on the command line — batch semantics make the
+    interleaving significant, so the default one-list-per-flag
+    ``action="append"`` would lose exactly what matters."""
+
+    def __call__(self, parser, namespace, value, option_string=None):
+        ops = getattr(namespace, "ops", None) or []
+        ops.append((self.dest, value))
+        namespace.ops = ops
+
+
+def _cmd_update(arguments) -> int:
+    import json as json_module
+    import os
+
+    from repro.storage.update import DeleteSubtree, InsertSubtree, ReplaceSubtree
+
+    def subtree(operand: str) -> str:
+        if os.path.exists(operand):
+            return _read(operand)
+        return operand
+
+    ops = []
+    for kind, value in arguments.ops or []:
+        if kind == "delete":
+            ops.append(DeleteSubtree(value))
+            continue
+        target, separator, payload = value.partition("=")
+        if not separator or not target or not payload:
+            print(
+                f"error: --{kind} expects TARGET=XML, got {value!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if kind == "replace":
+            ops.append(ReplaceSubtree(target, subtree(payload)))
+            continue
+        parent, at, slot = target.partition("@")
+        position = None
+        if at:
+            try:
+                position = int(slot)
+            except ValueError:
+                print(
+                    f"error: --insert position {slot!r} is not an integer",
+                    file=sys.stderr,
+                )
+                return 2
+        ops.append(
+            InsertSubtree(
+                None if parent == "-" else parent, subtree(payload), position
+            )
+        )
+    if not ops:
+        print(
+            "error: nothing to do (give --insert, --delete and/or --replace)",
+            file=sys.stderr,
+        )
+        return 2
+    with Database(arguments.db) as db:
+        result = db.apply_batch(arguments.name, ops)
+    if arguments.json:
+        print(json_module.dumps(result.as_dict(), indent=2))
+    else:
+        print(result.summary())
+    return 0
+
+
 def _cmd_fsck(arguments) -> int:
     import json as json_module
 
@@ -862,6 +985,15 @@ def _cmd_bench(arguments) -> int:
             f"compiled render speedup (aggregate): "
             f"{report['render_compiled_speedup']:.1f}x"
         )
+    update = report.get("update_vs_reshred")
+    if update:
+        print(
+            f"update vs re-shred: incremental "
+            f"{update['incremental_mean_seconds'] * 1000:.2f} ms"
+            f"  vs re-shred {update['reshred_mean_seconds'] * 1000:.2f} ms"
+            f"  ({update['speedup_mean']:.1f}x, "
+            f"{update['subtree_nodes']}-node subtree)"
+        )
     if output is None:
         print(json_module.dumps(report, indent=2))
     else:
@@ -872,6 +1004,16 @@ def _cmd_bench(arguments) -> int:
             print(
                 f"error: compiled render speedup {achieved:.2f}x is below the "
                 f"--min-compiled-speedup {arguments.min_compiled_speedup:.2f}x gate",
+                file=sys.stderr,
+            )
+            return 3
+    if arguments.min_update_speedup is not None:
+        achieved = (report.get("update_vs_reshred") or {}).get("speedup_mean", 0.0)
+        if achieved < arguments.min_update_speedup:
+            print(
+                f"error: incremental update speedup {achieved:.2f}x is below "
+                f"the --min-update-speedup {arguments.min_update_speedup:.2f}x "
+                f"gate",
                 file=sys.stderr,
             )
             return 3

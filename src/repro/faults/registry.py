@@ -48,6 +48,8 @@ KNOWN_FAILPOINTS: tuple[str, ...] = (
     "journal.fsync",    # Journal.write, before fsyncing the journal file
     "journal.dirsync",  # Journal, before fsyncing the parent directory
     "journal.unlink",   # Journal.clear, before unlinking the sealed journal
+    "update.stage",     # Database.apply_batch, before staging each subtree op
+    "update.commit",    # Database.apply_batch, after staging, before the flush
 )
 
 _ACTIONS = ("raise", "kill", "truncate")

@@ -11,6 +11,9 @@ implement the equivalent embedded store from scratch:
   AdornedShapes, TypeToSequence, GroupedSequence) plus a catalog,
   mapped onto B+tree keyspaces.
 * :mod:`repro.storage.shredder` — XML → tables.
+* :mod:`repro.storage.update` — incremental subtree updates: insert /
+  delete / replace batches that patch the tables in place instead of
+  re-shredding (``docs/UPDATES.md``).
 * :mod:`repro.storage.database` — the user-facing :class:`Database`
   with a storage-backed document index for guard evaluation.
 * :mod:`repro.storage.stats` — vmstat-analog instrumentation (block
@@ -33,6 +36,13 @@ from repro.storage.btree import BPlusTree
 from repro.storage.database import Database, StoredDocumentIndex
 from repro.storage.fsck import FsckReport, fsck
 from repro.storage.lockfile import FileLock
+from repro.storage.update import (
+    DeleteSubtree,
+    InsertSubtree,
+    ReplaceSubtree,
+    UpdateResult,
+    reference_apply,
+)
 
 __all__ = [
     "SystemStats",
@@ -47,4 +57,9 @@ __all__ = [
     "FsckReport",
     "fsck",
     "FileLock",
+    "InsertSubtree",
+    "DeleteSubtree",
+    "ReplaceSubtree",
+    "UpdateResult",
+    "reference_apply",
 ]

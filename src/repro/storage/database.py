@@ -374,6 +374,155 @@ class Database:
                     pairs.append((parent, own))
         return pairs
 
+    # -- incremental updates ----------------------------------------------
+
+    def apply_batch(self, name: str, ops) -> "object":
+        """Apply a batch of subtree edits to a stored document, durably.
+
+        ``ops`` is a sequence of :class:`~repro.storage.update.InsertSubtree`
+        / :class:`~repro.storage.update.DeleteSubtree` /
+        :class:`~repro.storage.update.ReplaceSubtree`; each op addresses
+        the document as left by the previous one.  The whole batch
+        stages into the buffer pool and commits through one journaled
+        flush — the same crash envelope as :meth:`store_document`, so
+        recovery lands on exactly the pre- or post-batch state.  An
+        error before the commit point (bad address, Dewey overflow, an
+        injected fault) rolls the staged pages back and leaves this
+        handle live on the unchanged document.
+
+        After the commit the plan cache is *selectively* maintained: if
+        the adorned shape is unchanged every cached plan survives;
+        otherwise each cached guard is graded by the evolution analyzer
+        (:func:`repro.analysis.evolve.check_guard_evolution`) and only
+        degraded/broken plans are dropped, with compatible guards
+        recompiled ("warmed") against the new fingerprint.  Returns the
+        batch's :class:`~repro.storage.update.UpdateResult`.
+        """
+        from repro.storage.update import IncrementalUpdater
+
+        if self.mode == "r":
+            raise ReadOnlyDatabaseError(self._file.path, f"update document {name!r}")
+        ops = list(ops)
+        if not ops:
+            raise StorageError("update batch is empty")
+        started = time.perf_counter()
+        # The pre-batch index: its shape, counts and fingerprint load
+        # eagerly, so it stays a faithful "old side" for the evolution
+        # grading even after the store underneath it is patched.
+        old_index = self.index(name)
+        old_fingerprint = old_index.fingerprint
+        try:
+            updater = IncrementalUpdater(self, name)
+            for op in ops:
+                updater.apply(op)
+            updater.commit()
+            from repro.faults import FAULTS
+
+            FAULTS.fire("update.commit")
+        except Exception:
+            # Pre-commit failure: nothing reached disk; drop the staged
+            # pages so the handle keeps serving the pre-batch state.
+            # SimulatedCrash is a BaseException and deliberately skips
+            # this — a "dead" process does not get to roll back.
+            self._rollback_staged(name)
+            raise
+        # The commit point.  A crash inside flush() recovers from the
+        # journal (all-or-nothing), so no rollback handling wraps it.
+        self.pool.flush()
+        result = updater.result
+        result.old_fingerprint = old_fingerprint
+        result.shape_changed = result.new_fingerprint != old_fingerprint
+        self._indexes.pop(name, None)
+        self._reconcile_plans(name, old_index, result)
+        result.seconds = time.perf_counter() - started
+        self.stats.event("update.batches")
+        self.stats.event("update.ops", result.ops)
+        for field in ("nodes_added", "nodes_removed", "nodes_renumbered"):
+            count = getattr(result, field)
+            if count:
+                self.stats.event(f"update.{field}", count)
+        self.stats.observe("update.batch_seconds", result.seconds)
+        return result
+
+    def insert_subtree(self, name: str, parent, subtree, position=None):
+        """Insert one subtree (see :class:`~repro.storage.update.InsertSubtree`)."""
+        from repro.storage.update import InsertSubtree
+
+        return self.apply_batch(name, [InsertSubtree(parent, subtree, position)])
+
+    def delete_subtree(self, name: str, target):
+        """Delete one subtree (see :class:`~repro.storage.update.DeleteSubtree`)."""
+        from repro.storage.update import DeleteSubtree
+
+        return self.apply_batch(name, [DeleteSubtree(target)])
+
+    def replace_subtree(self, name: str, target, subtree):
+        """Replace one subtree (see :class:`~repro.storage.update.ReplaceSubtree`)."""
+        from repro.storage.update import ReplaceSubtree
+
+        return self.apply_batch(name, [ReplaceSubtree(target, subtree)])
+
+    def _rollback_staged(self, name: str) -> None:
+        """Forget a staged (never-flushed) batch: back to the disk state.
+
+        The buffer pool drops every cached page — dirty ones included —
+        and the B+tree re-reads its meta page, so the tree object again
+        describes exactly what is on disk.  Cheap: no I/O beyond
+        re-reading page 0 on next access.
+        """
+        self.pool.discard()
+        self.tree = BPlusTree(self.pool)
+        self._indexes.pop(name, None)
+        self.stats.event("update.rollbacks")
+
+    def _reconcile_plans(self, name: str, old_index, result) -> None:
+        """Selective plan-cache maintenance after a committed batch."""
+        if not result.shape_changed:
+            # Same fingerprint, same plans: every cached entry stays valid
+            # (plans depend only on guard text + adorned shape).
+            self.stats.event("update.shape_unchanged")
+            result.plans_kept = len(self.plan_cache.guards_for(old_index.fingerprint))
+            return
+        guards = self.plan_cache.guards_for(old_index.fingerprint)
+        if not guards:
+            return
+        from repro.analysis.evolve import check_guard_evolution
+        from repro.shape.diff import diff_shapes
+
+        new_index = self.index(name)
+        diff = diff_shapes(old_index.shape, new_index.shape)
+        evolution_text = diff.pretty()
+        verdicts: dict[str, str] = {}
+        for guard in guards:
+            verdicts[guard] = check_guard_evolution(
+                old_index,
+                new_index,
+                guard,
+                diff=diff,
+                evolution_text=evolution_text,
+            ).verdict
+        outcome = self.plan_cache.apply_evolution(old_index.fingerprint, verdicts)
+        result.plans_kept = outcome["kept"]
+        result.plans_invalidated = outcome["invalidated"]
+        if outcome["invalidated"]:
+            self.stats.event("update.plans_invalidated", outcome["invalidated"])
+        if outcome["kept"]:
+            self.stats.event("update.plans_kept", outcome["kept"])
+        if self.plan_cache.capacity > 0:
+            for guard, verdict in verdicts.items():
+                if verdict != "compatible":
+                    continue
+                try:
+                    self._plan(name, guard)
+                except Exception:
+                    # Compatibility is relative: a guard rejected under
+                    # the old shape for a reason the evolution preserves
+                    # still will not compile.
+                    continue
+                result.plans_warmed += 1
+            if result.plans_warmed:
+                self.stats.event("update.plans_warmed", result.plans_warmed)
+
     def drop_document(self, name: str) -> int:
         """Remove a document and all its records; returns entries deleted.
 

@@ -372,6 +372,24 @@ class BufferPool:
             self.stats.release(len(self._pages) * PAGE_SIZE)
             self._pages.clear()
 
+    def discard(self) -> None:
+        """Forget every cached page — *including dirty ones* — without
+        writing a byte.
+
+        This is the rollback primitive for staged batches (incremental
+        updates stage all their mutations as dirty pages and commit with
+        one :meth:`flush`): discarding the pool returns every future
+        read to the on-disk, pre-batch state.  Pages the batch allocated
+        past the old end of file become unreferenced (they were sealed
+        as zeroes at allocation time), exactly like lazily-deleted
+        B+tree pages.  Callers must rebuild any structure that caches
+        page contents (e.g. construct a fresh ``BPlusTree``) afterwards.
+        """
+        with self.lock:
+            self.stats.release(len(self._pages) * PAGE_SIZE)
+            self._pages.clear()
+            self._dirty.clear()
+
     @property
     def resident(self) -> int:
         return len(self._pages)

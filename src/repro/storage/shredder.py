@@ -87,9 +87,12 @@ def _shape_descriptor(builder: DataGuideBuilder) -> dict:
                 edge.card.hi,
             ]
         )
-    counts = {
-        str(builder.type_of[id(node)].type_id): 0 for node in ()
-    }  # populated below
+    # Canonical edge order: sorted by (parent id, child id).  Traversal
+    # order would encode *how* the descriptor was produced; sorting makes
+    # a full re-shred and an incremental update (repro.storage.update)
+    # emit byte-identical descriptors — and therefore fingerprints — for
+    # the same document.
+    edges.sort()
     tally: dict[int, int] = {}
     for data_type in builder.type_table:
         tally[data_type.type_id] = 0

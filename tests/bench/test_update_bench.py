@@ -1,0 +1,44 @@
+"""The update-vs-reshred benchmark: shape of the report and hygiene.
+
+The timing itself is machine-dependent; what the tests pin is that the
+bench measures without corrupting — it appends and reverts, then drops
+and re-stores, so the document it leaves behind must be exactly the one
+it was handed — and that the report carries the fields the CI gate
+(``xmorph bench --min-update-speedup``) reads.
+"""
+
+import pytest
+
+from repro.bench.pipeline import update_vs_reshred_bench
+from repro.storage import Database
+from repro.workloads.dblp import generate_dblp
+
+
+@pytest.fixture
+def stored(tmp_path):
+    forest = generate_dblp(20)
+    db = Database(str(tmp_path / "b.db"), durable=False)
+    db.store_document("dblp", forest)
+    yield db, forest
+    db.close()
+
+
+def test_report_fields_and_state_restored(stored):
+    db, forest = stored
+    before = db.describe("dblp")
+    report = update_vs_reshred_bench(db, "dblp", forest, repeat=2)
+
+    assert report["repeat"] == 2
+    assert report["subtree_nodes"] > 0
+    for side in ("incremental", "reshred"):
+        assert report[f"{side}_mean_seconds"] > 0
+        assert 0 < report[f"{side}_best_seconds"] <= report[f"{side}_mean_seconds"]
+    assert report["speedup_mean"] > 0
+    assert report["speedup_best"] > 0
+
+    # Every append was reverted and the final re-store used the same
+    # forest, so the document must be exactly what the bench received.
+    after = db.describe("dblp")
+    assert after["nodes"] == before["nodes"]
+    assert after["shape_fingerprint"] == before["shape_fingerprint"]
+    assert db.load_forest("dblp").canonical() == forest.canonical()

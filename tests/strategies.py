@@ -4,6 +4,13 @@ The core strategy generates small random XML forests over a tiny tag
 alphabet.  A small alphabet is deliberate: it maximizes the chance of
 repeated types, ambiguous labels and interesting closest relationships,
 which is where the closeness machinery earns its keep.
+
+The ``wide``/``values`` knobs and :func:`skewed_documents` exist for the
+storage-update suites: incremental Dewey renumbering cares about long
+sibling runs (many shifts per edit), empty-text nodes (zero-length
+inline payloads) and overflow-length text (``V``-keyspace chunks that
+must move with their node), none of which the default tree shapes hit
+reliably.
 """
 
 from __future__ import annotations
@@ -16,17 +23,49 @@ TAGS = ["a", "b", "c", "d"]
 
 _VALUES = st.sampled_from(["", "x", "y", "hello", "42"])
 
+#: Text distribution for the update suites: heavy on the empty string
+#: (sequence entries with zero-length payloads) and including one value
+#: past INLINE_TEXT (1500), so shifted/deleted nodes carry overflow
+#: chunks that the incremental engine must move or clear.
+_SKEWED_VALUES = st.sampled_from(["", "", "", "x", "long " * 400])
+
 
 @st.composite
-def xml_trees(draw, max_depth: int = 4, max_children: int = 3) -> XmlNode:
-    """A random small element tree."""
+def xml_trees(
+    draw,
+    max_depth: int = 4,
+    max_children: int = 3,
+    values: st.SearchStrategy = _VALUES,
+    wide: bool = False,
+) -> XmlNode:
+    """A random small element tree.
+
+    ``wide=True`` occasionally emits a long run of same-named siblings
+    (the deeply-skewed shape): renumbering edge cases live at sibling
+    boundaries, so edits need trees where one parent holds many more
+    children than the ``max_children`` default would produce.
+    """
     name = draw(st.sampled_from(TAGS))
-    text = draw(_VALUES)
+    text = draw(values)
     node = element(name, text=text)
     if max_depth > 0:
+        if wide and draw(st.booleans()):
+            # A skewed run: 4-10 same-named leaf children.
+            run_name = draw(st.sampled_from(TAGS))
+            for _ in range(draw(st.integers(min_value=4, max_value=10))):
+                node.append(element(run_name, text=draw(values)))
         count = draw(st.integers(min_value=0, max_value=max_children))
         for _ in range(count):
-            node.append(draw(xml_trees(max_depth=max_depth - 1, max_children=max_children)))
+            node.append(
+                draw(
+                    xml_trees(
+                        max_depth=max_depth - 1,
+                        max_children=max_children,
+                        values=values,
+                        wide=wide,
+                    )
+                )
+            )
     return node
 
 
@@ -49,4 +88,27 @@ def documents(draw, **tree_kwargs) -> XmlForest:
     count = draw(st.integers(min_value=1, max_value=3))
     for _ in range(count):
         root.append(draw(xml_trees(**tree_kwargs)))
+    return XmlForest([root]).renumber()
+
+
+@st.composite
+def skewed_documents(draw, max_depth: int = 3) -> XmlForest:
+    """A document biased toward renumbering edge cases.
+
+    Wide same-named sibling runs directly under the root (every edit at
+    the front shifts the whole run), empty-text nodes, and
+    overflow-length text values.
+    """
+    root = element("r")
+    for _ in range(draw(st.integers(min_value=2, max_value=8))):
+        root.append(
+            draw(
+                xml_trees(
+                    max_depth=max_depth,
+                    max_children=2,
+                    values=_SKEWED_VALUES,
+                    wide=True,
+                )
+            )
+        )
     return XmlForest([root]).renumber()

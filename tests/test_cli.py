@@ -120,6 +120,67 @@ class TestCommands:
         assert "blocks" in captured.err
 
 
+class TestUpdateCommand:
+    @pytest.fixture
+    def stored(self, tmp_path):
+        source = tmp_path / "lib.xml"
+        source.write_text(
+            "<lib><book><title>T1</title></book>"
+            "<book><title>T2</title></book></lib>"
+        )
+        db = str(tmp_path / "u.db")
+        assert main(["shred", "--db", db, "doc", str(source)]) == 0
+        return db
+
+    def test_ops_interleave_into_one_batch(self, stored, tmp_path, capsys):
+        subtree = tmp_path / "new.xml"
+        subtree.write_text("<book><title>T0</title></book>")
+        capsys.readouterr()
+        # File-path insert at slot 1, then delete the displaced last
+        # book, then an inline-XML replace — applied in this order.
+        assert (
+            main(
+                [
+                    "update", "--db", stored, "doc",
+                    "--insert", f"1@1={subtree}",
+                    "--delete", "1.3",
+                    "--replace", "1.2=<pamphlet><title>P</title></pamphlet>",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "3 op(s)" in out
+        assert main(["db-transform", "--db", stored, "doc", "MORPH title"]) == 0
+        titles = capsys.readouterr().out
+        assert "T0" in titles and "P" in titles
+        assert "T1" not in titles and "T2" not in titles
+
+    def test_json_result(self, stored, capsys):
+        import json
+
+        capsys.readouterr()
+        assert (
+            main(["update", "--db", stored, "doc", "--json", "--delete", "1.2"]) == 0
+        )
+        result = json.loads(capsys.readouterr().out)
+        assert result["ops"] == 1
+        assert result["nodes_removed"] == 2  # the book and its title
+        assert result["new_fingerprint"] != result["old_fingerprint"]
+
+    def test_operand_errors_exit_2(self, stored, capsys):
+        assert main(["update", "--db", stored, "doc"]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+        assert main(["update", "--db", stored, "doc", "--insert", "oops"]) == 2
+        assert "expects TARGET=XML" in capsys.readouterr().err
+        assert main(["update", "--db", stored, "doc", "--insert", "1@x=<a/>"]) == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_bad_target_is_a_coded_error(self, stored, capsys):
+        assert main(["update", "--db", stored, "doc", "--delete", "1.99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestRunAndTrace:
     def test_run_prints_xml_by_default(self, doc, capsys):
         assert main(["run", doc, "MORPH author [ name ]"]) == 0
